@@ -1,0 +1,92 @@
+// Ablation of the cost model's design choices (DESIGN.md §6): executes each
+// benchmark under PolyMageDP schedules produced by deliberately weakened
+// models and compares against the full model.
+//
+// Variants:
+//   full        the complete model
+//   no-overlap  w3 = 0 (ignore redundant recomputation)
+//   no-locality w1 = 0 (ignore live-in/out traffic)
+//   no-dimdiff  w4 = 0 (ignore extent mismatch)
+//   pow2-tiles  tile sizes rounded down to powers of two (the restriction
+//               the paper lifts; quantifies what free tile sizes buy)
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "fusion/incremental.hpp"
+#include "runtime/executor.hpp"
+
+using namespace fusedp;
+using namespace fusedp::bench;
+
+namespace {
+
+std::int64_t round_down_pow2(std::int64_t v) {
+  std::int64_t p = 1;
+  while (p * 2 <= v) p *= 2;
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const BenchConfig cfg =
+      BenchConfig::from_cli(cli, MachineModel::xeon_haswell());
+  cfg.print_header("Ablation: cost-model components (PolyMageDP, 1 thread)");
+
+  std::printf("%-20s %9s %11s %12s %11s %11s\n", "Benchmark", "full",
+              "no-overlap", "no-locality", "no-dimdiff", "pow2-tiles");
+  for (const auto& info : benchmark_list()) {
+    const PipelineSpec spec = make_benchmark(info.key, cfg.scale);
+    const Pipeline& pl = *spec.pipeline;
+    const std::vector<Buffer> inputs = spec.make_inputs();
+
+    // Weakened models can wreck the DP's pruning too (that is part of the
+    // finding): bound the state budget and report n/a when it blows.
+    auto run_variant = [&](CostWeights w, bool pow2) -> double {
+      MachineModel m = cfg.machine;
+      m.weights = w;
+      const CostModel model(pl, m);
+      IncOptions iopts;
+      iopts.max_states = 2'000'000;
+      IncFusion inc(pl, model, iopts);
+      Grouping g;
+      try {
+        g = inc.run();
+      } catch (const Error&) {
+        return -1.0;  // state budget exhausted under this ablation
+      }
+      if (pow2) {
+        for (GroupSchedule& gs : g.groups)
+          for (std::int64_t& t : gs.tile_sizes) t = round_down_pow2(t);
+      }
+      return time_grouping_ms(pl, g, inputs, 1, cfg.samples, cfg.runs);
+    };
+    auto fmt = [](double v) {
+      static thread_local char buf[32];
+      if (v < 0)
+        std::snprintf(buf, sizeof buf, "%s", "n/a");
+      else
+        std::snprintf(buf, sizeof buf, "%.2f", v);
+      return buf;
+    };
+
+    const CostWeights full = cfg.machine.weights;
+    CostWeights no_overlap = full;
+    no_overlap.w3 = 0.0;
+    CostWeights no_locality = full;
+    no_locality.w1 = 0.0;
+    CostWeights no_dimdiff = full;
+    no_dimdiff.w4 = 0.0;
+
+    std::printf("%-20s %9s", info.title.c_str(), fmt(run_variant(full, false)));
+    std::printf(" %11s", fmt(run_variant(no_overlap, false)));
+    std::printf(" %12s", fmt(run_variant(no_locality, false)));
+    std::printf(" %11s", fmt(run_variant(no_dimdiff, false)));
+    std::printf(" %11s\n", fmt(run_variant(full, true)));
+    std::fflush(stdout);
+  }
+  std::printf("\n# times in ms; larger values than `full` show the ablated\n"
+              "# component was load-bearing for that benchmark.\n");
+  return 0;
+}

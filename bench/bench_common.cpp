@@ -1,0 +1,104 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+#include "fusion/halide_auto.hpp"
+#include "fusion/incremental.hpp"
+#include "fusion/polymage_greedy.hpp"
+#include "runtime/executor.hpp"
+#include "support/stats.hpp"
+
+namespace fusedp::bench {
+
+BenchConfig BenchConfig::from_cli(const Cli& cli, MachineModel machine) {
+  BenchConfig cfg;
+  cfg.scale = cli.get_int_env("scale", 2);
+  cfg.samples = static_cast<int>(cli.get_int_env("samples", 2));
+  cfg.runs = static_cast<int>(cli.get_int_env("runs", 2));
+  cfg.threads = static_cast<int>(cli.get_int_env("threads", 16));
+  cfg.tune = cli.get_env("tune", "small");
+  cfg.machine = std::move(machine);
+  return cfg;
+}
+
+void BenchConfig::print_header(const char* what) const {
+  std::printf("# %s\n", what);
+  std::printf(
+      "# machine model: %s (L1 %lld KB, L2 %lld KB, %d cores, IMTS %lld, "
+      "weights w1=%g w2=%g w3=%g w4=%g)\n",
+      machine.name.c_str(), static_cast<long long>(machine.l1_bytes / 1024),
+      static_cast<long long>(machine.l2_bytes / 1024), machine.cores,
+      static_cast<long long>(machine.innermost_tile), machine.weights.w1,
+      machine.weights.w2, machine.weights.w3, machine.weights.w4);
+  std::printf(
+      "# images: paper sizes / %lld; timing: min of %d sample averages, %d "
+      "runs each (paper: 5 x 500 at full size)\n",
+      static_cast<long long>(scale), samples, runs);
+  std::printf("# PolyMage-A tuner grid: %s\n\n", tune.c_str());
+}
+
+const char* scheduler_name(Scheduler s) {
+  switch (s) {
+    case Scheduler::kPolyMageDp: return "PolyMageDP";
+    case Scheduler::kPolyMageA: return "PolyMage-A";
+    case Scheduler::kHAuto: return "H-auto";
+    case Scheduler::kHManual: return "H-manual";
+  }
+  return "?";
+}
+
+double time_grouping_ms(const Pipeline& pl, const Grouping& g,
+                        const std::vector<Buffer>& inputs, int threads,
+                        int samples, int runs) {
+  ExecOptions opts;
+  opts.num_threads = threads;
+  Executor ex(pl, g, opts);
+  Workspace ws;
+  ex.run(inputs, ws);  // warm-up (allocations, page faults)
+  const RunStats st =
+      measure_min_of_averages([&] { ex.run(inputs, ws); }, samples, runs);
+  return st.min_avg_ms;
+}
+
+Grouping schedule(Scheduler which, const PipelineSpec& spec,
+                  const CostModel& model, const BenchConfig& cfg,
+                  int tune_threads) {
+  const Pipeline& pl = *spec.pipeline;
+  switch (which) {
+    case Scheduler::kPolyMageDp: {
+      IncFusion inc(pl, model);
+      return inc.run();
+    }
+    case Scheduler::kPolyMageA: {
+      PolyMageOptions opts;
+      if (cfg.tune == "paper") {
+        opts.tile_candidates = {8, 16, 32, 64, 128, 256};
+        opts.tolerances = {0.2, 0.4, 0.5};
+      } else {
+        opts.tile_candidates = {32, 64, 128, 256};
+        opts.tolerances = {0.2, 0.5};
+      }
+      const PolyMageGreedy greedy(pl, model, opts);
+      const std::vector<Buffer> inputs = spec.make_inputs();
+      return greedy.tune([&](const Grouping& g) {
+        return time_grouping_ms(pl, g, inputs, tune_threads, 1, 1);
+      });
+    }
+    case Scheduler::kHAuto: {
+      HalideAutoOptions opts;
+      opts.cache_bytes = cfg.machine.l2_bytes;
+      opts.parallelism_threshold = cfg.machine.cores;
+      // Paper Section 6.2: VECTOR_WIDTH = 16 = 2x the native f32 width.
+      opts.vector_width = 2 * cfg.machine.vector_width_floats;
+      opts.load_cost = 40.0;
+      const HalideAuto h(pl, model, opts);
+      return h.run();
+    }
+    case Scheduler::kHManual:
+      return spec.manual_grouping(model);
+  }
+  FUSEDP_CHECK(false, "unknown scheduler");
+  return {};
+}
+
+}  // namespace fusedp::bench

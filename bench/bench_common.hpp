@@ -1,0 +1,48 @@
+// Shared infrastructure for the table/figure reproduction benches.
+//
+// Environment knobs (also settable as --flags on each bench binary):
+//   FUSEDP_SCALE    image-size divisor vs. the paper's sizes (default 2)
+//   FUSEDP_SAMPLES  timing samples (paper: 5, default 2)
+//   FUSEDP_RUNS     runs per sample (paper: 500, default 2)
+//   FUSEDP_THREADS  the "16 cores" column's thread count (default 16)
+//   FUSEDP_TUNE     PolyMage-A tuner grid: "small" (default) or "paper"
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fusion/grouping.hpp"
+#include "pipelines/pipelines.hpp"
+#include "support/cli.hpp"
+
+namespace fusedp::bench {
+
+struct BenchConfig {
+  std::int64_t scale = 2;
+  int samples = 2;
+  int runs = 2;
+  int threads = 16;
+  std::string tune = "small";
+  MachineModel machine;
+
+  static BenchConfig from_cli(const Cli& cli, MachineModel machine);
+  void print_header(const char* what) const;
+};
+
+// The paper's four compared schedulers.
+enum class Scheduler { kPolyMageDp, kPolyMageA, kHAuto, kHManual };
+const char* scheduler_name(Scheduler s);
+
+// Builds the grouping a scheduler chooses for this pipeline/machine.
+// PolyMage-A runs its auto-tuning loop (timing real executions with
+// `tune_threads` threads).
+Grouping schedule(Scheduler which, const PipelineSpec& spec,
+                  const CostModel& model, const BenchConfig& cfg,
+                  int tune_threads);
+
+// min-of-averages execution time (ms) of `g` at `threads`.
+double time_grouping_ms(const Pipeline& pl, const Grouping& g,
+                        const std::vector<Buffer>& inputs, int threads,
+                        int samples, int runs);
+
+}  // namespace fusedp::bench

@@ -1,0 +1,36 @@
+// Reproduces paper Figure 7: per benchmark and scheduler, the speedup over
+// the PolyMageDP *sequential* run at 1 and 16 threads (Xeon machine model).
+#include "table_runtime_common.hpp"
+
+using namespace fusedp;
+using namespace fusedp::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const BenchConfig cfg =
+      BenchConfig::from_cli(cli, MachineModel::xeon_haswell());
+  cfg.print_header(
+      "Figure 7: speedup over PolyMageDP sequential, 1 and N threads");
+  const std::vector<BenchmarkResult> results = run_all_benchmarks(cfg);
+
+  std::printf("%-20s %6s | %9s %9s %9s %9s\n", "Benchmark", "thr", "H-manual",
+              "H-auto", "PolyMage-A", "PolyMageDP");
+  for (const BenchmarkResult& r : results) {
+    const double base = r.t1.at(Scheduler::kPolyMageDp);
+    std::printf("%-20s %6d | %9.2f %9.2f %9.2f %9.2f\n", r.title.c_str(), 1,
+                base / r.t1.at(Scheduler::kHManual),
+                base / r.t1.at(Scheduler::kHAuto),
+                base / r.t1.at(Scheduler::kPolyMageA),
+                base / r.t1.at(Scheduler::kPolyMageDp));
+    std::printf("%-20s %6d | %9.2f %9.2f %9.2f %9.2f\n", "", cfg.threads,
+                base / r.tn.at(Scheduler::kHManual),
+                base / r.tn.at(Scheduler::kHAuto),
+                base / r.tn.at(Scheduler::kPolyMageA),
+                base / r.tn.at(Scheduler::kPolyMageDp));
+  }
+  std::printf(
+      "\n# values are speedups over the PolyMageDP 1-thread run (bars of\n"
+      "# paper Figure 7); N-thread scaling is oversubscribed on this\n"
+      "# single-core container.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Extension bench: effect of the pointwise-inlining pre-pass (the feature
+// paper §6.2 credits for H-manual's camera-pipeline edge) when combined
+// with PolyMageDP scheduling.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "fusion/incremental.hpp"
+#include "fusion/inlining.hpp"
+#include "runtime/executor.hpp"
+
+using namespace fusedp;
+using namespace fusedp::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const BenchConfig cfg =
+      BenchConfig::from_cli(cli, MachineModel::xeon_haswell());
+  cfg.print_header("Inlining pre-pass: PolyMageDP with and without");
+
+  std::printf("%-20s %7s %9s | %12s %12s %9s\n", "Benchmark", "stages",
+              "inlined", "plain ms", "inlined ms", "speedup");
+  for (const auto& info : benchmark_list()) {
+    const PipelineSpec spec = make_benchmark(info.key, cfg.scale);
+    const Pipeline& pl = *spec.pipeline;
+    const std::vector<Buffer> inputs = spec.make_inputs();
+
+    const CostModel model(pl, cfg.machine);
+    IncFusion inc(pl, model);
+    const double plain = time_grouping_ms(pl, inc.run(), inputs, 1,
+                                          cfg.samples, cfg.runs);
+
+    const InlineResult il = inline_pointwise(pl);
+    const CostModel model2(*il.pipeline, cfg.machine);
+    IncFusion inc2(*il.pipeline, model2);
+    const double inl = time_grouping_ms(*il.pipeline, inc2.run(), inputs, 1,
+                                        cfg.samples, cfg.runs);
+
+    std::printf("%-20s %7d %9d | %12.2f %12.2f %8.2fx\n", info.title.c_str(),
+                pl.num_stages(), il.stages_inlined, plain, inl, plain / inl);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\n# 'inlined' = stages substituted into consumers before scheduling;\n"
+      "# outputs remain bit-identical (tests/test_inlining.cpp).\n");
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Reproduces paper Table 3: execution times (ms) of all six benchmarks under
+// H-manual, H-auto, PolyMage-A, and PolyMageDP schedules at 1 and 16
+// threads, with the Intel Xeon (Haswell) machine model driving every cost
+// model, and the speedups of PolyMageDP over the three baselines.
+#include "table_runtime_common.hpp"
+
+using namespace fusedp;
+using namespace fusedp::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const BenchConfig cfg =
+      BenchConfig::from_cli(cli, MachineModel::xeon_haswell());
+  cfg.print_header(
+      "Table 3: execution times on the Intel Xeon Haswell machine model");
+  const std::vector<BenchmarkResult> results = run_all_benchmarks(cfg);
+  print_execution_table(results, cfg);
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Reproduces paper Table 4: as Table 3, but with the AMD Opteron machine
+// model (16 KB L1, 1 MB effective L2, IMTS=128, Opteron weight set) driving
+// the schedulers' cost models.
+#include "table_runtime_common.hpp"
+
+using namespace fusedp;
+using namespace fusedp::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const BenchConfig cfg =
+      BenchConfig::from_cli(cli, MachineModel::amd_opteron());
+  cfg.print_header(
+      "Table 4: execution times on the AMD Opteron machine model");
+  const std::vector<BenchmarkResult> results = run_all_benchmarks(cfg);
+  print_execution_table(results, cfg);
+  return 0;
+}

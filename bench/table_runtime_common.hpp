@@ -1,0 +1,71 @@
+// Shared driver for Tables 3/4 and Figure 7: runs all four schedulers on
+// all six benchmarks at 1 and N threads.
+#pragma once
+
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+#include "runtime/executor.hpp"
+
+namespace fusedp::bench {
+
+struct BenchmarkResult {
+  std::string title;
+  // ms, indexed by scheduler then {0: 1 thread, 1: N threads}.
+  std::map<Scheduler, double> t1;
+  std::map<Scheduler, double> tn;
+};
+
+inline std::vector<BenchmarkResult> run_all_benchmarks(const BenchConfig& cfg) {
+  std::vector<BenchmarkResult> results;
+  const Scheduler schedulers[] = {Scheduler::kHManual, Scheduler::kHAuto,
+                                  Scheduler::kPolyMageA,
+                                  Scheduler::kPolyMageDp};
+  for (const auto& info : benchmark_list()) {
+    const PipelineSpec spec = make_benchmark(info.key, cfg.scale);
+    const Pipeline& pl = *spec.pipeline;
+    const CostModel model(pl, cfg.machine);
+    const std::vector<Buffer> inputs = spec.make_inputs();
+    BenchmarkResult r;
+    r.title = info.title;
+    for (Scheduler s : schedulers) {
+      const Grouping g = schedule(s, spec, model, cfg, cfg.threads);
+      r.t1[s] = time_grouping_ms(pl, g, inputs, 1, cfg.samples, cfg.runs);
+      r.tn[s] = time_grouping_ms(pl, g, inputs, cfg.threads, cfg.samples,
+                                 cfg.runs);
+      std::fprintf(stderr, "  %-18s %-12s 1T %8.2f ms   %dT %8.2f ms\n",
+                   info.title.c_str(), scheduler_name(s), r.t1[s],
+                   cfg.threads, r.tn[s]);
+    }
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+inline void print_execution_table(const std::vector<BenchmarkResult>& results,
+                                  const BenchConfig& cfg) {
+  std::printf("%-20s | %8s %8s | %8s %8s | %8s %8s | %8s %8s | %s\n",
+              "Benchmark", "Hman-1", "Hman-N", "Haut-1", "Haut-N", "PMA-1",
+              "PMA-N", "PMDP-1", "PMDP-N",
+              "speedup of PolyMageDP-N over (Hman, Haut, PMA)");
+  for (const BenchmarkResult& r : results) {
+    const double dp = r.tn.at(Scheduler::kPolyMageDp);
+    std::printf(
+        "%-20s | %8.2f %8.2f | %8.2f %8.2f | %8.2f %8.2f | %8.2f %8.2f | "
+        "%.2fx %.2fx %.2fx\n",
+        r.title.c_str(), r.t1.at(Scheduler::kHManual),
+        r.tn.at(Scheduler::kHManual), r.t1.at(Scheduler::kHAuto),
+        r.tn.at(Scheduler::kHAuto), r.t1.at(Scheduler::kPolyMageA),
+        r.tn.at(Scheduler::kPolyMageA), r.t1.at(Scheduler::kPolyMageDp), dp,
+        r.tn.at(Scheduler::kHManual) / dp, r.tn.at(Scheduler::kHAuto) / dp,
+        r.tn.at(Scheduler::kPolyMageA) / dp);
+  }
+  std::printf(
+      "\n# times in ms at 1 and N=%d threads; this container has a single\n"
+      "# hardware core, so N-thread rows measure oversubscribed execution\n"
+      "# (see EXPERIMENTS.md for interpretation).\n",
+      cfg.threads);
+}
+
+}  // namespace fusedp::bench

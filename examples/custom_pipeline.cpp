@@ -1,0 +1,93 @@
+// End-to-end walkthrough of the library on a hand-built pipeline: an
+// edge-enhancement filter with mirror borders, pointwise inlining, DP
+// scheduling, schedule save/load, pooled storage, and PPM output.
+//
+//   ./custom_pipeline [--height=512] [--width=768] [--threads=4]
+#include <cstdio>
+
+#include "fusedp.hpp"
+#include "fusion/inlining.hpp"
+#include "fusion/serialize.hpp"
+#include "support/cli.hpp"
+#include "support/timing.hpp"
+
+using namespace fusedp;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::int64_t h = cli.get_int("height", 512);
+  const std::int64_t w = cli.get_int("width", 768);
+  const int threads = static_cast<int>(cli.get_int("threads", 4));
+
+  // --- 1. Describe the pipeline ------------------------------------------
+  Pipeline pl("edges");
+  const int img = pl.add_input("img", {3, h, w});
+
+  StageBuilder gray(pl, pl.add_stage("gray", {h, w}));
+  {
+    auto chan = [&](std::int64_t c) {
+      return gray.load({true, img}, {AxisMap::constant(c), AxisMap::affine(0),
+                                     AxisMap::affine(1)});
+    };
+    gray.define(0.299f * chan(0) + 0.587f * chan(1) + 0.114f * chan(2));
+  }
+
+  StageBuilder gx(pl, pl.add_stage("gradx", {h, w}));
+  gx.set_border(Border::kMirror);  // no edge darkening
+  gx.define(gx.at(gray.stage(), {0, 1}) - gx.at(gray.stage(), {0, -1}));
+
+  StageBuilder gy(pl, pl.add_stage("grady", {h, w}));
+  gy.set_border(Border::kMirror);
+  gy.define(gy.at(gray.stage(), {1, 0}) - gy.at(gray.stage(), {-1, 0}));
+
+  StageBuilder mag(pl, pl.add_stage("magnitude", {h, w}));
+  mag.define(sqrt(mag.at(gx.stage(), {0, 0}) * mag.at(gx.stage(), {0, 0}) +
+                  mag.at(gy.stage(), {0, 0}) * mag.at(gy.stage(), {0, 0})));
+
+  StageBuilder out(pl, pl.add_stage("enhanced", {3, h, w}));
+  out.define(clamp(out.in(img, {0, 0, 0}) +
+                       1.5f * out.at(mag.stage(), {0, 0}),
+                   0.0f, 1.0f));
+  pl.finalize();
+
+  // --- 2. Inline trivial stages, then schedule with the DP model ----------
+  const InlineResult inlined = inline_pointwise(pl);
+  const Pipeline& opt = *inlined.pipeline;
+  std::printf("inlined %d of %d stages\n", inlined.stages_inlined,
+              pl.num_stages());
+
+  const CostModel model(opt, MachineModel::host());
+  IncFusion fusion(opt, model);
+  const Grouping schedule = fusion.run();
+  std::printf("%s\n", schedule.to_string(opt).c_str());
+
+  // --- 3. Schedules are plain text: save, reload, and use the copy --------
+  const std::string sched_file = "edges.sched";
+  save_grouping(opt, schedule, sched_file);
+  const Grouping loaded = load_grouping(opt, sched_file);
+  std::printf("schedule round-tripped through %s\n", sched_file.c_str());
+
+  // --- 4. Execute with pooled storage and verify --------------------------
+  std::vector<Buffer> inputs;
+  inputs.push_back(make_synthetic_image({3, h, w}, 41));
+  ExecOptions opts;
+  opts.num_threads = threads;
+  opts.pooled_storage = true;
+  Executor ex(opt, loaded, opts);
+  Workspace ws;
+  ex.run(inputs, ws);
+  WallTimer t;
+  ex.run(inputs, ws);
+  std::printf("run: %.2f ms on %d threads\n", t.millis(), threads);
+
+  const std::vector<Buffer> ref = run_reference(opt, inputs);
+  const Buffer& got = ws.stage_buffer(opt.outputs()[0]);
+  const Buffer& want = ref[static_cast<std::size_t>(opt.outputs()[0])];
+  for (std::int64_t i = 0; i < got.volume(); ++i)
+    FUSEDP_CHECK(got.data()[i] == want.data()[i], "verification failed");
+  std::printf("verified against the scalar reference\n");
+
+  write_ppm("edges.ppm", got);
+  std::printf("wrote edges.ppm\n");
+  return 0;
+}

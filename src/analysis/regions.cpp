@@ -1,0 +1,202 @@
+#include "analysis/regions.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace fusedp {
+
+namespace {
+
+// Clamps both endpoints into `domain` without ever producing an empty box
+// (unlike intersect): loads clamp out-of-domain coordinates to the border,
+// so the border element itself must stay inside the clamped region.
+Box clamp_endpoints(const Box& b, const Box& domain) {
+  Box r = b;
+  for (int d = 0; d < r.rank; ++d) {
+    r.lo[d] = std::clamp(r.lo[d], domain.lo[d], domain.hi[d]);
+    r.hi[d] = std::clamp(r.hi[d], domain.lo[d], domain.hi[d]);
+  }
+  return r;
+}
+
+// Image of interval [a, b] under the access's border folding, per axis —
+// the region a producer must actually provide.  Always a superset of what
+// the evaluator touches; falls back to the full domain extent when the
+// interval reaches beyond a single mirror fold or crosses a wrap seam.
+Box fold_box(const Box& b, const Box& domain, Border border) {
+  if (border == Border::kClamp || border == Border::kZero)
+    return clamp_endpoints(b, domain);
+  Box r = b;
+  for (int d = 0; d < r.rank; ++d) {
+    const std::int64_t lo = domain.lo[d], hi = domain.hi[d];
+    const std::int64_t n = hi - lo + 1;
+    const std::int64_t a = b.lo[d], z = b.hi[d];
+    if (a >= lo && z <= hi) continue;  // interior
+    if (border == Border::kWrap) {
+      if (z - a + 1 >= n || floor_div(a - lo, n) != floor_div(z - lo, n)) {
+        r.lo[d] = lo;
+        r.hi[d] = hi;  // covers the seam: conservatively the whole axis
+      } else {
+        r.lo[d] = fold_coord(a, lo, hi, border);
+        r.hi[d] = fold_coord(z, lo, hi, border);
+      }
+      continue;
+    }
+    // Mirror (reflect-101).
+    if (a < lo - (n - 1) || z > hi + (n - 1)) {
+      r.lo[d] = lo;
+      r.hi[d] = hi;  // beyond one fold
+      continue;
+    }
+    std::int64_t flo = std::numeric_limits<std::int64_t>::max();
+    std::int64_t fhi = std::numeric_limits<std::int64_t>::min();
+    auto add = [&](std::int64_t x, std::int64_t y) {
+      flo = std::min(flo, x);
+      fhi = std::max(fhi, y);
+    };
+    if (a <= hi && z >= lo) add(std::max(a, lo), std::min(z, hi));
+    if (a < lo) add(2 * lo - std::min(z, lo - 1), 2 * lo - a);
+    if (z > hi) add(2 * hi - z, 2 * hi - std::max(a, hi + 1));
+    r.lo[d] = std::clamp(flo, lo, hi);
+    r.hi[d] = std::clamp(fhi, lo, hi);
+  }
+  return r;
+}
+
+}  // namespace
+
+Box map_access_box(const Pipeline& pl, const Access& access,
+                   const Box& consumer_box) {
+  const Box& pd = pl.producer_domain(access.producer);
+  Box out;
+  out.rank = pd.rank;
+  for (int k = 0; k < pd.rank; ++k) {
+    const AxisMap& m = access.axes[static_cast<std::size_t>(k)];
+    switch (m.kind) {
+      case AxisMap::Kind::kConstant:
+        out.lo[k] = m.offset;
+        out.hi[k] = m.offset;
+        break;
+      case AxisMap::Kind::kDynamic:
+        out.lo[k] = pd.lo[k];
+        out.hi[k] = pd.hi[k];
+        break;
+      case AxisMap::Kind::kAffine: {
+        if (m.num == 0) {  // broadcast: single plane at `offset`
+          out.lo[k] = m.offset;
+          out.hi[k] = m.offset;
+          break;
+        }
+        const std::int64_t clo = consumer_box.lo[m.src_dim];
+        const std::int64_t chi = consumer_box.hi[m.src_dim];
+        out.lo[k] = floor_div(clo * m.num + m.pre, m.den) + m.offset;
+        out.hi[k] = floor_div(chi * m.num + m.pre, m.den) + m.offset;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Box owned_box(const Stage& s, const AlignResult& align, const Box& tile) {
+  const StageAlign& sa = align.stages[static_cast<std::size_t>(s.id)];
+  Box b;
+  b.rank = s.rank();
+  for (int d = 0; d < s.rank(); ++d) {
+    const DimAlign& da = sa.dim[static_cast<std::size_t>(d)];
+    if (da.cls < 0 || da.cls >= tile.rank) {
+      // Dimension not represented in the tile grid: own the full extent.
+      b.lo[d] = s.domain.lo[d];
+      b.hi[d] = s.domain.hi[d];
+      continue;
+    }
+    const std::int64_t tlo = tile.lo[da.cls];
+    const std::int64_t thi = tile.hi[da.cls];
+    // x owned iff floor(x*sn/sd) in [tlo, thi]:
+    //   x >= ceil(tlo*sd / sn) and x < ceil((thi+1)*sd / sn).
+    b.lo[d] = ceil_div(tlo * da.sd, da.sn);
+    b.hi[d] = ceil_div((thi + 1) * da.sd, da.sn) - 1;
+  }
+  return b;
+}
+
+bool is_liveout_of(const Pipeline& pl, NodeSet group, int stage_id) {
+  if (pl.stage(stage_id).is_output) return true;
+  const NodeSet consumers = pl.graph().successors(stage_id);
+  return !(consumers - group).empty();
+}
+
+GroupRegions compute_group_regions(const Pipeline& pl, NodeSet group,
+                                   const AlignResult& align, const Box& tile,
+                                   bool clamp_to_domain,
+                                   const std::vector<int>* order_in) {
+  GroupRegions out;
+  out.stages.assign(static_cast<std::size_t>(pl.num_stages()), StageRegions{});
+
+  const std::vector<int> order =
+      order_in ? *order_in : pl.graph().topo_order_of(group);
+
+  // Seed with owned boxes.
+  for (int s : order) {
+    StageRegions& r = out.stages[static_cast<std::size_t>(s)];
+    r.owned = owned_box(pl.stage(s), align, tile);
+    if (clamp_to_domain) r.owned = r.owned.intersect(pl.stage(s).domain);
+    r.required = r.owned;
+  }
+
+  // Backward propagation: in reverse topological order, expand each
+  // producer's required region by what its in-group consumers read.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const int c = *it;
+    const Stage& cs = pl.stage(c);
+    const Box& creq = out.stages[static_cast<std::size_t>(c)].required;
+    if (creq.empty()) continue;
+    for (const Access& a : cs.loads) {
+      if (a.producer.is_input || !group.contains(a.producer.id)) continue;
+      Box need = map_access_box(pl, a, creq);
+      if (clamp_to_domain)
+        need = fold_box(need, pl.stage(a.producer.id).domain, a.border);
+      StageRegions& pr = out.stages[static_cast<std::size_t>(a.producer.id)];
+      pr.required = pr.required.hull(need);
+    }
+  }
+
+  // Volumes.  The live-in volume counts, per (consumer stage, external
+  // producer), the hull of everything read — i.e. the distinct data a tile
+  // pulls in, not one copy per stencil tap.
+  group.for_each([&](int s) {
+    const StageRegions& r = out.stages[static_cast<std::size_t>(s)];
+    out.computed_volume += r.required.volume();
+    out.owned_volume += r.owned.volume();
+    if (is_liveout_of(pl, group, s)) out.liveout_volume += r.owned.volume();
+    const Stage& st = pl.stage(s);
+    // Hull per external producer (inputs keyed negatively).
+    std::int64_t hull_key[2 * kMaxNodes];
+    Box hulls[2 * kMaxNodes];
+    int nhulls = 0;
+    for (const Access& a : st.loads) {
+      if (!a.producer.is_input && group.contains(a.producer.id)) continue;
+      Box need = map_access_box(pl, a, r.required);
+      if (clamp_to_domain)
+        need = fold_box(need, pl.producer_domain(a.producer), a.border)
+                   .intersect(pl.producer_domain(a.producer));
+      const std::int64_t key =
+          a.producer.is_input ? -(a.producer.id + 1) : a.producer.id;
+      int slot = -1;
+      for (int i = 0; i < nhulls; ++i)
+        if (hull_key[i] == key) slot = i;
+      if (slot < 0) {
+        slot = nhulls++;
+        hull_key[slot] = key;
+        hulls[slot] = need;
+      } else {
+        hulls[slot] = hulls[slot].hull(need);
+      }
+    }
+    for (int i = 0; i < nhulls; ++i) out.livein_volume += hulls[i].volume();
+  });
+  out.overlap_volume = out.computed_volume - out.owned_volume;
+  return out;
+}
+
+}  // namespace fusedp

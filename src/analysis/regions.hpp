@@ -1,0 +1,63 @@
+// Required-region propagation for overlapped tiling (paper Figure 2).
+//
+// Given a group, its alignment, and a tile box in the group's reference
+// space, this computes for every member stage:
+//   owned(s)    — the slice of s's domain this tile is responsible for
+//                 (owned boxes of adjacent tiles exactly partition the
+//                 domain), and
+//   required(s) — owned(s) expanded by everything in-group consumers of s
+//                 read (the trapezoid: owned + halo).
+// required − owned is the redundant recomputation that makes tiles
+// independent; its total volume is Algorithm 2's OVERLAPSIZE.
+#pragma once
+
+#include <vector>
+
+#include "analysis/scaling.hpp"
+#include "graph/nodeset.hpp"
+#include "ir/pipeline.hpp"
+
+namespace fusedp {
+
+// Producer box read by `access` when the consumer evaluates `consumer_box`.
+// Dynamic axes conservatively require the full producer extent along that
+// axis; constant axes require a single plane.
+Box map_access_box(const Pipeline& pl, const Access& access,
+                   const Box& consumer_box);
+
+struct StageRegions {
+  Box owned;     // in the stage's own coordinates
+  Box required;  // superset of owned
+};
+
+struct GroupRegions {
+  // Indexed by stage id; valid only for group members.
+  std::vector<StageRegions> stages;
+  std::int64_t computed_volume = 0;   // sum of required volumes
+  std::int64_t owned_volume = 0;      // sum of owned volumes
+  std::int64_t overlap_volume = 0;    // computed - owned (OVERLAPSIZE)
+  std::int64_t livein_volume = 0;     // external data read by this tile
+  std::int64_t liveout_volume = 0;    // owned volume of live-out stages
+};
+
+// `tile` is a box in reference space (rank == align.num_classes).  When
+// `clamp_to_domain` is true boxes are clipped to stage domains (execution);
+// the cost model passes false so an interior tile's halo is measured without
+// boundary effects.
+// `order`, when provided, must be a topological order of the group's members
+// (saves recomputing it on the executor's per-tile hot path).
+GroupRegions compute_group_regions(const Pipeline& pl, NodeSet group,
+                                   const AlignResult& align, const Box& tile,
+                                   bool clamp_to_domain,
+                                   const std::vector<int>* order = nullptr);
+
+// Owned box of stage `s` for `tile`, before clamping: per stage dim d with
+// alignment (cls, sn, sd), x is owned iff floor(x*sn/sd) is inside the
+// tile's class-cls range.
+Box owned_box(const Stage& s, const AlignResult& align, const Box& tile);
+
+// A stage is live-out of `group` if it is a pipeline output or has a
+// consumer outside the group.
+bool is_liveout_of(const Pipeline& pl, NodeSet group, int stage_id);
+
+}  // namespace fusedp

@@ -1,0 +1,77 @@
+#include "analysis/reuse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace fusedp {
+
+ReuseInfo compute_reuse(const Pipeline& pl, NodeSet group,
+                        const AlignResult& align) {
+  ReuseInfo info;
+  const int ncls = align.num_classes;
+  info.dim_reuse.assign(static_cast<std::size_t>(ncls), 1.0);
+  info.dim_sizes = align.class_extent;
+
+  // Distinct access offsets along each (consumer stage, producer, class).
+  // Key: (consumer, producer-id-with-input-flag, class); the offset identity
+  // includes both the post-floor offset and the intra-floor `pre`.
+  std::map<std::tuple<int, int, int>,
+           std::set<std::pair<std::int64_t, std::int64_t>>>
+      offsets;
+  group.for_each([&](int c) {
+    const Stage& cs = pl.stage(c);
+    const StageAlign& ca = align.stages[static_cast<std::size_t>(c)];
+    for (const Access& a : cs.loads) {
+      const int pid = a.producer.is_input ? -(a.producer.id + 1) : a.producer.id;
+      for (const AxisMap& m : a.axes) {
+        if (m.kind != AxisMap::Kind::kAffine) continue;
+        const int cls = ca.dim[static_cast<std::size_t>(m.src_dim)].cls;
+        if (cls < 0) continue;
+        offsets[{c, pid, cls}].insert({m.offset, m.pre});
+      }
+    }
+  });
+  for (const auto& [key, offs] : offsets) {
+    const int cls = std::get<2>(key);
+    info.dim_reuse[static_cast<std::size_t>(cls)] +=
+        static_cast<double>(offs.size() - 1);
+  }
+  // Spatial reuse credit for the innermost (contiguous) dimension.
+  if (ncls > 0) info.dim_reuse[static_cast<std::size_t>(ncls - 1)] += 1.0;
+
+  // dimSizeStandardDeviation: mean over classes of the relative spread of
+  // member aligned extents (0 when all fused stages have matching extents).
+  double total = 0.0;
+  int counted = 0;
+  for (int cls = 0; cls < ncls; ++cls) {
+    std::vector<double> exts;
+    group.for_each([&](int s) {
+      const Stage& st = pl.stage(s);
+      const StageAlign& sa = align.stages[static_cast<std::size_t>(s)];
+      for (int d = 0; d < st.rank(); ++d) {
+        const DimAlign& da = sa.dim[static_cast<std::size_t>(d)];
+        if (da.cls != cls) continue;
+        exts.push_back(static_cast<double>(st.domain.extent(d)) *
+                       static_cast<double>(da.sn) /
+                       static_cast<double>(da.sd));
+      }
+    });
+    if (exts.size() < 2) continue;
+    double m = 0.0;
+    for (double e : exts) m += e;
+    m /= static_cast<double>(exts.size());
+    double var = 0.0;
+    for (double e : exts) var += (e - m) * (e - m);
+    var /= static_cast<double>(exts.size());
+    if (m > 0) {
+      total += std::sqrt(var) / m;
+      ++counted;
+    }
+  }
+  info.dim_size_stddev = counted ? total / counted : 0.0;
+  return info;
+}
+
+}  // namespace fusedp

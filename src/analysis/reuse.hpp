@@ -1,0 +1,28 @@
+// Per-dimension reuse scores (paper Section 4.2).
+//
+// "Reuse along a particular dimension (both temporal and spatial, group and
+// self) is determined by inspecting data accesses" [Wolf & Lam].  We score
+// each reference-space dimension of a group by the stencil extent of the
+// accesses along it: a producer read at k distinct offsets along a dimension
+// contributes k-1 reuse (each element is consumed k times as the consumer
+// slides), and every dimension gets a base score of 1.  The innermost
+// dimension additionally earns spatial-reuse credit since consecutive
+// iterations touch the same cache line.
+#pragma once
+
+#include <vector>
+
+#include "analysis/scaling.hpp"
+
+namespace fusedp {
+
+struct ReuseInfo {
+  std::vector<double> dim_reuse;          // per alignment class, >= 1
+  std::vector<std::int64_t> dim_sizes;    // aligned extents per class
+  double dim_size_stddev = 0.0;           // Algorithm 2's dimSizeStandardDeviation
+};
+
+ReuseInfo compute_reuse(const Pipeline& pl, NodeSet group,
+                        const AlignResult& align);
+
+}  // namespace fusedp

@@ -1,0 +1,232 @@
+#include "analysis/scaling.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fusedp {
+
+namespace {
+
+// Rational number with small components; kept reduced.
+struct Rat {
+  std::int64_t n = 1;
+  std::int64_t d = 1;
+  static Rat make(std::int64_t n, std::int64_t d) {
+    FUSEDP_DCHECK(n > 0 && d > 0, "scales must be positive");
+    const std::int64_t g = std::gcd(n, d);
+    return Rat{n / g, d / g};
+  }
+  Rat mul(Rat o) const { return make(n * o.n, d * o.d); }
+  Rat div(Rat o) const { return make(n * o.d, d * o.n); }
+  bool operator==(const Rat&) const = default;
+};
+
+// Union-find with multiplicative weights: weight_[e] is the factor w such
+// that x_root = x_e * w.
+class ScaledUnionFind {
+ public:
+  explicit ScaledUnionFind(int n)
+      : parent_(static_cast<std::size_t>(n)),
+        weight_(static_cast<std::size_t>(n)) {
+    for (int i = 0; i < n; ++i) parent_[static_cast<std::size_t>(i)] = i;
+  }
+
+  // Returns (root, factor w with x_root = x_e * w).  No path compression —
+  // element counts are tiny (<= 64 stages * 4 dims) and chains stay short.
+  std::pair<int, Rat> find(int e) const {
+    int r = e;
+    Rat w{1, 1};
+    while (parent_[static_cast<std::size_t>(r)] != r) {
+      w = w.mul(weight_[static_cast<std::size_t>(r)]);
+      r = parent_[static_cast<std::size_t>(r)];
+    }
+    return {r, w};
+  }
+
+  // Enforce x_b = x_a * f.  Returns false on conflict.
+  bool unite(int a, int b, Rat f) {
+    auto [ra, wa] = find(a);
+    auto [rb, wb] = find(b);
+    if (ra == rb) {
+      // x_ra = x_a * wa and x_ra = x_b * wb = x_a * f * wb.
+      return wa == f.mul(wb);
+    }
+    // Attach rb under ra: x_ra = x_a*wa; x_rb = x_b*wb = x_a*f*wb
+    // => x_rb * (wa / (f*wb)) = x_ra.
+    parent_[static_cast<std::size_t>(rb)] = ra;
+    weight_[static_cast<std::size_t>(rb)] = wa.div(f.mul(wb));
+    return true;
+  }
+
+ private:
+  std::vector<int> parent_;
+  std::vector<Rat> weight_;
+};
+
+int elem(int stage, int dim) { return stage * kMaxDims + dim; }
+
+}  // namespace
+
+AlignResult solve_alignment(const Pipeline& pl, NodeSet group) {
+  AlignResult res;
+  res.stages.assign(static_cast<std::size_t>(pl.num_stages()), StageAlign{});
+  if (group.empty()) return res;
+
+  // Mixed reduction groups are never fusable.
+  bool has_reduction = false;
+  group.for_each([&](int s) {
+    if (pl.stage(s).kind == StageKind::kReduction) has_reduction = true;
+  });
+  if (has_reduction && group.size() > 1) {
+    res.hard_conflict = true;
+    return res;
+  }
+
+  ScaledUnionFind uf(pl.num_stages() * kMaxDims);
+  bool ok = true;
+  group.for_each([&](int c) {
+    const Stage& cs = pl.stage(c);
+    for (const Access& a : cs.loads) {
+      if (a.producer.is_input || !group.contains(a.producer.id)) continue;
+      const int p = a.producer.id;
+      for (int k = 0; k < static_cast<int>(a.axes.size()); ++k) {
+        const AxisMap& m = a.axes[static_cast<std::size_t>(k)];
+        if (m.kind == AxisMap::Kind::kDynamic) {
+          ok = false;  // data-dependent in-group access
+          return;
+        }
+        if (m.kind == AxisMap::Kind::kConstant) continue;
+        if (m.num == 0) continue;  // broadcast along this axis
+        // x_p = x_c * num/den  (offsets don't affect alignment).
+        if (!uf.unite(elem(c, m.src_dim), elem(p, k),
+                      Rat::make(m.num, m.den)))
+          ok = false;
+      }
+      if (!ok) return;
+    }
+  });
+  if (!ok) {
+    res.hard_conflict = true;
+    return res;
+  }
+
+  // Reference stage: max rank, then max volume, then smallest id.
+  int ref = -1;
+  group.for_each([&](int s) {
+    if (ref < 0) {
+      ref = s;
+      return;
+    }
+    const Stage& a = pl.stage(s);
+    const Stage& b = pl.stage(ref);
+    if (a.rank() > b.rank() ||
+        (a.rank() == b.rank() && a.volume() > b.volume()))
+      ref = s;
+  });
+  res.ref_stage = ref;
+
+  // Collect classes (union-find roots) and order them by their members'
+  // position from the innermost end: a class whose members are innermost
+  // dims (from-end -1, unit stride) must sort LAST, since the model pins
+  // INNERMOSTTILESIZE and the executor runs rows along the final class.
+  // Ordering by discovery or by reference-stage dim alone is wrong when a
+  // group carries several "loose" classes (e.g. channel dims decoupled by
+  // coordinate-based selects).
+  std::vector<std::pair<int, int>> members;  // (stage, dim) in group
+  group.for_each([&](int s) {
+    for (int d = 0; d < pl.stage(s).rank(); ++d)
+      members.emplace_back(s, d);
+  });
+  struct ClassInfo {
+    int root;
+    int from_end;  // max over members of (dim - rank); -1 = innermost
+    int ref_dim;   // smallest reference-stage dim in the class, or kMaxDims
+  };
+  std::vector<ClassInfo> classes;
+  for (auto [s, d] : members) {
+    auto [root, w] = uf.find(elem(s, d));
+    (void)w;
+    const int from_end = d - pl.stage(s).rank();
+    const int ref_dim = s == ref ? d : kMaxDims;
+    bool found = false;
+    for (ClassInfo& c : classes) {
+      if (c.root != root) continue;
+      c.from_end = std::max(c.from_end, from_end);
+      c.ref_dim = std::min(c.ref_dim, ref_dim);
+      found = true;
+    }
+    if (!found) classes.push_back({root, from_end, ref_dim});
+  }
+  std::stable_sort(classes.begin(), classes.end(),
+                   [](const ClassInfo& a, const ClassInfo& b) {
+                     if (a.from_end != b.from_end) return a.from_end < b.from_end;
+                     return a.ref_dim < b.ref_dim;
+                   });
+  const int ncls = static_cast<int>(classes.size());
+  if (ncls > kMaxDims) return res;  // cannot build a reference space
+
+  // Canonical member per class: the one with maximal aligned extent; its
+  // coordinates define the class coordinate.  We compute every member's
+  // weight-to-root, then express scales relative to the canonical member.
+  struct MemberW {
+    int s, d;
+    std::int64_t wn, wd;  // x_root = x * wn/wd
+  };
+  std::vector<std::vector<MemberW>> per_class(static_cast<std::size_t>(ncls));
+  for (auto [s, d] : members) {
+    auto [root, w] = uf.find(elem(s, d));
+    int ci = -1;
+    for (std::size_t i = 0; i < classes.size(); ++i)
+      if (classes[i].root == root) ci = static_cast<int>(i);
+    FUSEDP_DCHECK(ci >= 0, "class not found");
+    per_class[static_cast<std::size_t>(ci)].push_back({s, d, w.n, w.d});
+  }
+
+  res.num_classes = ncls;
+  res.class_extent.assign(static_cast<std::size_t>(ncls), 1);
+  res.class_granularity.assign(static_cast<std::size_t>(ncls), 1);
+  res.class_common.assign(static_cast<std::size_t>(ncls), false);
+  for (int ci = 0; ci < ncls; ++ci) {
+    auto& mem = per_class[static_cast<std::size_t>(ci)];
+    if (mem.empty()) continue;
+    NodeSet member_stages;
+    for (const auto& m : mem) member_stages = member_stages.with(m.s);
+    res.class_common[static_cast<std::size_t>(ci)] =
+        member_stages.size() == group.size();
+    // Pick canonical: maximize extent * wn/wd (compare via cross products).
+    const MemberW* canon = &mem[0];
+    auto scaled_extent = [&](const MemberW& m) {
+      return static_cast<double>(pl.stage(m.s).domain.extent(m.d)) *
+             static_cast<double>(m.wn) / static_cast<double>(m.wd);
+    };
+    for (const MemberW& m : mem)
+      if (scaled_extent(m) > scaled_extent(*canon)) canon = &m;
+    std::int64_t ext = 0;
+    std::int64_t gran = 1;
+    for (const MemberW& m : mem) {
+      // sigma_m = w_m / w_canon : ref = floor(x * sn / sd).
+      const std::int64_t sn0 = m.wn * canon->wd;
+      const std::int64_t sd0 = m.wd * canon->wn;
+      const std::int64_t g = std::gcd(sn0, sd0);
+      const std::int64_t sn = sn0 / g, sd = sd0 / g;
+      DimAlign& da = res.stages[static_cast<std::size_t>(m.s)]
+                         .dim[static_cast<std::size_t>(m.d)];
+      da.cls = ci;
+      da.sn = sn;
+      da.sd = sd;
+      ext = std::max(ext, (pl.stage(m.s).domain.extent(m.d) * sn + sd - 1) / sd);
+      gran = std::lcm(gran, sd);
+    }
+    res.class_extent[static_cast<std::size_t>(ci)] = std::max<std::int64_t>(ext, 1);
+    res.class_granularity[static_cast<std::size_t>(ci)] = gran;
+  }
+
+  res.constant = true;
+  return res;
+}
+
+bool constant_dependence_vectors(const Pipeline& pl, NodeSet group) {
+  return solve_alignment(pl, group).constant;
+}
+
+}  // namespace fusedp

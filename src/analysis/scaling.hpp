@@ -1,0 +1,72 @@
+// Scaling and alignment of stage dimensions within a fusion group
+// (paper Section 2.2).
+//
+// PolyMage can overlap-tile a group only if loops of its stages can be
+// *scaled* and *aligned* so that all inter-stage dependences become constant
+// (problem-size independent).  We solve this with a union-find over
+// (stage, dim) pairs carrying rational relative scales: an affine access
+// x_p = floor(x_c * num / den) + off unifies (consumer, src_dim) with
+// (producer, dim) at factor num/den.  A conflict (two paths implying
+// different factors), a data-dependent (Dynamic) in-group access, or more
+// alignment classes than kMaxDims makes the group non-constant and therefore
+// unfusable (COST returns infinity, Algorithm 2 line 2).
+//
+// Each alignment class becomes one dimension of the group's *reference
+// space* — the iteration space the tile grid is laid over.  For stage s and
+// its dimension d, `sn/sd` gives the stretch from stage coordinates into
+// reference coordinates: ref = floor(x * sn / sd).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "graph/nodeset.hpp"
+#include "ir/pipeline.hpp"
+
+namespace fusedp {
+
+struct DimAlign {
+  int cls = -1;            // reference-space dimension (alignment class)
+  std::int64_t sn = 1;     // ref = floor(x * sn / sd)
+  std::int64_t sd = 1;
+};
+
+struct StageAlign {
+  std::array<DimAlign, kMaxDims> dim;
+};
+
+struct AlignResult {
+  bool constant = false;   // dependences can be made constant
+  // True only for *monotone* failures — a dynamic in-group access or a
+  // scale conflict — which no superset group can repair.  (constant may be
+  // false for repairable reasons, e.g. too many alignment classes in a
+  // not-yet-connected group.)
+  bool hard_conflict = false;
+  int num_classes = 0;     // rank of the reference space
+  int ref_stage = -1;      // stage whose dims anchor class ordering
+  // Indexed by stage id (pipeline-wide); valid only for group members.
+  std::vector<StageAlign> stages;
+  // Aligned extent of each class: max over members of extent * sn / sd.
+  std::vector<std::int64_t> class_extent;
+  // Per class: LCM of member `sd` values.  Tile sizes are rounded up to this
+  // so that tile boundaries land on integer coordinates of every member
+  // (owned boxes then exactly partition every stage's domain).
+  std::vector<std::int64_t> class_granularity;
+  // Per class: true iff every member stage has a dimension in it.  Classes
+  // missing from some stage (e.g. the channel axis of a group mixing rank-2
+  // and rank-3 stages) must stay untiled — otherwise the class-less stages
+  // would be redundantly recomputed once per tile along that class.
+  std::vector<bool> class_common;
+};
+
+// Solves alignment for the group `group` of `pl`.  Never throws on
+// non-alignable groups: returns constant == false.
+AlignResult solve_alignment(const Pipeline& pl, NodeSet group);
+
+// Convenience: Algorithm 2 line 2.  True iff the group's inter-stage
+// dependences can be made constant by scaling/alignment (and it contains no
+// dynamic in-group access and no reduction mixed with other stages).
+bool constant_dependence_vectors(const Pipeline& pl, NodeSet group);
+
+}  // namespace fusedp

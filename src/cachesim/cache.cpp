@@ -1,0 +1,56 @@
+#include "cachesim/cache.hpp"
+
+namespace fusedp {
+
+Cache::Cache(std::int64_t size_bytes, int ways, int line_bytes)
+    : size_(size_bytes), ways_(ways), line_(line_bytes) {
+  FUSEDP_CHECK(size_bytes > 0 && ways > 0 && line_bytes > 0,
+               "bad cache geometry");
+  FUSEDP_CHECK(size_bytes % (static_cast<std::int64_t>(ways) * line_bytes) == 0,
+               "cache size must be a multiple of ways * line");
+  sets_ = size_bytes / (static_cast<std::int64_t>(ways) * line_bytes);
+  FUSEDP_CHECK((sets_ & (sets_ - 1)) == 0, "set count must be a power of two");
+  reset();
+}
+
+void Cache::reset() {
+  const std::size_t n = static_cast<std::size_t>(sets_) *
+                        static_cast<std::size_t>(ways_);
+  tags_.assign(n, 0);
+  lru_.assign(n, 0);
+  valid_.assign(n, 0);
+  clock_ = 0;
+}
+
+bool Cache::access(std::uint64_t addr) {
+  const std::uint64_t block = addr / static_cast<std::uint64_t>(line_);
+  const std::uint64_t set = block & static_cast<std::uint64_t>(sets_ - 1);
+  const std::uint64_t tag = block >> __builtin_ctzll(
+                                static_cast<std::uint64_t>(sets_));
+  const std::size_t base = static_cast<std::size_t>(set) *
+                           static_cast<std::size_t>(ways_);
+  ++clock_;
+  int victim = 0;
+  std::uint64_t oldest = ~0ull;
+  for (int w = 0; w < ways_; ++w) {
+    const std::size_t i = base + static_cast<std::size_t>(w);
+    if (valid_[i] && tags_[i] == tag) {
+      lru_[i] = clock_;
+      return true;
+    }
+    if (!valid_[i]) {
+      victim = w;
+      oldest = 0;
+    } else if (lru_[i] < oldest) {
+      victim = w;
+      oldest = lru_[i];
+    }
+  }
+  const std::size_t v = base + static_cast<std::size_t>(victim);
+  tags_[v] = tag;
+  valid_[v] = 1;
+  lru_[v] = clock_;
+  return false;
+}
+
+}  // namespace fusedp

@@ -1,0 +1,92 @@
+// Set-associative LRU cache simulator.
+//
+// Table 5 of the paper reports L1/L2 hit and L2 miss fractions from hardware
+// counters; this environment has no PMU access, so we replay the executor's
+// exact memory-access streams through a two-level simulated hierarchy
+// instead (DESIGN.md, "Hardware substitution").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace fusedp {
+
+class Cache {
+ public:
+  // size/line in bytes; ways = associativity.  size must be divisible by
+  // line * ways.
+  Cache(std::int64_t size_bytes, int ways, int line_bytes = 64);
+
+  // True on hit; on miss the line is installed (allocate-on-miss for both
+  // reads and writes, write-back semantics).
+  bool access(std::uint64_t addr);
+
+  void reset();
+  std::int64_t size_bytes() const { return size_; }
+  int ways() const { return ways_; }
+  int line_bytes() const { return line_; }
+  std::int64_t num_sets() const { return sets_; }
+
+ private:
+  std::int64_t size_;
+  int ways_;
+  int line_;
+  std::int64_t sets_;
+  // tags_[set * ways + way]; lru_[...] holds a per-set logical clock.
+  std::vector<std::uint64_t> tags_;
+  std::vector<std::uint64_t> lru_;
+  std::vector<std::uint8_t> valid_;
+  std::uint64_t clock_ = 0;
+};
+
+struct HierarchyStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l2_hits = 0;   // L1 misses that hit in L2
+  std::uint64_t l2_misses = 0;
+
+  double l1_hit_frac() const {
+    return accesses ? static_cast<double>(l1_hits) / accesses : 0.0;
+  }
+  double l2_hit_frac() const {
+    return accesses ? static_cast<double>(l2_hits) / accesses : 0.0;
+  }
+  double l2_miss_frac() const {
+    return accesses ? static_cast<double>(l2_misses) / accesses : 0.0;
+  }
+};
+
+// Two-level inclusive-enough hierarchy: every access goes to L1; L1 misses
+// go to L2.
+class CacheHierarchy {
+ public:
+  CacheHierarchy(Cache l1, Cache l2) : l1_(std::move(l1)), l2_(std::move(l2)) {}
+
+  void access(std::uint64_t addr) {
+    ++stats_.accesses;
+    if (l1_.access(addr)) {
+      ++stats_.l1_hits;
+      return;
+    }
+    if (l2_.access(addr))
+      ++stats_.l2_hits;
+    else
+      ++stats_.l2_misses;
+  }
+
+  void reset() {
+    l1_.reset();
+    l2_.reset();
+    stats_ = {};
+  }
+  const HierarchyStats& stats() const { return stats_; }
+
+ private:
+  Cache l1_;
+  Cache l2_;
+  HierarchyStats stats_;
+};
+
+}  // namespace fusedp

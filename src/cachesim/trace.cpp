@@ -1,0 +1,184 @@
+#include "cachesim/trace.hpp"
+
+#include <algorithm>
+
+#include "runtime/plan.hpp"
+
+namespace fusedp {
+
+namespace {
+
+constexpr std::uint64_t kPageAlign = 4096;
+
+std::uint64_t align_up(std::uint64_t v) {
+  return (v + kPageAlign - 1) / kPageAlign * kPageAlign;
+}
+
+// Row-major flat offset of `c` within `box`.
+std::int64_t offset_in(const Box& box, const std::int64_t* c) {
+  std::int64_t off = 0;
+  for (int d = 0; d < box.rank; ++d)
+    off = off * box.extent(d) + (c[d] - box.lo[d]);
+  return off;
+}
+
+}  // namespace
+
+HierarchyStats simulate_grouping(const Pipeline& pl, const Grouping& grouping,
+                                 CacheHierarchy& hier,
+                                 const TraceOptions& opts) {
+  for (const Stage& s : pl.stages()) {
+    FUSEDP_CHECK(s.kind == StageKind::kMap,
+                 "trace simulation does not support reductions");
+    for (const Access& a : s.loads)
+      for (const AxisMap& m : a.axes)
+        FUSEDP_CHECK(m.kind != AxisMap::Kind::kDynamic,
+                     "trace simulation does not support dynamic accesses");
+  }
+  const ExecutablePlan plan = lower(pl, grouping);
+  hier.reset();
+
+  // Address layout: inputs, then materialized stage buffers, then one
+  // scratch region per stage (reused across tiles, as the executor's
+  // per-thread scratch is).
+  std::vector<std::uint64_t> input_base(
+      static_cast<std::size_t>(pl.num_inputs()));
+  std::vector<std::uint64_t> global_base(
+      static_cast<std::size_t>(pl.num_stages()));
+  std::vector<std::uint64_t> scratch_base(
+      static_cast<std::size_t>(pl.num_stages()));
+  std::uint64_t next = kPageAlign;
+  for (int i = 0; i < pl.num_inputs(); ++i) {
+    input_base[static_cast<std::size_t>(i)] = next;
+    next = align_up(next +
+                    static_cast<std::uint64_t>(pl.input(i).domain.volume()) * 4);
+  }
+  for (int s = 0; s < pl.num_stages(); ++s) {
+    global_base[static_cast<std::size_t>(s)] = next;
+    next = align_up(next + static_cast<std::uint64_t>(pl.stage(s).volume()) * 4);
+  }
+  for (int s = 0; s < pl.num_stages(); ++s) {
+    scratch_base[static_cast<std::size_t>(s)] = next;
+    next = align_up(next + static_cast<std::uint64_t>(pl.stage(s).volume()) * 4);
+  }
+
+  for (const GroupPlan& g : plan.groups) {
+    const std::int64_t ntiles =
+        std::min<std::int64_t>(g.total_tiles, opts.max_tiles_per_group);
+    for (std::int64_t t = 0; t < ntiles; ++t) {
+      Box tile;
+      tile.rank = g.align.num_classes;
+      std::int64_t rem = t;
+      for (int d = tile.rank - 1; d >= 0; --d) {
+        const std::int64_t nd = g.tiles_per_dim[static_cast<std::size_t>(d)];
+        const std::int64_t idx = rem % nd;
+        rem /= nd;
+        tile.lo[d] = idx * g.tile_sizes[static_cast<std::size_t>(d)];
+        tile.hi[d] = std::min(
+            tile.lo[d] + g.tile_sizes[static_cast<std::size_t>(d)] - 1,
+            g.align.class_extent[static_cast<std::size_t>(d)] - 1);
+      }
+      const GroupRegions regions = compute_group_regions(
+          pl, g.stages, g.align, tile, /*clamp=*/true, &g.stage_order);
+
+      for (int s : g.stage_order) {
+        const StageRegions& reg = regions.stages[static_cast<std::size_t>(s)];
+        const Box& req = reg.required;
+        if (req.empty()) continue;
+        const Stage& st = pl.stage(s);
+        const bool materialized = plan.materialized[static_cast<std::size_t>(s)];
+        const bool direct = materialized && req == reg.owned;
+
+        // Walk the required box in the executor's order, emitting the loads
+        // of each element then its store.
+        std::int64_t c[kMaxDims];
+        for (int d = 0; d < req.rank; ++d) c[d] = req.lo[d];
+        for (;;) {
+          for (const Access& a : st.loads) {
+            const bool in_group = !a.producer.is_input &&
+                                  g.stages.contains(a.producer.id);
+            const Box& pdom = pl.producer_domain(a.producer);
+            std::int64_t pc[kMaxDims];
+            bool zero = false;
+            for (int k = 0; k < pdom.rank; ++k) {
+              const AxisMap& m = a.axes[static_cast<std::size_t>(k)];
+              std::int64_t v;
+              if (m.kind == AxisMap::Kind::kConstant || m.num == 0)
+                v = m.offset;
+              else
+                v = floor_div(c[m.src_dim] * m.num + m.pre, m.den) + m.offset;
+              if (a.border == Border::kZero &&
+                  (v < pdom.lo[k] || v > pdom.hi[k])) {
+                zero = true;  // constant-zero loads touch no memory
+                break;
+              }
+              pc[k] = fold_coord(v, pdom.lo[k], pdom.hi[k], a.border);
+            }
+            if (zero) continue;
+            std::uint64_t addr;
+            if (a.producer.is_input) {
+              addr = input_base[static_cast<std::size_t>(a.producer.id)] +
+                     static_cast<std::uint64_t>(offset_in(pdom, pc)) * 4;
+            } else if (in_group &&
+                       !(plan.materialized[static_cast<std::size_t>(
+                             a.producer.id)] &&
+                         regions.stages[static_cast<std::size_t>(a.producer.id)]
+                                 .required ==
+                             regions.stages[static_cast<std::size_t>(
+                                                a.producer.id)]
+                                 .owned)) {
+              const Box& preq =
+                  regions.stages[static_cast<std::size_t>(a.producer.id)]
+                      .required;
+              addr = scratch_base[static_cast<std::size_t>(a.producer.id)] +
+                     static_cast<std::uint64_t>(offset_in(preq, pc)) * 4;
+            } else {
+              addr = global_base[static_cast<std::size_t>(a.producer.id)] +
+                     static_cast<std::uint64_t>(offset_in(pdom, pc)) * 4;
+            }
+            hier.access(addr);
+          }
+          // Store of the computed element.
+          {
+            std::uint64_t addr;
+            if (direct)
+              addr = global_base[static_cast<std::size_t>(s)] +
+                     static_cast<std::uint64_t>(offset_in(st.domain, c)) * 4;
+            else
+              addr = scratch_base[static_cast<std::size_t>(s)] +
+                     static_cast<std::uint64_t>(offset_in(req, c)) * 4;
+            hier.access(addr);
+          }
+          int d = req.rank - 1;
+          for (; d >= 0; --d) {
+            if (++c[d] <= req.hi[d]) break;
+            c[d] = req.lo[d];
+          }
+          if (d < 0) break;
+        }
+
+        // Publication of the owned slice (scratch -> global copy).
+        if (materialized && !direct && !reg.owned.empty()) {
+          std::int64_t oc[kMaxDims];
+          for (int d = 0; d < reg.owned.rank; ++d) oc[d] = reg.owned.lo[d];
+          for (;;) {
+            hier.access(scratch_base[static_cast<std::size_t>(s)] +
+                        static_cast<std::uint64_t>(offset_in(req, oc)) * 4);
+            hier.access(global_base[static_cast<std::size_t>(s)] +
+                        static_cast<std::uint64_t>(offset_in(st.domain, oc)) *
+                            4);
+            int d = reg.owned.rank - 1;
+            for (; d >= 0; --d) {
+              if (++oc[d] <= reg.owned.hi[d]) break;
+              oc[d] = reg.owned.lo[d];
+            }
+            if (d < 0) break;
+          }
+        }
+      }
+    }
+  }
+  return hier.stats();
+}
+
+}  // namespace fusedp

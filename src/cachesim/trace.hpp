@@ -1,0 +1,28 @@
+// Access-trace generation: replays the executor's exact tiled loop structure
+// (required regions, per-thread scratch reuse, owned-slice publication) as a
+// memory-address stream through a simulated cache hierarchy.
+//
+// Dynamic (data-dependent) accesses would need real data values, which the
+// trace walker does not compute; pipelines containing them are rejected.
+// Table 5's subject (Unsharp Mask) is fully static.
+#pragma once
+
+#include "cachesim/cache.hpp"
+#include "fusion/grouping.hpp"
+
+namespace fusedp {
+
+struct TraceOptions {
+  // Number of consecutive tiles (as executed by one thread) to replay per
+  // group.  Tiles are statistically homogeneous, so a short steady-state
+  // window predicts whole-run hit rates.
+  std::int64_t max_tiles_per_group = 8;
+};
+
+// Replays `grouping` through `hier` and returns its stats.  The hierarchy
+// is reset first.
+HierarchyStats simulate_grouping(const Pipeline& pl, const Grouping& grouping,
+                                 CacheHierarchy& hier,
+                                 const TraceOptions& opts = {});
+
+}  // namespace fusedp

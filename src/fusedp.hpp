@@ -1,0 +1,25 @@
+// Umbrella header: the full FuseDP public API.
+//
+//   #include "fusedp.hpp"
+//
+//   fusedp::Pipeline pl("my_pipeline");
+//   ... build stages with fusedp::StageBuilder ...
+//   fusedp::CostModel model(pl, fusedp::MachineModel::host());
+//   fusedp::IncFusion fusion(pl, model);
+//   auto outputs = fusedp::run_pipeline(pl, fusion.run(), inputs, {});
+#pragma once
+
+#include "cachesim/cache.hpp"        // IWYU pragma: export
+#include "cachesim/trace.hpp"        // IWYU pragma: export
+#include "fusion/dp.hpp"             // IWYU pragma: export
+#include "fusion/halide_auto.hpp"    // IWYU pragma: export
+#include "fusion/incremental.hpp"    // IWYU pragma: export
+#include "fusion/manual.hpp"         // IWYU pragma: export
+#include "fusion/polymage_greedy.hpp"// IWYU pragma: export
+#include "ir/builder.hpp"            // IWYU pragma: export
+#include "ir/printer.hpp"            // IWYU pragma: export
+#include "pipelines/pipelines.hpp"   // IWYU pragma: export
+#include "runtime/executor.hpp"      // IWYU pragma: export
+#include "runtime/plan_printer.hpp"  // IWYU pragma: export
+#include "support/image_io.hpp"      // IWYU pragma: export
+#include "support/stats.hpp"         // IWYU pragma: export

@@ -1,0 +1,107 @@
+// The paper's dynamic-programming grouping (Section 3, Algorithm 1).
+//
+// State: G = a set of disjoint "open" groups, each a connected set of
+// quotient-graph nodes.  The recurrence (Figure 5) either grows one group by
+// a successor (Case I, with the cycle-validity check of Algorithm 1 lines
+// 9-13), or finalizes all of G and restarts from every set-partition of the
+// successor frontier (Case II).  Memoization over canonicalized states makes
+// a linear n-stage pipeline cost O(n^2) states while effectively evaluating
+// all 2^(n-1) groupings.
+//
+// The DP runs on a *quotient graph* so that the bounded incremental variant
+// (Algorithm 3) can coalesce a previous grouping into super-nodes and rerun.
+// A dummy source node (paper Section 3.1) is added when the pipeline has
+// multiple sources; it participates in grouping with zero cost.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "fusion/grouping.hpp"
+
+namespace fusedp {
+
+// Condensed view of the pipeline for the DP: node i of `graph` stands for
+// the original stages in underlying[i].  `dummy` (if >= 0) is an artificial
+// source with empty underlying set.
+struct QuotientGraph {
+  Digraph graph;
+  std::vector<NodeSet> underlying;  // original stage sets per quotient node
+  int dummy = -1;
+
+  int num_nodes() const { return graph.num_nodes(); }
+  NodeSet expand(NodeSet quotient_nodes) const;
+
+  // One quotient node per pipeline stage (plus a dummy source if needed).
+  static QuotientGraph identity(const Pipeline& pl);
+  // One quotient node per group of `g` (plus a dummy source if needed).
+  static QuotientGraph condense(const Pipeline& pl, const Grouping& g);
+};
+
+struct DpOptions {
+  // Maximum number of original stages per group (paper's groupLimit l);
+  // <= 0 means unbounded.
+  int group_limit = 0;
+  // Case II enumerates all set partitions of the successor frontier
+  // (Bell(k) of them) up to this width; wider frontiers fall back to the
+  // all-singletons partition.  Bell(6) = 203.
+  int max_partition_width = 6;
+  // Safety valve: abort (throw Error) past this many DP states.
+  std::uint64_t max_states = 50'000'000;
+};
+
+struct DpStats {
+  std::uint64_t groupings_enumerated = 0;  // distinct states evaluated
+  int max_succ = 0;                        // max |SUCC(G)| seen (Table 2)
+  double seconds = 0.0;
+};
+
+class DpFusion {
+ public:
+  DpFusion(const Pipeline& pl, const CostModel& model, DpOptions opts = {});
+
+  // Runs Algorithm 1 from {{source}} and returns the optimal grouping.
+  Grouping run();
+  // Same, but over an explicit quotient graph (used by Algorithm 3).
+  Grouping run_on(const QuotientGraph& q);
+
+  const DpStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    double cost = kInfiniteCost;
+    std::vector<std::uint64_t> final_groups;  // quotient-node sets
+  };
+  using Key = std::vector<std::uint64_t>;
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::size_t h = 1469598103934665603ull;
+      for (std::uint64_t v : k) {
+        h ^= v;
+        h *= 1099511628211ull;
+      }
+      return h;
+    }
+  };
+
+  const Entry& solve(const std::vector<NodeSet>& groups);
+  double group_cost(NodeSet quotient_group);
+  // Cheap monotone validity check used to prune Case I merges.
+  bool merge_feasible(NodeSet quotient_group);
+  // Complete cycle-validity: no path between members leaves the group.
+  bool sandwich_free(NodeSet quotient_group);
+
+  const Pipeline* pl_;
+  const CostModel* model_;
+  DpOptions opts_;
+  DpStats stats_;
+  const QuotientGraph* q_ = nullptr;
+  std::unordered_map<Key, Entry, KeyHash> memo_;
+  std::unordered_map<std::uint64_t, double> cost_memo_;
+  std::unordered_map<std::uint64_t, bool> feas_memo_;
+  std::unordered_map<std::uint64_t, bool> sandwich_memo_;
+};
+
+}  // namespace fusedp

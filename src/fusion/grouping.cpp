@@ -1,0 +1,87 @@
+#include "fusion/grouping.hpp"
+
+#include <sstream>
+
+namespace fusedp {
+
+std::string Grouping::to_string(const Pipeline& pl) const {
+  std::ostringstream out;
+  out << "grouping of " << pl.name() << " (" << groups.size()
+      << " groups, cost " << total_cost << ")\n";
+  for (const GroupSchedule& g : groups) {
+    out << "  {";
+    bool first = true;
+    g.stages.for_each([&](int s) {
+      if (!first) out << ", ";
+      out << pl.stage(s).name;
+      first = false;
+    });
+    out << "} tiles [";
+    for (std::size_t i = 0; i < g.tile_sizes.size(); ++i) {
+      if (i) out << "x";
+      out << g.tile_sizes[i];
+    }
+    out << "] cost " << g.cost << "\n";
+  }
+  return out.str();
+}
+
+bool validate_grouping(const Pipeline& pl, const Grouping& g,
+                       std::string* why) {
+  auto fail = [&](const std::string& msg) {
+    if (why) *why = msg;
+    return false;
+  };
+  NodeSet covered;
+  std::vector<NodeSet> sets;
+  for (const GroupSchedule& gs : g.groups) {
+    if (gs.stages.empty()) return fail("empty group");
+    if (covered.intersects(gs.stages))
+      return fail("groups overlap at " + (covered & gs.stages).to_string());
+    covered = covered | gs.stages;
+    sets.push_back(gs.stages);
+    if (!pl.graph().is_connected_undirected(gs.stages))
+      return fail("group " + gs.stages.to_string() + " is disconnected");
+    int reductions = 0;
+    gs.stages.for_each([&](int s) {
+      if (pl.stage(s).kind == StageKind::kReduction) ++reductions;
+    });
+    if (reductions > 0 && gs.stages.size() > 1)
+      return fail("group " + gs.stages.to_string() + " fuses a reduction");
+    if (!constant_dependence_vectors(pl, gs.stages))
+      return fail("group " + gs.stages.to_string() +
+                  " has non-constant dependences");
+  }
+  NodeSet all;
+  for (int i = 0; i < pl.num_stages(); ++i) all = all.with(i);
+  if (!(covered == all))
+    return fail("stages not covered: " + (all - covered).to_string());
+  if (!pl.graph().quotient_is_acyclic(sets))
+    return fail("group quotient graph has a cycle");
+  return true;
+}
+
+void complete_grouping(const Pipeline& pl, const CostModel& model,
+                       Grouping& g) {
+  (void)pl;
+  g.total_cost = 0.0;
+  for (GroupSchedule& gs : g.groups) {
+    const GroupCost gc = model.cost(gs.stages);
+    if (gs.tile_sizes.empty()) gs.tile_sizes = gc.tile_sizes;
+    gs.cost = gc.cost;
+    g.total_cost += gc.cost;
+  }
+}
+
+Grouping singleton_grouping(const Pipeline& pl, const CostModel& model) {
+  Grouping g;
+  for (int i = 0; i < pl.num_stages(); ++i) {
+    GroupSchedule gs;
+    gs.stages = NodeSet::single(i);
+    g.groups.push_back(gs);
+  }
+  complete_grouping(pl, model, g);
+  return g;
+}
+
+}  // namespace fusedp

@@ -1,0 +1,44 @@
+// Grouping: the output of every fusion engine — a partition of the pipeline's
+// stages into overlapped-tiled groups, each with its tile sizes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/nodeset.hpp"
+#include "ir/pipeline.hpp"
+#include "model/cost.hpp"
+
+namespace fusedp {
+
+struct GroupSchedule {
+  NodeSet stages;
+  // Tile sizes per reference-space dimension of the group (see
+  // AlignResult); empty means "untiled" (single tile covering the domain).
+  std::vector<std::int64_t> tile_sizes;
+  double cost = 0.0;
+};
+
+struct Grouping {
+  std::vector<GroupSchedule> groups;
+  double total_cost = 0.0;
+
+  std::string to_string(const Pipeline& pl) const;
+};
+
+// Checks the structural invariants every scheduler must satisfy:
+// groups are disjoint, cover all stages, each is connected, the group
+// quotient graph is acyclic, and no group mixes a reduction with other
+// stages.  Returns false and fills `why` (if non-null) on violation.
+bool validate_grouping(const Pipeline& pl, const Grouping& g,
+                       std::string* why = nullptr);
+
+// Baseline "no fusion" grouping: every stage alone, tile sizes from the cost
+// model.
+Grouping singleton_grouping(const Pipeline& pl, const CostModel& model);
+
+// Fills in tile sizes / cost for groups that lack them, using the model.
+void complete_grouping(const Pipeline& pl, const CostModel& model,
+                       Grouping& g);
+
+}  // namespace fusedp

@@ -1,0 +1,37 @@
+#include "fusion/incremental.hpp"
+
+#include "support/timing.hpp"
+
+namespace fusedp {
+
+IncFusion::IncFusion(const Pipeline& pl, const CostModel& model,
+                     IncOptions opts)
+    : pl_(&pl), model_(&model), opts_(opts) {}
+
+Grouping IncFusion::run() {
+  WallTimer timer;
+  FUSEDP_CHECK(opts_.initial_limit >= 1 && opts_.step >= 2,
+               "bad incremental options");
+  int limit = opts_.initial_limit;
+  QuotientGraph q = QuotientGraph::identity(*pl_);
+  Grouping current;
+
+  for (;;) {
+    ++stats_.iterations;
+    DpOptions dopts;
+    dopts.group_limit = limit >= pl_->num_stages() ? 0 : limit;
+    dopts.max_states = opts_.max_states;
+    DpFusion dp(*pl_, *model_, dopts);
+    current = dp.run_on(q);
+    stats_.groupings_enumerated += dp.stats().groupings_enumerated;
+    stats_.max_succ = std::max(stats_.max_succ, dp.stats().max_succ);
+    if (dopts.group_limit == 0) break;  // final unbounded pass done
+    // Coalesce the grouping into super-nodes and raise the limit.
+    q = QuotientGraph::condense(*pl_, current);
+    limit *= opts_.step;
+  }
+  stats_.seconds = timer.seconds();
+  return current;
+}
+
+}  // namespace fusedp

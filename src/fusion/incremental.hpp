@@ -1,0 +1,44 @@
+// Bounded incremental grouping (paper Section 5, Algorithm 3).
+//
+// Runs the DP with a group-size limit l, coalesces the resulting groups into
+// super-nodes of a quotient graph, multiplies l by `step`, and repeats until
+// the limit covers the whole pipeline (the final iteration runs unbounded).
+// This keeps DP time bounded on large graphs (paper Table 2: camera pipeline
+// and pyramid blending).
+#pragma once
+
+#include "fusion/dp.hpp"
+
+namespace fusedp {
+
+struct IncOptions {
+  // First-pass group limit.  2 keeps the first pass (on the full stage
+  // graph, where parallel chains multiply the state space) small; later
+  // passes run on ever-smaller condensed graphs.
+  int initial_limit = 2;
+  int step = 2;            // multiplicative growth of the limit
+  std::uint64_t max_states = 50'000'000;
+};
+
+struct IncStats {
+  std::uint64_t groupings_enumerated = 0;  // summed over iterations
+  int max_succ = 0;
+  int iterations = 0;
+  double seconds = 0.0;
+};
+
+class IncFusion {
+ public:
+  IncFusion(const Pipeline& pl, const CostModel& model, IncOptions opts = {});
+
+  Grouping run();
+  const IncStats& stats() const { return stats_; }
+
+ private:
+  const Pipeline* pl_;
+  const CostModel* model_;
+  IncOptions opts_;
+  IncStats stats_;
+};
+
+}  // namespace fusedp

@@ -1,0 +1,218 @@
+#include "fusion/inlining.hpp"
+
+#include <algorithm>
+#include <optional>
+
+namespace fusedp {
+
+namespace {
+
+// How one consumer-access axis maps a producer dimension.
+struct AxisSubst {
+  bool is_const = false;
+  std::int64_t value = 0;  // constant coordinate
+  int src_dim = 0;         // consumer dim for identity axes
+};
+
+// Checks that `a` reads the producer through identity/constant axes only,
+// with matching extents along identity axes; fills `subst`.
+bool substitutable_access(const Pipeline& pl, const Stage& consumer,
+                          const Access& a,
+                          std::vector<AxisSubst>* subst) {
+  const Box& pd = pl.producer_domain(a.producer);
+  subst->clear();
+  for (int k = 0; k < pd.rank; ++k) {
+    const AxisMap& m = a.axes[static_cast<std::size_t>(k)];
+    AxisSubst s;
+    if (m.kind == AxisMap::Kind::kConstant) {
+      if (m.offset < pd.lo[k] || m.offset > pd.hi[k]) return false;
+      s.is_const = true;
+      s.value = m.offset;
+    } else if (m.kind == AxisMap::Kind::kAffine && m.is_identity()) {
+      if (consumer.domain.extent(m.src_dim) != pd.extent(k)) return false;
+      s.src_dim = m.src_dim;
+    } else {
+      return false;
+    }
+    subst->push_back(s);
+  }
+  return true;
+}
+
+// Per-stage template used during the rebuild: an expression arena + load
+// table in which references to inlined producers have been spliced away.
+struct Template {
+  std::vector<ExprNode> nodes;
+  std::vector<Access> loads;
+  ExprRef body = kNoExpr;
+};
+
+// Splices `tpl` (the template of an inlined producer) into `dst`, remapping
+// template coordinates/axes through `subst`.  Returns the root of the
+// spliced expression in dst's arena.
+ExprRef splice(const Template& tpl, const std::vector<AxisSubst>& subst,
+               Template& dst) {
+  std::vector<ExprRef> remap(tpl.nodes.size(), kNoExpr);
+  for (std::size_t i = 0; i < tpl.nodes.size(); ++i) {
+    ExprNode n = tpl.nodes[i];
+    switch (n.op) {
+      case Op::kCoord: {
+        const AxisSubst& s = subst[static_cast<std::size_t>(n.dim)];
+        if (s.is_const) {
+          n.op = Op::kConst;
+          n.imm = static_cast<float>(s.value);
+          n.dim = -1;
+        } else {
+          n.dim = s.src_dim;
+        }
+        break;
+      }
+      case Op::kLoad: {
+        Access a = tpl.loads[static_cast<std::size_t>(n.load_id)];
+        for (AxisMap& m : a.axes) {
+          if (m.kind == AxisMap::Kind::kDynamic) {
+            m.dyn = remap[static_cast<std::size_t>(m.dyn)];
+          } else if (m.kind == AxisMap::Kind::kAffine && m.num != 0) {
+            const AxisSubst& s = subst[static_cast<std::size_t>(m.src_dim)];
+            if (s.is_const) {
+              // floor((c*num + pre)/den) + offset is a compile-time constant.
+              m.offset =
+                  floor_div(s.value * m.num + m.pre, m.den) + m.offset;
+              m.kind = AxisMap::Kind::kConstant;
+              m.num = 1;
+              m.den = 1;
+              m.pre = 0;
+            } else {
+              m.src_dim = s.src_dim;
+            }
+          }
+        }
+        dst.loads.push_back(std::move(a));
+        n.load_id = static_cast<std::int32_t>(dst.loads.size()) - 1;
+        break;
+      }
+      default:
+        if (n.a != kNoExpr) n.a = remap[static_cast<std::size_t>(n.a)];
+        if (n.b != kNoExpr) n.b = remap[static_cast<std::size_t>(n.b)];
+        if (n.c != kNoExpr) n.c = remap[static_cast<std::size_t>(n.c)];
+        break;
+    }
+    dst.nodes.push_back(n);
+    remap[i] = static_cast<ExprRef>(dst.nodes.size()) - 1;
+  }
+  return remap[static_cast<std::size_t>(tpl.body)];
+}
+
+}  // namespace
+
+InlineResult inline_pointwise(const Pipeline& src, InlineOptions opts) {
+  FUSEDP_CHECK(src.finalized(), "pipeline must be finalized");
+  const int n = src.num_stages();
+
+  // Decide which stages to inline (graph is a DAG, so a stage's decision
+  // does not depend on its consumers').
+  std::vector<bool> inlined(static_cast<std::size_t>(n), false);
+  for (int s = 0; s < n; ++s) {
+    const Stage& st = src.stage(s);
+    if (st.kind != StageKind::kMap || st.is_output) continue;
+    const NodeSet consumers = src.graph().successors(s);
+    if (consumers.empty()) continue;
+    const int ops = static_cast<int>(st.nodes.size());
+    int use_sites = 0;
+    consumers.for_each([&](int c) {
+      for (const Access& a : src.stage(c).loads)
+        if (!a.producer.is_input && a.producer.id == s) ++use_sites;
+    });
+    const bool single_site = use_sites == 1 && ops <= opts.max_ops;
+    const bool trivial = ops <= opts.trivial_ops;
+    if (!single_site && !trivial) continue;
+    bool ok = true;
+    std::vector<AxisSubst> subst;
+    consumers.for_each([&](int c) {
+      // Reductions read through native code, not expressions.
+      if (src.stage(c).kind != StageKind::kMap) ok = false;
+      for (const Access& a : src.stage(c).loads)
+        if (!a.producer.is_input && a.producer.id == s &&
+            !substitutable_access(src, src.stage(c), a, &subst))
+          ok = false;
+    });
+    if (ok) inlined[static_cast<std::size_t>(s)] = true;
+  }
+
+  // Rebuild: process stages in id order (already topological in practice —
+  // producers precede consumers because loads reference existing stages).
+  InlineResult res;
+  res.pipeline = std::make_unique<Pipeline>(src.name());
+  Pipeline& out = *res.pipeline;
+  for (const InputImage& in : src.inputs())
+    out.add_input(in.name, in.domain.extents());
+
+  std::vector<Template> templates(static_cast<std::size_t>(n));
+  std::vector<int> new_id(static_cast<std::size_t>(n), -1);
+
+  for (int s = 0; s < n; ++s) {
+    const Stage& st = src.stage(s);
+    // Build this stage's template with inlined producers spliced in.
+    Template tpl;
+    if (st.kind == StageKind::kMap) {
+      std::vector<ExprRef> remap(st.nodes.size(), kNoExpr);
+      for (std::size_t i = 0; i < st.nodes.size(); ++i) {
+        ExprNode nn = st.nodes[i];
+        if (nn.op == Op::kLoad) {
+          const Access& a = st.loads[static_cast<std::size_t>(nn.load_id)];
+          if (!a.producer.is_input &&
+              inlined[static_cast<std::size_t>(a.producer.id)]) {
+            std::vector<AxisSubst> subst;
+            FUSEDP_CHECK(substitutable_access(src, st, a, &subst),
+                         "inline decision inconsistent");
+            remap[i] = splice(templates[static_cast<std::size_t>(a.producer.id)],
+                              subst, tpl);
+            continue;
+          }
+          Access copy = a;
+          for (AxisMap& m : copy.axes)
+            if (m.kind == AxisMap::Kind::kDynamic)
+              m.dyn = remap[static_cast<std::size_t>(m.dyn)];
+          tpl.loads.push_back(std::move(copy));
+          nn.load_id = static_cast<std::int32_t>(tpl.loads.size()) - 1;
+        } else {
+          if (nn.a != kNoExpr) nn.a = remap[static_cast<std::size_t>(nn.a)];
+          if (nn.b != kNoExpr) nn.b = remap[static_cast<std::size_t>(nn.b)];
+          if (nn.c != kNoExpr) nn.c = remap[static_cast<std::size_t>(nn.c)];
+        }
+        tpl.nodes.push_back(nn);
+        remap[i] = static_cast<ExprRef>(tpl.nodes.size()) - 1;
+      }
+      tpl.body = remap[static_cast<std::size_t>(st.body)];
+    }
+    if (inlined[static_cast<std::size_t>(s)]) {
+      templates[static_cast<std::size_t>(s)] = std::move(tpl);
+      ++res.stages_inlined;
+      continue;
+    }
+    // Emit as a real stage, remapping surviving producer ids.
+    Stage& ns = st.kind == StageKind::kMap
+                    ? out.add_stage(st.name, st.domain.extents())
+                    : out.add_reduction(st.name, st.domain.extents());
+    new_id[static_cast<std::size_t>(s)] = ns.id;
+    ns.is_output = st.is_output;
+    if (st.kind == StageKind::kMap) {
+      ns.nodes = std::move(tpl.nodes);
+      ns.loads = std::move(tpl.loads);
+      ns.body = tpl.body;
+    } else {
+      ns.loads = st.loads;
+      ns.reduction = st.reduction;
+    }
+    for (Access& a : ns.loads) {
+      if (a.producer.is_input) continue;
+      const int np = new_id[static_cast<std::size_t>(a.producer.id)];
+      FUSEDP_CHECK(np >= 0, "producer of surviving stage was inlined away");
+      a.producer.id = np;
+    }
+  }
+  out.finalize();
+  return res;
+}
+
+}  // namespace fusedp

@@ -1,0 +1,42 @@
+// Stage inlining — substituting cheap pointwise stages into their consumers.
+//
+// Paper Section 6.2 notes that Halide's expert camera-pipeline schedule wins
+// partly through "aggressive inlining of several functions, which PolyMage-A
+// and PolyMageDP currently do not support".  This module adds that missing
+// piece as a pre-pass: a stage is inlined when
+//   * it is a kMap stage and not a pipeline output, and
+//   * every consumer reads it through axes that are either pure identity
+//     (src permutation, no offset/scale) or constants (e.g. channel
+//     selects), with matching extents along identity axes, and
+//   * its expression is cheap (<= max_ops AST nodes) or it has exactly one
+//     consumer.
+// Under those conditions substitution is semantics-exact: the producer's
+// body is evaluated at exactly the coordinates the original stage would
+// have used, with its own loads' borders intact.
+//
+// Returns a new Pipeline (stage ids change; names are preserved) — run the
+// scheduler on the inlined pipeline.
+#pragma once
+
+#include <memory>
+
+#include "ir/pipeline.hpp"
+
+namespace fusedp {
+
+// Profitability: splicing duplicates the producer's expression at every
+// load site, so anything non-trivial is only inlined when it has exactly
+// one use site in the whole pipeline.
+struct InlineOptions {
+  int max_ops = 24;     // single-use-site stages up to this size
+  int trivial_ops = 6;  // multi-site stages only when this trivial
+};
+
+struct InlineResult {
+  std::unique_ptr<Pipeline> pipeline;
+  int stages_inlined = 0;
+};
+
+InlineResult inline_pointwise(const Pipeline& src, InlineOptions opts = {});
+
+}  // namespace fusedp

@@ -1,0 +1,64 @@
+#include "fusion/manual.hpp"
+
+#include <algorithm>
+
+#include "analysis/scaling.hpp"
+
+namespace fusedp {
+
+Grouping grouping_from_names(
+    const Pipeline& pl, const CostModel& model,
+    const std::vector<std::vector<std::string>>& named_groups,
+    const std::vector<std::vector<std::int64_t>>& tiles) {
+  FUSEDP_CHECK(tiles.empty() || tiles.size() == named_groups.size(),
+               "tiles/groups arity mismatch");
+  auto stage_by_name = [&](const std::string& name) {
+    for (const Stage& s : pl.stages())
+      if (s.name == name) return s.id;
+    FUSEDP_CHECK(false, "no stage named " + name + " in " + pl.name());
+    return -1;
+  };
+
+  Grouping out;
+  NodeSet covered;
+  for (std::size_t i = 0; i < named_groups.size(); ++i) {
+    GroupSchedule gs;
+    for (const std::string& name : named_groups[i])
+      gs.stages = gs.stages.with(stage_by_name(name));
+    FUSEDP_CHECK(!covered.intersects(gs.stages),
+                 "manual schedule repeats a stage");
+    covered = covered | gs.stages;
+    if (!tiles.empty() && !tiles[i].empty()) {
+      // Right-align the given tile sizes against the group's reference rank.
+      const AlignResult align = solve_alignment(pl, gs.stages);
+      FUSEDP_CHECK(align.constant, "manual group not fusable");
+      const int n = align.num_classes;
+      const int given = static_cast<int>(tiles[i].size());
+      gs.tile_sizes.assign(static_cast<std::size_t>(n), 0);
+      for (int d = 0; d < n; ++d) {
+        const std::int64_t ext =
+            align.class_extent[static_cast<std::size_t>(d)];
+        const std::int64_t gran =
+            align.class_granularity[static_cast<std::size_t>(d)];
+        std::int64_t t = ext;
+        const int from_end = n - 1 - d;
+        if (from_end < given)
+          t = std::min(ext, tiles[i][static_cast<std::size_t>(
+                                given - 1 - from_end)]);
+        gs.tile_sizes[static_cast<std::size_t>(d)] =
+            ceil_div(std::max<std::int64_t>(t, 1), gran) * gran;
+      }
+    }
+    out.groups.push_back(std::move(gs));
+  }
+  for (int s = 0; s < pl.num_stages(); ++s) {
+    if (covered.contains(s)) continue;
+    GroupSchedule gs;
+    gs.stages = NodeSet::single(s);
+    out.groups.push_back(gs);
+  }
+  complete_grouping(pl, model, out);
+  return out;
+}
+
+}  // namespace fusedp

@@ -1,0 +1,22 @@
+// Helpers for expert ("H-manual") schedules: groupings written by hand as
+// lists of stage names with explicit tile sizes, mirroring the hand-tuned
+// Halide schedules shipped with the benchmarks.
+#pragma once
+
+#include <string>
+
+#include "fusion/grouping.hpp"
+
+namespace fusedp {
+
+// Builds a grouping from stage-name lists.  Stages not mentioned in any
+// list become singleton groups.  `tiles[i]` applies to `named_groups[i]`
+// (reference-space, innermost last; may be shorter than the group's rank —
+// it is right-aligned and outer dims stay untiled); pass an empty vector to
+// let the cost model pick.
+Grouping grouping_from_names(
+    const Pipeline& pl, const CostModel& model,
+    const std::vector<std::vector<std::string>>& named_groups,
+    const std::vector<std::vector<std::int64_t>>& tiles);
+
+}  // namespace fusedp

@@ -1,0 +1,168 @@
+#include "fusion/polymage_greedy.hpp"
+
+#include <algorithm>
+
+namespace fusedp {
+
+PolyMageGreedy::PolyMageGreedy(const Pipeline& pl, const CostModel& model,
+                               PolyMageOptions opts)
+    : pl_(&pl), model_(&model), opts_(std::move(opts)) {}
+
+namespace {
+
+// Uniform PolyMage tiling: the two innermost reference dimensions get
+// (t1, t2); any outer dimensions stay untiled (full extent) — matching the
+// generated code in paper Figure 3 where the channel loop is not tiled.
+std::vector<std::int64_t> uniform_tiles(const AlignResult& align,
+                                        std::int64_t t1, std::int64_t t2) {
+  const int n = align.num_classes;
+  std::vector<std::int64_t> ts(static_cast<std::size_t>(n));
+  for (int d = 0; d < n; ++d) {
+    const std::int64_t ext = align.class_extent[static_cast<std::size_t>(d)];
+    const std::int64_t gran =
+        align.class_granularity[static_cast<std::size_t>(d)];
+    std::int64_t t = ext;
+    if (d == n - 1)
+      t = std::min(ext, t2);
+    else if (d == n - 2)
+      t = std::min(ext, t1);
+    ts[static_cast<std::size_t>(d)] = ceil_div(std::max<std::int64_t>(t, 1),
+                                               gran) * gran;
+  }
+  return ts;
+}
+
+}  // namespace
+
+bool PolyMageGreedy::merge_ok(NodeSet merged, std::int64_t t1,
+                              std::int64_t t2, double tolerance) const {
+  // Condition 1: constant dependence vectors after scaling/alignment (also
+  // rejects reductions mixed with other stages and dynamic accesses).
+  const AlignResult align = solve_alignment(*pl_, merged);
+  if (!align.constant) return false;
+  int reductions = 0;
+  merged.for_each([&](int s) {
+    if (pl_->stage(s).kind == StageKind::kReduction) ++reductions;
+  });
+  if (reductions > 0 && merged.size() > 1) return false;
+
+  // Condition 2: overlap fraction below tolerance for the given tile size.
+  Box tile;
+  tile.rank = align.num_classes;
+  const std::vector<std::int64_t> ts = uniform_tiles(align, t1, t2);
+  for (int d = 0; d < tile.rank; ++d) {
+    tile.lo[d] = 0;
+    tile.hi[d] = ts[static_cast<std::size_t>(d)] - 1;
+  }
+  const GroupRegions regions =
+      compute_group_regions(*pl_, merged, align, tile, /*clamp=*/false);
+  if (regions.owned_volume <= 0) return false;
+  const double frac = static_cast<double>(regions.overlap_volume) /
+                      static_cast<double>(regions.owned_volume);
+  return frac < tolerance;
+}
+
+Grouping PolyMageGreedy::run(std::int64_t t1, std::int64_t t2,
+                             double tolerance) const {
+  std::vector<NodeSet> groups;
+  for (int i = 0; i < pl_->num_stages(); ++i)
+    groups.push_back(NodeSet::single(i));
+
+  auto owner_of = [&](int stage) {
+    for (std::size_t i = 0; i < groups.size(); ++i)
+      if (groups[i].contains(stage)) return static_cast<int>(i);
+    return -1;
+  };
+
+  bool merged_any = true;
+  while (merged_any) {
+    merged_any = false;
+    // Candidates: groups whose successors all land in one child group.
+    struct Cand {
+      int group;
+      int child;
+      std::int64_t size;
+    };
+    std::vector<Cand> cands;
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      const NodeSet succ = pl_->graph().successors_of_set(groups[i]);
+      if (succ.empty()) continue;
+      int child = -1;
+      bool single = true;
+      succ.for_each([&](int s) {
+        const int o = owner_of(s);
+        if (child < 0) child = o;
+        if (o != child) single = false;
+      });
+      if (!single || child < 0) continue;
+      std::int64_t vol = 0;
+      groups[i].for_each([&](int s) { vol += pl_->stage(s).volume(); });
+      cands.push_back({static_cast<int>(i), child, vol});
+    }
+    // Decreasing size order (paper: sorted by parameter estimates).
+    std::sort(cands.begin(), cands.end(),
+              [](const Cand& a, const Cand& b) { return a.size > b.size; });
+    // Indices into `groups` stay valid until the first merge; after a merge
+    // we break and recompute the candidate list.
+    for (const Cand& c : cands) {
+      const NodeSet merged = groups[static_cast<std::size_t>(c.group)] |
+                             groups[static_cast<std::size_t>(c.child)];
+      if (!merge_ok(merged, t1, t2, tolerance)) continue;
+      groups[static_cast<std::size_t>(c.group)] = merged;
+      groups.erase(groups.begin() + c.child);
+      merged_any = true;
+      break;
+    }
+  }
+
+  Grouping out;
+  for (NodeSet g : groups) {
+    GroupSchedule gs;
+    gs.stages = g;
+    const AlignResult align = solve_alignment(*pl_, g);
+    if (align.constant) gs.tile_sizes = uniform_tiles(align, t1, t2);
+    out.groups.push_back(gs);
+  }
+  complete_grouping_keep_tiles(out);
+  return out;
+}
+
+void PolyMageGreedy::complete_grouping_keep_tiles(Grouping& g) const {
+  g.total_cost = 0.0;
+  for (GroupSchedule& gs : g.groups) {
+    const GroupCost gc = model_->cost(gs.stages);
+    if (gs.tile_sizes.empty()) gs.tile_sizes = gc.tile_sizes;
+    gs.cost = gc.cost;
+    g.total_cost += gc.cost;
+  }
+}
+
+Grouping PolyMageGreedy::tune(
+    const std::function<double(const Grouping&)>& time_fn,
+    PolyMageTuneResult* result) const {
+  FUSEDP_CHECK(static_cast<bool>(time_fn), "tune() needs a timing callback");
+  double best_ms = kInfiniteCost;
+  Grouping best;
+  PolyMageTuneResult res;
+  for (std::int64_t t1 : opts_.tile_candidates) {
+    for (std::int64_t t2 : opts_.tile_candidates) {
+      for (double tol : opts_.tolerances) {
+        const Grouping g = run(t1, t2, tol);
+        const double ms = time_fn(g);
+        ++res.configs_tried;
+        if (ms < best_ms) {
+          best_ms = ms;
+          best = g;
+          res.best_t1 = t1;
+          res.best_t2 = t2;
+          res.best_tolerance = tol;
+          res.best_ms = ms;
+        }
+      }
+    }
+  }
+  if (result) *result = res;
+  return best;
+}
+
+}  // namespace fusedp

@@ -1,0 +1,61 @@
+// PolyMage's prior fusion heuristic with auto-tuning — the paper's
+// "PolyMage-A" baseline (Section 2.2).
+//
+// Greedy grouping: start with singleton groups; repeatedly find groups whose
+// out-edges all land in a single child group (so merging cannot create a
+// cycle), sort candidates by decreasing size, and merge a group with its
+// child when (1) the merged group's dependences can be made constant by
+// scaling/alignment and (2) the overlapped-recomputation fraction of the
+// tile is below the overlap tolerance.
+//
+// One tile size (t1 x t2, applied to the two innermost dimensions of every
+// group — PolyMage tiles two dimensions) and the overlap tolerance are
+// auto-tuned: every configuration in the grid is timed via a caller-provided
+// callback and the fastest wins.  The paper's grid is tile sizes
+// {8,16,32,64,128,256} (powers of two only) x tolerances {0.2,0.4,0.5}.
+#pragma once
+
+#include <functional>
+
+#include "fusion/grouping.hpp"
+
+namespace fusedp {
+
+struct PolyMageOptions {
+  std::vector<std::int64_t> tile_candidates = {8, 16, 32, 64, 128, 256};
+  std::vector<double> tolerances = {0.2, 0.4, 0.5};
+};
+
+struct PolyMageTuneResult {
+  std::int64_t best_t1 = 0;
+  std::int64_t best_t2 = 0;
+  double best_tolerance = 0.0;
+  double best_ms = 0.0;
+  int configs_tried = 0;
+};
+
+class PolyMageGreedy {
+ public:
+  PolyMageGreedy(const Pipeline& pl, const CostModel& model,
+                 PolyMageOptions opts = {});
+
+  // Grouping for one (tile, tolerance) configuration.
+  Grouping run(std::int64_t t1, std::int64_t t2, double tolerance) const;
+
+  // Full auto-tuning loop: times every grid configuration with `time_fn`
+  // (milliseconds for executing a grouping) and returns the fastest.
+  Grouping tune(const std::function<double(const Grouping&)>& time_fn,
+                PolyMageTuneResult* result = nullptr) const;
+
+ private:
+  bool merge_ok(NodeSet merged, std::int64_t t1, std::int64_t t2,
+                double tolerance) const;
+  // Like complete_grouping() but preserves the uniform tuned tile sizes.
+  void complete_grouping_keep_tiles(Grouping& g) const;
+
+  const Pipeline* pl_;
+  const CostModel* model_;
+  PolyMageOptions opts_;
+};
+
+}  // namespace fusedp

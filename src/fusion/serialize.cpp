@@ -1,0 +1,90 @@
+#include "fusion/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace fusedp {
+
+std::string grouping_to_text(const Pipeline& pl, const Grouping& g) {
+  std::ostringstream out;
+  out << "# fusedp-schedule v1 for " << pl.name() << "\n";
+  for (const GroupSchedule& gs : g.groups) {
+    out << "group";
+    gs.stages.for_each([&](int s) { out << " " << pl.stage(s).name; });
+    out << " :";
+    for (std::int64_t t : gs.tile_sizes) out << " " << t;
+    out << "\n";
+  }
+  return out.str();
+}
+
+Grouping grouping_from_text(const Pipeline& pl, const std::string& text) {
+  Grouping g;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  NodeSet covered;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ls(line);
+    std::string tok;
+    ls >> tok;
+    FUSEDP_CHECK(tok == "group",
+                 "schedule line " + std::to_string(lineno) +
+                     ": expected 'group', got '" + tok + "'");
+    GroupSchedule gs;
+    bool in_tiles = false;
+    while (ls >> tok) {
+      if (tok == ":") {
+        in_tiles = true;
+        continue;
+      }
+      if (in_tiles) {
+        char* end = nullptr;
+        const long long v = std::strtoll(tok.c_str(), &end, 10);
+        FUSEDP_CHECK(end && *end == '\0' && v > 0,
+                     "schedule line " + std::to_string(lineno) +
+                         ": bad tile size '" + tok + "'");
+        gs.tile_sizes.push_back(v);
+      } else {
+        int id = -1;
+        for (const Stage& s : pl.stages())
+          if (s.name == tok) id = s.id;
+        FUSEDP_CHECK(id >= 0, "schedule line " + std::to_string(lineno) +
+                                  ": no stage named '" + tok + "'");
+        FUSEDP_CHECK(!covered.contains(id),
+                     "schedule line " + std::to_string(lineno) + ": stage '" +
+                         tok + "' appears twice");
+        covered = covered.with(id);
+        gs.stages = gs.stages.with(id);
+      }
+    }
+    FUSEDP_CHECK(!gs.stages.empty(), "schedule line " +
+                                         std::to_string(lineno) +
+                                         ": empty group");
+    g.groups.push_back(std::move(gs));
+  }
+  std::string why;
+  FUSEDP_CHECK(validate_grouping(pl, g, &why), "loaded schedule invalid: " + why);
+  return g;
+}
+
+void save_grouping(const Pipeline& pl, const Grouping& g,
+                   const std::string& path) {
+  std::ofstream out(path);
+  FUSEDP_CHECK(out.good(), "cannot open " + path + " for writing");
+  out << grouping_to_text(pl, g);
+  FUSEDP_CHECK(out.good(), "failed writing " + path);
+}
+
+Grouping load_grouping(const Pipeline& pl, const std::string& path) {
+  std::ifstream in(path);
+  FUSEDP_CHECK(in.good(), "cannot open " + path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return grouping_from_text(pl, ss.str());
+}
+
+}  // namespace fusedp

@@ -1,0 +1,30 @@
+// Plain-text (de)serialization of schedules, so a tuned grouping can be
+// saved, versioned, and replayed without re-running the scheduler:
+//
+//   # fusedp-schedule v1 for <pipeline>
+//   group blurx blury : 3 8 256
+//   group sharpen masked : 3 16 256
+//
+// Stage are identified by name; tile sizes follow the colon (empty list =
+// untiled).
+#pragma once
+
+#include <string>
+
+#include "fusion/grouping.hpp"
+
+namespace fusedp {
+
+std::string grouping_to_text(const Pipeline& pl, const Grouping& g);
+
+// Parses a schedule produced by grouping_to_text (or hand-written).
+// Throws fusedp::Error on syntax errors, unknown stage names, repeated
+// stages, or an invalid resulting grouping.
+Grouping grouping_from_text(const Pipeline& pl, const std::string& text);
+
+// File convenience wrappers.
+void save_grouping(const Pipeline& pl, const Grouping& g,
+                   const std::string& path);
+Grouping load_grouping(const Pipeline& pl, const std::string& path);
+
+}  // namespace fusedp

@@ -1,0 +1,73 @@
+// NodeSet: a set of up-to-64 graph nodes as a bitmask.
+//
+// Every pipeline in the paper has <= 49 stages (Table 2); a 64-bit mask keeps
+// the DP's memo keys and the PARTITIONS enumeration allocation-free.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "support/status.hpp"
+
+namespace fusedp {
+
+inline constexpr int kMaxNodes = 64;
+
+class NodeSet {
+ public:
+  constexpr NodeSet() = default;
+  constexpr explicit NodeSet(std::uint64_t bits) : bits_(bits) {}
+  static constexpr NodeSet single(int n) { return NodeSet(1ull << n); }
+
+  constexpr std::uint64_t bits() const { return bits_; }
+  constexpr bool empty() const { return bits_ == 0; }
+  constexpr int size() const { return std::popcount(bits_); }
+  constexpr bool contains(int n) const { return (bits_ >> n) & 1ull; }
+
+  constexpr NodeSet with(int n) const { return NodeSet(bits_ | (1ull << n)); }
+  constexpr NodeSet without(int n) const {
+    return NodeSet(bits_ & ~(1ull << n));
+  }
+  constexpr NodeSet operator|(NodeSet o) const { return NodeSet(bits_ | o.bits_); }
+  constexpr NodeSet operator&(NodeSet o) const { return NodeSet(bits_ & o.bits_); }
+  constexpr NodeSet operator-(NodeSet o) const { return NodeSet(bits_ & ~o.bits_); }
+  constexpr bool operator==(const NodeSet&) const = default;
+  constexpr bool intersects(NodeSet o) const { return (bits_ & o.bits_) != 0; }
+  constexpr bool contains_all(NodeSet o) const {
+    return (bits_ & o.bits_) == o.bits_;
+  }
+
+  // Lowest-numbered member; set must be non-empty.
+  int first() const {
+    FUSEDP_DCHECK(bits_ != 0, "first() on empty NodeSet");
+    return std::countr_zero(bits_);
+  }
+
+  // Iterates members in increasing order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    std::uint64_t b = bits_;
+    while (b) {
+      const int n = std::countr_zero(b);
+      fn(n);
+      b &= b - 1;
+    }
+  }
+
+  std::string to_string() const {
+    std::string s = "{";
+    bool f = true;
+    for_each([&](int n) {
+      if (!f) s += ",";
+      s += std::to_string(n);
+      f = false;
+    });
+    return s + "}";
+  }
+
+ private:
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace fusedp

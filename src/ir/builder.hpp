@@ -1,0 +1,208 @@
+// Embedded DSL for defining stage bodies — the C++ analogue of the PolyMage
+// Python frontend in paper Figure 1.
+//
+//   Pipeline pl("blur");
+//   int img = pl.add_input("img", {3, R, C});
+//   StageBuilder bx(pl, pl.add_stage("blurx", {3, R, C}));
+//   bx.define((bx.in(img, {0, -1, 0}) + bx.in(img, {0, 0, 0}) +
+//              bx.in(img, {0, 1, 0})) / 3.0f);
+//
+// Loads clamp out-of-domain indices to the producer domain (clamp-to-edge
+// borders), which is also what the generated PolyMage code does for image
+// boundaries.
+#pragma once
+
+#include <initializer_list>
+#include <vector>
+
+#include "ir/pipeline.hpp"
+
+namespace fusedp {
+
+class StageBuilder;
+
+// Expression handle: a node reference bound to the stage arena it lives in.
+struct Eh {
+  Stage* s = nullptr;
+  ExprRef r = kNoExpr;
+};
+
+class StageBuilder {
+ public:
+  StageBuilder(Pipeline& pl, Stage& st) : pl_(&pl), st_(&st) {}
+
+  Stage& stage() { return *st_; }
+  int stage_id() const { return st_->id; }
+
+  // Border mode applied to subsequently created loads (default: clamp).
+  void set_border(Border b) { border_ = b; }
+
+  Eh cst(float v) {
+    ExprNode n;
+    n.op = Op::kConst;
+    n.imm = v;
+    return push(n);
+  }
+
+  // Coordinate of dimension `dim` of this stage, as a float.
+  Eh coord(int dim) {
+    FUSEDP_CHECK(dim >= 0 && dim < st_->rank(), "coord dim out of range");
+    ExprNode n;
+    n.op = Op::kCoord;
+    n.dim = dim;
+    return push(n);
+  }
+
+  // Fully general load.
+  Eh load(ProducerRef p, std::vector<AxisMap> axes) {
+    const Box& pd = pl_->producer_domain(p);
+    FUSEDP_CHECK(static_cast<int>(axes.size()) == pd.rank,
+                 "load axes must match producer rank");
+    st_->loads.push_back({p, std::move(axes), border_});
+    ExprNode n;
+    n.op = Op::kLoad;
+    n.load_id = static_cast<std::int32_t>(st_->loads.size()) - 1;
+    return push(n);
+  }
+
+  // Stencil-style load: one offset per *producer* dimension, with trailing
+  // dimensions aligned (producer dim d reads consumer dim
+  // d + consumer_rank - producer_rank).  Requires producer rank <= stage
+  // rank; use load() with explicit axes otherwise.
+  Eh in(int input_id, std::initializer_list<std::int64_t> offsets) {
+    return at({true, input_id}, offsets);
+  }
+  Eh at(const Stage& producer, std::initializer_list<std::int64_t> offsets) {
+    return at({false, producer.id}, offsets);
+  }
+  Eh at(ProducerRef p, std::initializer_list<std::int64_t> offsets) {
+    const Box& pd = pl_->producer_domain(p);
+    FUSEDP_CHECK(static_cast<int>(offsets.size()) == pd.rank,
+                 "offset count must match producer rank");
+    const int shift = st_->rank() - pd.rank;
+    FUSEDP_CHECK(shift >= 0, "producer rank exceeds stage rank; use load()");
+    std::vector<AxisMap> axes;
+    axes.reserve(offsets.size());
+    int d = 0;
+    for (std::int64_t off : offsets) axes.push_back(AxisMap::affine(d++ + shift, off));
+    return load(p, std::move(axes));
+  }
+
+  // Downsampling load: producer index = 2*x + offset along dims in `scale2`,
+  // identity elsewhere.  Same trailing alignment as at().
+  Eh at_scaled(ProducerRef p, std::initializer_list<std::int64_t> offsets,
+               std::initializer_list<int> num,
+               std::initializer_list<int> den) {
+    const Box& pd = pl_->producer_domain(p);
+    FUSEDP_CHECK(static_cast<int>(offsets.size()) == pd.rank &&
+                     static_cast<int>(num.size()) == pd.rank &&
+                     static_cast<int>(den.size()) == pd.rank,
+                 "at_scaled arity mismatch");
+    const int shift = st_->rank() - pd.rank;
+    FUSEDP_CHECK(shift >= 0, "producer rank exceeds stage rank; use load()");
+    std::vector<AxisMap> axes;
+    auto oi = offsets.begin();
+    auto ni = num.begin();
+    auto di = den.begin();
+    for (int d = 0; d < pd.rank; ++d, ++oi, ++ni, ++di)
+      axes.push_back(AxisMap::affine(d + shift, *oi, *ni, *di));
+    return load(p, std::move(axes));
+  }
+
+  void define(Eh body) {
+    FUSEDP_CHECK(body.s == st_, "expression built for a different stage");
+    FUSEDP_CHECK(st_->kind == StageKind::kMap, "reductions have no body");
+    st_->body = body.r;
+  }
+
+  void mark_output() { st_->is_output = true; }
+
+  Eh push(ExprNode n) {
+    st_->nodes.push_back(n);
+    return Eh{st_, static_cast<ExprRef>(st_->nodes.size()) - 1};
+  }
+
+ private:
+  Pipeline* pl_;
+  Stage* st_;
+  Border border_ = Border::kClamp;
+};
+
+namespace detail {
+
+inline Eh binop(Op op, Eh a, Eh b) {
+  FUSEDP_CHECK(a.s != nullptr && a.s == b.s, "operands from different stages");
+  ExprNode n;
+  n.op = op;
+  n.a = a.r;
+  n.b = b.r;
+  a.s->nodes.push_back(n);
+  return Eh{a.s, static_cast<ExprRef>(a.s->nodes.size()) - 1};
+}
+
+inline Eh imm(Eh like, float v) {
+  ExprNode n;
+  n.op = Op::kConst;
+  n.imm = v;
+  like.s->nodes.push_back(n);
+  return Eh{like.s, static_cast<ExprRef>(like.s->nodes.size()) - 1};
+}
+
+inline Eh unop(Op op, Eh a) {
+  ExprNode n;
+  n.op = op;
+  n.a = a.r;
+  a.s->nodes.push_back(n);
+  return Eh{a.s, static_cast<ExprRef>(a.s->nodes.size()) - 1};
+}
+
+}  // namespace detail
+
+inline Eh operator+(Eh a, Eh b) { return detail::binop(Op::kAdd, a, b); }
+inline Eh operator-(Eh a, Eh b) { return detail::binop(Op::kSub, a, b); }
+inline Eh operator*(Eh a, Eh b) { return detail::binop(Op::kMul, a, b); }
+inline Eh operator/(Eh a, Eh b) { return detail::binop(Op::kDiv, a, b); }
+inline Eh operator+(Eh a, float v) { return a + detail::imm(a, v); }
+inline Eh operator-(Eh a, float v) { return a - detail::imm(a, v); }
+inline Eh operator*(Eh a, float v) { return a * detail::imm(a, v); }
+inline Eh operator/(Eh a, float v) { return a / detail::imm(a, v); }
+inline Eh operator+(float v, Eh a) { return detail::imm(a, v) + a; }
+inline Eh operator-(float v, Eh a) { return detail::imm(a, v) - a; }
+inline Eh operator*(float v, Eh a) { return detail::imm(a, v) * a; }
+inline Eh operator/(float v, Eh a) { return detail::imm(a, v) / a; }
+inline Eh operator-(Eh a) { return detail::unop(Op::kNeg, a); }
+
+inline Eh min(Eh a, Eh b) { return detail::binop(Op::kMin, a, b); }
+inline Eh max(Eh a, Eh b) { return detail::binop(Op::kMax, a, b); }
+inline Eh min(Eh a, float v) { return min(a, detail::imm(a, v)); }
+inline Eh max(Eh a, float v) { return max(a, detail::imm(a, v)); }
+inline Eh pow(Eh a, Eh b) { return detail::binop(Op::kPow, a, b); }
+inline Eh pow(Eh a, float v) { return pow(a, detail::imm(a, v)); }
+inline Eh lt(Eh a, Eh b) { return detail::binop(Op::kLt, a, b); }
+inline Eh le(Eh a, Eh b) { return detail::binop(Op::kLe, a, b); }
+inline Eh lt(Eh a, float v) { return lt(a, detail::imm(a, v)); }
+inline Eh le(Eh a, float v) { return le(a, detail::imm(a, v)); }
+inline Eh eq(Eh a, Eh b) { return detail::binop(Op::kEq, a, b); }
+inline Eh eq(Eh a, float v) { return eq(a, detail::imm(a, v)); }
+inline Eh logical_and(Eh a, Eh b) { return detail::binop(Op::kAnd, a, b); }
+inline Eh logical_or(Eh a, Eh b) { return detail::binop(Op::kOr, a, b); }
+
+inline Eh select(Eh cond, Eh t, Eh f) {
+  FUSEDP_CHECK(cond.s == t.s && t.s == f.s, "select operands differ in stage");
+  ExprNode n;
+  n.op = Op::kSelect;
+  n.a = cond.r;
+  n.b = t.r;
+  n.c = f.r;
+  cond.s->nodes.push_back(n);
+  return Eh{cond.s, static_cast<ExprRef>(cond.s->nodes.size()) - 1};
+}
+
+inline Eh abs(Eh a) { return detail::unop(Op::kAbs, a); }
+inline Eh sqrt(Eh a) { return detail::unop(Op::kSqrt, a); }
+inline Eh exp(Eh a) { return detail::unop(Op::kExp, a); }
+inline Eh log(Eh a) { return detail::unop(Op::kLog, a); }
+inline Eh floor(Eh a) { return detail::unop(Op::kFloor, a); }
+inline Eh clamp(Eh a, float lo, float hi) { return min(max(a, lo), hi); }
+
+}  // namespace fusedp

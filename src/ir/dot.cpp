@@ -1,0 +1,76 @@
+#include "ir/dot.hpp"
+
+#include <sstream>
+
+#include "fusion/grouping.hpp"
+
+namespace fusedp {
+
+namespace {
+
+void emit_nodes_and_edges(const Pipeline& pl, std::ostringstream& out) {
+  for (const InputImage& in : pl.inputs()) {
+    // Inputs as plain boxes (index offset past stage ids).
+    out << "  in" << (&in - pl.inputs().data()) << " [label=\"" << in.name
+        << "\\n" << in.domain.to_string() << "\", shape=box, style=dashed];\n";
+  }
+  for (const Stage& s : pl.stages()) {
+    out << "  s" << s.id << " [label=\"" << s.name;
+    if (s.kind == StageKind::kReduction) out << "\\n(reduction)";
+    if (s.is_output) out << "\\n[out]";
+    out << "\"];\n";
+  }
+  for (const Stage& s : pl.stages()) {
+    NodeSet seen;
+    for (const Access& a : s.loads) {
+      if (a.producer.is_input) {
+        out << "  in" << a.producer.id << " -> s" << s.id << ";\n";
+      } else if (!seen.contains(a.producer.id)) {
+        seen = seen.with(a.producer.id);
+        bool dyn = false, scaled = false;
+        for (const AxisMap& m : a.axes) {
+          if (m.kind == AxisMap::Kind::kDynamic) dyn = true;
+          if (m.kind == AxisMap::Kind::kAffine && (m.num != 1 || m.den != 1))
+            scaled = true;
+        }
+        out << "  s" << a.producer.id << " -> s" << s.id;
+        if (dyn)
+          out << " [style=dotted, label=\"dyn\"]";
+        else if (scaled)
+          out << " [label=\"scaled\"]";
+        out << ";\n";
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string pipeline_to_dot(const Pipeline& pl) {
+  std::ostringstream out;
+  out << "digraph \"" << pl.name() << "\" {\n  rankdir=TB;\n";
+  emit_nodes_and_edges(pl, out);
+  out << "}\n";
+  return out.str();
+}
+
+std::string grouping_to_dot(const Pipeline& pl, const Grouping& g) {
+  std::ostringstream out;
+  out << "digraph \"" << pl.name() << "\" {\n  rankdir=TB;\n";
+  int gi = 0;
+  for (const GroupSchedule& gs : g.groups) {
+    out << "  subgraph cluster_" << gi << " {\n    label=\"group " << gi
+        << " tiles [";
+    for (std::size_t i = 0; i < gs.tile_sizes.size(); ++i)
+      out << (i ? "x" : "") << gs.tile_sizes[i];
+    out << "]\";\n    style=rounded;\n";
+    gs.stages.for_each([&](int s) { out << "    s" << s << ";\n"; });
+    out << "  }\n";
+    ++gi;
+  }
+  emit_nodes_and_edges(pl, out);
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace fusedp

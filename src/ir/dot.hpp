@@ -1,0 +1,19 @@
+// Graphviz DOT export of pipeline DAGs, optionally clustered by grouping —
+// handy for inspecting what a scheduler decided.
+#pragma once
+
+#include <string>
+
+#include "ir/pipeline.hpp"
+
+namespace fusedp {
+
+struct Grouping;  // fusion/grouping.hpp
+
+// DAG alone.
+std::string pipeline_to_dot(const Pipeline& pl);
+
+// DAG with one subgraph cluster per group and tile sizes in cluster labels.
+std::string grouping_to_dot(const Pipeline& pl, const Grouping& g);
+
+}  // namespace fusedp

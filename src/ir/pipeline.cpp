@@ -1,0 +1,79 @@
+#include "ir/pipeline.hpp"
+
+#include <algorithm>
+
+namespace fusedp {
+
+int Pipeline::add_input(const std::string& name,
+                        const std::vector<std::int64_t>& extents) {
+  FUSEDP_CHECK(!finalized_, "pipeline already finalized");
+  inputs_.push_back({name, Box::dense(extents)});
+  return static_cast<int>(inputs_.size()) - 1;
+}
+
+Stage& Pipeline::add_stage(const std::string& name,
+                           const std::vector<std::int64_t>& extents) {
+  FUSEDP_CHECK(!finalized_, "pipeline already finalized");
+  FUSEDP_CHECK(static_cast<int>(stages_.size()) < kMaxNodes,
+               "pipeline exceeds 64 stages");
+  Stage s;
+  s.name = name;
+  s.id = static_cast<std::int32_t>(stages_.size());
+  s.domain = Box::dense(extents);
+  s.kind = StageKind::kMap;
+  stages_.push_back(std::move(s));
+  return stages_.back();
+}
+
+Stage& Pipeline::add_reduction(const std::string& name,
+                               const std::vector<std::int64_t>& extents) {
+  Stage& s = add_stage(name, extents);
+  s.kind = StageKind::kReduction;
+  return s;
+}
+
+void Pipeline::finalize() {
+  FUSEDP_CHECK(!finalized_, "pipeline already finalized");
+  FUSEDP_CHECK(!stages_.empty(), "pipeline has no stages");
+  graph_ = Digraph(num_stages());
+  for (const Stage& s : stages_) {
+    if (s.kind == StageKind::kMap) {
+      FUSEDP_CHECK(s.body != kNoExpr, "stage " + s.name + " has no body");
+    } else {
+      FUSEDP_CHECK(static_cast<bool>(s.reduction),
+                   "reduction " + s.name + " has no implementation");
+    }
+    for (const Access& a : s.loads) {
+      const Box& pd = producer_domain(a.producer);
+      FUSEDP_CHECK(static_cast<int>(a.axes.size()) == pd.rank,
+                   "stage " + s.name + ": access rank mismatch");
+      for (const AxisMap& m : a.axes) {
+        if (m.kind == AxisMap::Kind::kAffine) {
+          FUSEDP_CHECK(m.src_dim >= 0 && m.src_dim < s.rank(),
+                       "stage " + s.name + ": bad src_dim");
+          FUSEDP_CHECK(m.num >= 0 && m.den >= 1,
+                       "stage " + s.name + ": bad access scale");
+        }
+      }
+      if (!a.producer.is_input && a.producer.id != s.id)
+        graph_.add_edge(a.producer.id, s.id);
+    }
+  }
+  graph_.finalize();
+
+  // Live-outs: explicit is_output marks plus every sink.
+  graph_.sinks().for_each(
+      [&](int n) { stages_[static_cast<std::size_t>(n)].is_output = true; });
+  outputs_.clear();
+  for (const Stage& s : stages_)
+    if (s.is_output) outputs_.push_back(s.id);
+  finalized_ = true;
+}
+
+std::int64_t Pipeline::total_volume() const {
+  std::int64_t v = 0;
+  for (const Stage& s : stages_) v += s.volume();
+  return v;
+}
+
+}  // namespace fusedp

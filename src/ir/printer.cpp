@@ -1,0 +1,131 @@
+#include "ir/printer.hpp"
+
+#include <sstream>
+
+namespace fusedp {
+
+namespace {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kConst: return "const";
+    case Op::kCoord: return "coord";
+    case Op::kLoad: return "load";
+    case Op::kAdd: return "+";
+    case Op::kSub: return "-";
+    case Op::kMul: return "*";
+    case Op::kDiv: return "/";
+    case Op::kMin: return "min";
+    case Op::kMax: return "max";
+    case Op::kPow: return "pow";
+    case Op::kLt: return "<";
+    case Op::kLe: return "<=";
+    case Op::kEq: return "==";
+    case Op::kAnd: return "&&";
+    case Op::kOr: return "||";
+    case Op::kSelect: return "select";
+    case Op::kNeg: return "neg";
+    case Op::kAbs: return "abs";
+    case Op::kSqrt: return "sqrt";
+    case Op::kExp: return "exp";
+    case Op::kLog: return "log";
+    case Op::kFloor: return "floor";
+  }
+  return "?";
+}
+
+void print_expr(const Stage& s, ExprRef r, std::ostringstream& out) {
+  const ExprNode& n = s.nodes[static_cast<std::size_t>(r)];
+  switch (n.op) {
+    case Op::kConst:
+      out << n.imm;
+      return;
+    case Op::kCoord:
+      out << "xyzw"[n.dim % 4] << n.dim;
+      return;
+    case Op::kLoad: {
+      const Access& a = s.loads[static_cast<std::size_t>(n.load_id)];
+      out << (a.producer.is_input ? "in" : "f") << a.producer.id << "(";
+      bool first = true;
+      for (const AxisMap& m : a.axes) {
+        if (!first) out << ", ";
+        first = false;
+        switch (m.kind) {
+          case AxisMap::Kind::kConstant:
+            out << m.offset;
+            break;
+          case AxisMap::Kind::kDynamic:
+            out << "dyn";
+            break;
+          case AxisMap::Kind::kAffine:
+            if (m.num != 1 || m.den != 1)
+              out << m.num << "x" << m.src_dim << "/" << m.den;
+            else
+              out << "x" << m.src_dim;
+            if (m.offset > 0) out << "+" << m.offset;
+            if (m.offset < 0) out << m.offset;
+            break;
+        }
+      }
+      out << ")";
+      return;
+    }
+    case Op::kSelect:
+      out << "select(";
+      print_expr(s, n.a, out);
+      out << ", ";
+      print_expr(s, n.b, out);
+      out << ", ";
+      print_expr(s, n.c, out);
+      out << ")";
+      return;
+    default:
+      break;
+  }
+  if (n.b == kNoExpr) {  // unary
+    out << op_name(n.op) << "(";
+    print_expr(s, n.a, out);
+    out << ")";
+  } else {
+    out << "(";
+    print_expr(s, n.a, out);
+    out << " " << op_name(n.op) << " ";
+    print_expr(s, n.b, out);
+    out << ")";
+  }
+}
+
+}  // namespace
+
+std::string to_string(const ExprNode& n) { return op_name(n.op); }
+
+std::string expr_to_string(const Stage& s, ExprRef r) {
+  std::ostringstream out;
+  print_expr(s, r, out);
+  return out.str();
+}
+
+std::string stage_to_string(const Pipeline& pl, const Stage& s) {
+  (void)pl;
+  std::ostringstream out;
+  out << "f" << s.id << " " << s.name << s.domain.to_string();
+  if (s.is_output) out << " [out]";
+  if (s.kind == StageKind::kReduction) {
+    out << " = <reduction over " << s.loads.size() << " inputs>";
+  } else {
+    out << " = " << expr_to_string(s, s.body);
+  }
+  return out.str();
+}
+
+std::string pipeline_to_string(const Pipeline& pl) {
+  std::ostringstream out;
+  out << "pipeline " << pl.name() << " (" << pl.num_stages() << " stages)\n";
+  for (const InputImage& in : pl.inputs())
+    out << "  input " << in.name << " " << in.domain.to_string() << "\n";
+  for (const Stage& s : pl.stages())
+    out << "  " << stage_to_string(pl, s) << "\n";
+  return out.str();
+}
+
+}  // namespace fusedp

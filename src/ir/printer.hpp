@@ -1,0 +1,16 @@
+// Human-readable dumps of pipelines and expressions (debugging aid and
+// example output).
+#pragma once
+
+#include <string>
+
+#include "ir/pipeline.hpp"
+
+namespace fusedp {
+
+std::string to_string(const ExprNode& n);
+std::string expr_to_string(const Stage& s, ExprRef r);
+std::string stage_to_string(const Pipeline& pl, const Stage& s);
+std::string pipeline_to_string(const Pipeline& pl);
+
+}  // namespace fusedp

@@ -1,0 +1,71 @@
+// The paper's cost function (Algorithm 2): COST, COSTFORCACHESIZE and
+// COMPUTETILESIZES.
+//
+// COST(H) returns the cost of fusing the stages of H into one
+// overlapped-tiled group, together with the tile sizes (in reference-space
+// coordinates) that minimize it:
+//
+//   cost =  w1 * (livein_tile + liveout_tile) / compute_volume
+//         - w2 * ((n_tiles + NCORES - 1) % NCORES)
+//         + w3 * overlap / tileFootprint
+//         + w4 * dimSizeStandardDeviation
+//
+// Tile sizes are first computed for the L1 capacity; if the resulting
+// redundant-computation volume exceeds the tile's compute volume, L2-sized
+// tiles are used instead (Algorithm 2 lines 3-9).  Groups whose dependence
+// vectors cannot be made constant cost infinity.  Tile sizes are NOT
+// restricted to powers of two — a key point of the paper.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "analysis/regions.hpp"
+#include "analysis/reuse.hpp"
+#include "analysis/scaling.hpp"
+#include "model/machine.hpp"
+
+namespace fusedp {
+
+inline constexpr double kInfiniteCost = std::numeric_limits<double>::infinity();
+
+struct GroupCost {
+  double cost = kInfiniteCost;
+  std::vector<std::int64_t> tile_sizes;  // per reference-space dimension
+  std::int64_t overlap = 0;              // redundant elements per tile
+  std::int64_t n_tiles = 0;
+  std::int64_t tile_footprint = 0;       // elements
+  bool used_l2 = false;
+
+  bool feasible() const { return cost != kInfiniteCost; }
+};
+
+class CostModel {
+ public:
+  CostModel(const Pipeline& pl, MachineModel machine)
+      : pl_(&pl), m_(std::move(machine)) {}
+
+  const MachineModel& machine() const { return m_; }
+
+  // Algorithm 2, COST(H).
+  GroupCost cost(NodeSet group) const;
+
+  // Algorithm 2, COMPUTETILESIZES: per-class tile sizes such that
+  // numBuffers * prod(tileSizes) ~= tileFootprint, innermost pinned to
+  // min(extent, INNERMOSTTILESIZE), remaining dims proportional to reuse.
+  static std::vector<std::int64_t> compute_tile_sizes(
+      const ReuseInfo& reuse, const AlignResult& align,
+      std::int64_t tile_footprint, std::int64_t num_buffers,
+      std::int64_t innermost_tile);
+
+ private:
+  GroupCost cost_for_cache(NodeSet group, const AlignResult& align,
+                           const ReuseInfo& reuse, std::int64_t cache_floats,
+                           std::int64_t total_footprint,
+                           std::int64_t num_buffers) const;
+
+  const Pipeline* pl_;
+  MachineModel m_;
+};
+
+}  // namespace fusedp

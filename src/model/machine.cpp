@@ -1,0 +1,52 @@
+#include "model/machine.hpp"
+
+#include <unistd.h>
+
+#include <thread>
+
+namespace fusedp {
+
+MachineModel MachineModel::xeon_haswell() {
+  MachineModel m;
+  m.name = "xeon-haswell";
+  m.l1_bytes = 32 * 1024;
+  m.l2_bytes = 256 * 1024;
+  m.l3_bytes = 20 * 1024 * 1024;
+  m.cores = 16;
+  m.vector_width_floats = 8;
+  m.innermost_tile = 256;
+  m.weights = {1.0, 0.01, 15.0, 1.5};
+  return m;
+}
+
+MachineModel MachineModel::amd_opteron() {
+  MachineModel m;
+  m.name = "amd-opteron";
+  m.l1_bytes = 16 * 1024;
+  m.l2_bytes = 1024 * 1024;  // half of the 2 MB shared between 2 cores
+  m.l3_bytes = 12 * 1024 * 1024;
+  m.cores = 16;
+  m.vector_width_floats = 8;
+  m.innermost_tile = 128;
+  m.weights = {0.3, 0.01, 15.0, 2.0};
+  return m;
+}
+
+MachineModel MachineModel::host() {
+  MachineModel m = xeon_haswell();
+  m.name = "host";
+#ifdef _SC_LEVEL1_DCACHE_SIZE
+  if (const long l1 = sysconf(_SC_LEVEL1_DCACHE_SIZE); l1 > 0) m.l1_bytes = l1;
+#endif
+#ifdef _SC_LEVEL2_CACHE_SIZE
+  if (const long l2 = sysconf(_SC_LEVEL2_CACHE_SIZE); l2 > 0) m.l2_bytes = l2;
+#endif
+#ifdef _SC_LEVEL3_CACHE_SIZE
+  if (const long l3 = sysconf(_SC_LEVEL3_CACHE_SIZE); l3 > 0) m.l3_bytes = l3;
+#endif
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 0) m.cores = static_cast<int>(hw);
+  return m;
+}
+
+}  // namespace fusedp

@@ -1,0 +1,150 @@
+// Bilateral Grid (7 stages): grid construction (a scatter reduction), three
+// 1-2-1 blurs over the grid (z, y, x), and a trilinear slice back to image
+// resolution (data-dependent access along z).
+//
+// The reduction accumulates each 8x8 input block into its own grid cell, so
+// the result is deterministic for any thread count (cells are independent).
+// PolyMage does not fuse reductions (paper Section 6.2), so `grid` always
+// runs as its own group; the slice stages cannot fuse with the blurs either
+// (dynamic z index => non-constant dependence).
+#include "pipelines/pipelines.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fusedp {
+
+namespace {
+
+constexpr std::int64_t kSigmaS = 8;   // spatial bin size
+constexpr float kInvSigmaR = 10.0f;   // intensity bins per unit
+constexpr std::int64_t kZ = 12;       // intensity bins (0..11 after clamp)
+
+void grid_reduction(const ReductionCtx& ctx) {
+  const BufferView& in = ctx.inputs[0];
+  const BufferView& out = ctx.out;
+  const std::int64_t gh = out.extent[2];
+  const std::int64_t gw = out.extent[3];
+  const std::int64_t h = in.extent[0];
+  const std::int64_t w = in.extent[1];
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) num_threads(ctx.num_threads)
+#endif
+  for (std::int64_t gy = 0; gy < gh; ++gy) {
+    for (std::int64_t gx = 0; gx < gw; ++gx) {
+      const std::int64_t y1 = std::min((gy + 1) * kSigmaS, h);
+      const std::int64_t x1 = std::min((gx + 1) * kSigmaS, w);
+      for (std::int64_t y = gy * kSigmaS; y < y1; ++y) {
+        for (std::int64_t x = gx * kSigmaS; x < x1; ++x) {
+          const std::int64_t yx[2] = {y, x};
+          const float v = in.at(yx);
+          std::int64_t z = static_cast<std::int64_t>(
+              std::floor(v * kInvSigmaR + 0.5f));
+          z = std::clamp<std::int64_t>(z, 0, kZ - 1);
+          const std::int64_t csum[4] = {0, z, gy, gx};
+          const std::int64_t ccnt[4] = {1, z, gy, gx};
+          out.data[out.offset_of(csum)] += v;
+          out.data[out.offset_of(ccnt)] += 1.0f;
+        }
+      }
+    }
+  }
+}
+
+// 1-2-1 blur of 4-D grid `p` along dimension `dim` (1=z, 2=y, 3=x).
+Eh blur121(StageBuilder& b, const Stage& p, int dim) {
+  auto tap = [&](std::int64_t off) {
+    std::vector<AxisMap> axes;
+    for (int d = 0; d < 4; ++d)
+      axes.push_back(AxisMap::affine(d, d == dim ? off : 0));
+    return b.load({false, p.id}, std::move(axes));
+  };
+  return (tap(-1) + 2.0f * tap(0) + tap(1)) / 4.0f;
+}
+
+// Trilinear slice of grid channel `chan` at (I(y,x)*kInvSigmaR, y/8, x/8).
+Eh slice(StageBuilder& b, int input_img, const Stage& grid, std::int64_t chan) {
+  const Eh intensity = b.in(input_img, {0, 0});
+  const Eh zf = intensity * kInvSigmaR;
+  const Eh zi = floor(zf);
+  const Eh wz = zf - zi;
+  // Fractional spatial positions within the coarse grid.
+  const Eh fy = b.coord(0) * (1.0f / kSigmaS);
+  const Eh wy = fy - floor(fy);
+  const Eh fx = b.coord(1) * (1.0f / kSigmaS);
+  const Eh wx = fx - floor(fx);
+
+  Eh acc = b.cst(0.0f);
+  for (int zo = 0; zo <= 1; ++zo) {
+    const Eh zidx = zo ? zi + 1.0f : zi;
+    for (int yo = 0; yo <= 1; ++yo) {
+      for (int xo = 0; xo <= 1; ++xo) {
+        std::vector<AxisMap> axes;
+        axes.push_back(AxisMap::constant(chan));
+        axes.push_back(AxisMap::dynamic(zidx.r));
+        axes.push_back(AxisMap::affine(0, yo, 1, kSigmaS));
+        axes.push_back(AxisMap::affine(1, xo, 1, kSigmaS));
+        const Eh tap = b.load({false, grid.id}, std::move(axes));
+        Eh w = zo ? wz : 1.0f - wz;
+        w = w * (yo ? wy : 1.0f - wy);
+        w = w * (xo ? wx : 1.0f - wx);
+        acc = acc + w * tap;
+      }
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+PipelineSpec make_bilateral(std::int64_t height, std::int64_t width) {
+  PipelineSpec spec;
+  spec.pipeline = std::make_unique<Pipeline>("bilateral");
+  Pipeline& pl = *spec.pipeline;
+
+  const int img = pl.add_input("img", {height, width});
+  const std::int64_t gh = ceil_div(height, kSigmaS);
+  const std::int64_t gw = ceil_div(width, kSigmaS);
+
+  Stage& grid = pl.add_reduction("grid", {2, kZ, gh, gw});
+  // Declared read (graph edge + live-in estimate): each grid cell gathers an
+  // 8x8 input block.
+  grid.loads.push_back(
+      {{true, img},
+       {AxisMap::affine(2, 0, static_cast<int>(kSigmaS)),
+        AxisMap::affine(3, 0, static_cast<int>(kSigmaS))}});
+  grid.reduction = grid_reduction;
+
+  StageBuilder bz(pl, pl.add_stage("blurz", {2, kZ, gh, gw}));
+  bz.define(blur121(bz, grid, 1));
+  StageBuilder bgy(pl, pl.add_stage("blury", {2, kZ, gh, gw}));
+  bgy.define(blur121(bgy, bz.stage(), 2));
+  StageBuilder bgx(pl, pl.add_stage("blurx", {2, kZ, gh, gw}));
+  bgx.define(blur121(bgx, bgy.stage(), 3));
+
+  StageBuilder num(pl, pl.add_stage("slice_num", {height, width}));
+  num.define(slice(num, img, bgx.stage(), 0));
+  StageBuilder den(pl, pl.add_stage("slice_den", {height, width}));
+  den.define(slice(den, img, bgx.stage(), 1));
+
+  StageBuilder out(pl, pl.add_stage("out", {height, width}));
+  out.define(out.at(num.stage(), {0, 0}) /
+             max(out.at(den.stage(), {0, 0}), 1e-6f));
+
+  pl.finalize();
+
+  spec.make_inputs = [height, width] {
+    std::vector<Buffer> in;
+    in.push_back(make_synthetic_image({height, width}, 17));
+    return in;
+  };
+  // Expert schedule: blurs fused; slice stages fused with the output.  (The
+  // Halide schedule additionally fuses the histogram into the blurs, which
+  // this runtime — like PolyMage — does not support for reductions.)
+  spec.manual_groups = {{"blurz", "blury", "blurx"},
+                        {"slice_num", "slice_den", "out"}};
+  spec.manual_tiles = {{}, {64, 256}};
+  return spec;
+}
+
+}  // namespace fusedp

@@ -1,0 +1,35 @@
+// Paper Figure 1: the two-stage 3x3 separable blur.
+#include "pipelines/pipelines.hpp"
+
+namespace fusedp {
+
+PipelineSpec make_blur(std::int64_t height, std::int64_t width) {
+  PipelineSpec spec;
+  spec.pipeline = std::make_unique<Pipeline>("blur");
+  Pipeline& pl = *spec.pipeline;
+
+  const int img = pl.add_input("img", {3, height, width});
+
+  StageBuilder bx(pl, pl.add_stage("blurx", {3, height, width}));
+  bx.define((bx.in(img, {0, -1, 0}) + bx.in(img, {0, 0, 0}) +
+             bx.in(img, {0, 1, 0})) /
+            3.0f);
+
+  StageBuilder by(pl, pl.add_stage("blury", {3, height, width}));
+  by.define((by.at(bx.stage(), {0, 0, -1}) + by.at(bx.stage(), {0, 0, 0}) +
+             by.at(bx.stage(), {0, 0, 1})) /
+            3.0f);
+
+  pl.finalize();
+
+  spec.make_inputs = [height, width] {
+    std::vector<Buffer> in;
+    in.push_back(make_synthetic_image({3, height, width}, 7));
+    return in;
+  };
+  spec.manual_groups = {{"blurx", "blury"}};
+  spec.manual_tiles = {{64, 64}};
+  return spec;
+}
+
+}  // namespace fusedp

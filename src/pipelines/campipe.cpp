@@ -1,0 +1,252 @@
+// Camera Pipeline (32 stages): hot-pixel suppression, Bayer deinterleave
+// (2x downsampling with phase offsets), demosaic (half-resolution channel
+// interpolations + parity-based full-resolution interleave), color
+// correction, a tone-curve LUT applied via data-dependent gather, sharpening,
+// and chroma denoise in YCbCr.
+//
+// The stage mix deliberately matches the paper's characterization:
+// "stencil-like, interleaved, and data-dependent access patterns".
+#include "pipelines/pipelines.hpp"
+
+namespace fusedp {
+
+namespace {
+
+// Parity of a coordinate as a 0/1 float: c - 2*floor(c/2).  Exact for
+// coordinates below 2^23.
+Eh parity(StageBuilder& b, int dim) {
+  const Eh c = b.coord(dim);
+  return c - 2.0f * floor(c * 0.5f);
+}
+
+// Load of half-resolution producer `p` at (x/2 + ox, y/2 + oy).
+Eh half_tap(StageBuilder& b, const Stage& p, std::int64_t ox, std::int64_t oy) {
+  return b.load({false, p.id}, {AxisMap::affine(0, ox, 1, 2),
+                                AxisMap::affine(1, oy, 1, 2)});
+}
+
+Eh blur121x(StageBuilder& b, const Stage& p) {
+  return (b.at(p, {0, -1, 0}) + 2.0f * b.at(p, {0, 0, 0}) +
+          b.at(p, {0, 1, 0})) /
+         4.0f;
+}
+
+Eh blur121y(StageBuilder& b, const Stage& p) {
+  return (b.at(p, {0, 0, -1}) + 2.0f * b.at(p, {0, 0, 0}) +
+          b.at(p, {0, 0, 1})) /
+         4.0f;
+}
+
+}  // namespace
+
+PipelineSpec make_campipe(std::int64_t height, std::int64_t width) {
+  PipelineSpec spec;
+  spec.pipeline = std::make_unique<Pipeline>("campipe");
+  Pipeline& pl = *spec.pipeline;
+
+  const int raw = pl.add_input("raw", {height, width});
+  const std::int64_t h2 = height / 2;
+  const std::int64_t w2 = width / 2;
+
+  // 1: hot-pixel suppression.
+  StageBuilder hp(pl, pl.add_stage("hotpix", {height, width}));
+  {
+    const Eh v = hp.in(raw, {0, 0});
+    const Eh mx = max(max(hp.in(raw, {-2, 0}), hp.in(raw, {2, 0})),
+                      max(hp.in(raw, {0, -2}), hp.in(raw, {0, 2})));
+    hp.define(min(v, mx));
+  }
+  const Stage& hot = hp.stage();
+
+  // 2-5: deinterleave the Bayer mosaic (GR R / B GB).
+  auto deinter = [&](const std::string& name, std::int64_t px,
+                     std::int64_t py) -> const Stage& {
+    StageBuilder b(pl, pl.add_stage(name, {h2, w2}));
+    b.define(b.load({false, hot.id}, {AxisMap::affine(0, px, 2, 1),
+                                      AxisMap::affine(1, py, 2, 1)}));
+    return b.stage();
+  };
+  const Stage& d_gr = deinter("d_gr", 0, 0);
+  const Stage& d_r = deinter("d_r", 0, 1);
+  const Stage& d_b = deinter("d_b", 1, 0);
+  const Stage& d_gb = deinter("d_gb", 1, 1);
+
+  // 6-13: half-resolution demosaic interpolations.
+  StageBuilder gr_(pl, pl.add_stage("g_r", {h2, w2}));
+  gr_.define((gr_.at(d_gr, {0, 0}) + gr_.at(d_gr, {0, 1}) +
+              gr_.at(d_gb, {0, 0}) + gr_.at(d_gb, {-1, 0})) /
+             4.0f);
+  const Stage& g_r = gr_.stage();
+
+  StageBuilder gb_(pl, pl.add_stage("g_b", {h2, w2}));
+  gb_.define((gb_.at(d_gb, {0, 0}) + gb_.at(d_gb, {0, -1}) +
+              gb_.at(d_gr, {0, 0}) + gb_.at(d_gr, {1, 0})) /
+             4.0f);
+  const Stage& g_b = gb_.stage();
+
+  StageBuilder rgr(pl, pl.add_stage("r_gr", {h2, w2}));
+  rgr.define((rgr.at(d_r, {0, -1}) + rgr.at(d_r, {0, 0})) * 0.5f +
+             0.25f * (2.0f * rgr.at(d_gr, {0, 0}) - rgr.at(g_r, {0, -1}) -
+                      rgr.at(g_r, {0, 0})));
+  StageBuilder bgr(pl, pl.add_stage("b_gr", {h2, w2}));
+  bgr.define((bgr.at(d_b, {-1, 0}) + bgr.at(d_b, {0, 0})) * 0.5f +
+             0.25f * (2.0f * bgr.at(d_gr, {0, 0}) - bgr.at(g_b, {-1, 0}) -
+                      bgr.at(g_b, {0, 0})));
+  StageBuilder rgb_(pl, pl.add_stage("r_gb", {h2, w2}));
+  rgb_.define((rgb_.at(d_r, {0, 0}) + rgb_.at(d_r, {1, 0})) * 0.5f +
+              0.25f * (2.0f * rgb_.at(d_gb, {0, 0}) - rgb_.at(g_r, {0, 0}) -
+                       rgb_.at(g_r, {1, 0})));
+  StageBuilder bgb(pl, pl.add_stage("b_gb", {h2, w2}));
+  bgb.define((bgb.at(d_b, {0, 0}) + bgb.at(d_b, {0, 1})) * 0.5f +
+             0.25f * (2.0f * bgb.at(d_gb, {0, 0}) - bgb.at(g_b, {0, 0}) -
+                      bgb.at(g_b, {0, 1})));
+  StageBuilder rb_(pl, pl.add_stage("r_b", {h2, w2}));
+  rb_.define((rb_.at(d_r, {0, 0}) + rb_.at(d_r, {1, -1}) +
+              rb_.at(d_r, {0, -1}) + rb_.at(d_r, {1, 0})) /
+             4.0f);
+  StageBuilder br_(pl, pl.add_stage("b_r", {h2, w2}));
+  br_.define((br_.at(d_b, {0, 0}) + br_.at(d_b, {-1, 1}) +
+              br_.at(d_b, {0, 1}) + br_.at(d_b, {-1, 0})) /
+             4.0f);
+
+  // 14-16: full-resolution channel planes, selected by pixel parity.
+  auto interleave = [&](const std::string& name, const Stage& ee,
+                        const Stage& eo, const Stage& oe,
+                        const Stage& oo) -> const Stage& {
+    StageBuilder b(pl, pl.add_stage(name, {height, width}));
+    const Eh px = parity(b, 0);
+    const Eh py = parity(b, 1);
+    const Eh even_x = select(eq(py, 0.0f), half_tap(b, ee, 0, 0),
+                             half_tap(b, eo, 0, 0));
+    const Eh odd_x = select(eq(py, 0.0f), half_tap(b, oe, 0, 0),
+                            half_tap(b, oo, 0, 0));
+    b.define(select(eq(px, 0.0f), even_x, odd_x));
+    return b.stage();
+  };
+  const Stage& r_full =
+      interleave("r_full", rgr.stage(), d_r, rb_.stage(), rgb_.stage());
+  const Stage& g_full = interleave("g_full", d_gr, g_r, g_b, d_gb);
+  const Stage& b_full =
+      interleave("b_full", bgr.stage(), br_.stage(), d_b, bgb.stage());
+
+  // 17: interleave into one [3,H,W] image.
+  StageBuilder dm(pl, pl.add_stage("demosaiced", {3, height, width}));
+  {
+    const Eh c = dm.coord(0);
+    dm.define(select(eq(c, 0.0f), dm.at(r_full, {0, 0}),
+                     select(eq(c, 1.0f), dm.at(g_full, {0, 0}),
+                            dm.at(b_full, {0, 0}))));
+  }
+
+  // 18: color-correction matrix.
+  StageBuilder cc(pl, pl.add_stage("corrected", {3, height, width}));
+  {
+    auto chan = [&](std::int64_t k) {
+      return cc.load({false, dm.stage_id()},
+                     {AxisMap::constant(k), AxisMap::affine(1),
+                      AxisMap::affine(2)});
+    };
+    const Eh r = chan(0), g = chan(1), b = chan(2);
+    const Eh c = cc.coord(0);
+    const Eh row0 = 1.54f * r - 0.43f * g - 0.11f * b;
+    const Eh row1 = -0.28f * r + 1.39f * g - 0.11f * b;
+    const Eh row2 = -0.04f * r - 0.52f * g + 1.56f * b;
+    cc.define(select(eq(c, 0.0f), row0, select(eq(c, 1.0f), row1, row2)));
+  }
+
+  // 19: tone curve LUT (rank-1 stage).
+  StageBuilder lut(pl, pl.add_stage("curve", {256}));
+  lut.define(pow(lut.coord(0) * (1.0f / 255.0f), 1.0f / 2.2f));
+
+  // 20: apply the curve via data-dependent gather.
+  StageBuilder cv(pl, pl.add_stage("curved", {3, height, width}));
+  {
+    const Eh v = cv.at(cc.stage(), {0, 0, 0});
+    const Eh idx = clamp(v * 255.0f, 0.0f, 255.0f);
+    cv.define(cv.load({false, lut.stage_id()}, {AxisMap::dynamic(idx.r)}));
+  }
+
+  // 21-23: sharpen.
+  StageBuilder shx(pl, pl.add_stage("sharpen_x", {3, height, width}));
+  shx.define(blur121x(shx, cv.stage()));
+  StageBuilder shy(pl, pl.add_stage("sharpen_y", {3, height, width}));
+  shy.define(blur121y(shy, shx.stage()));
+  StageBuilder shp(pl, pl.add_stage("sharpened", {3, height, width}));
+  shp.define(shp.at(cv.stage(), {0, 0, 0}) +
+             0.6f * (shp.at(cv.stage(), {0, 0, 0}) -
+                     shp.at(shy.stage(), {0, 0, 0})));
+
+  // 24-26: YCbCr split.
+  auto chan_of = [&](StageBuilder& b, const Stage& p, std::int64_t k) {
+    return b.load({false, p.id}, {AxisMap::constant(k), AxisMap::affine(0),
+                                  AxisMap::affine(1)});
+  };
+  StageBuilder ly(pl, pl.add_stage("luma", {height, width}));
+  ly.define(0.299f * chan_of(ly, shp.stage(), 0) +
+            0.587f * chan_of(ly, shp.stage(), 1) +
+            0.114f * chan_of(ly, shp.stage(), 2));
+  StageBuilder cb(pl, pl.add_stage("cb", {height, width}));
+  cb.define((chan_of(cb, shp.stage(), 2) - cb.at(ly.stage(), {0, 0})) *
+            0.564f);
+  StageBuilder cr(pl, pl.add_stage("cr", {height, width}));
+  cr.define((chan_of(cr, shp.stage(), 0) - cr.at(ly.stage(), {0, 0})) *
+            0.713f);
+
+  // 27-30: chroma denoise (1-2-1 blurs).
+  auto blur2d = [&](const std::string& name, const Stage& p, bool along_y)
+      -> const Stage& {
+    StageBuilder b(pl, pl.add_stage(name, {height, width}));
+    if (along_y)
+      b.define((b.at(p, {0, -1}) + 2.0f * b.at(p, {0, 0}) + b.at(p, {0, 1})) /
+               4.0f);
+    else
+      b.define((b.at(p, {-1, 0}) + 2.0f * b.at(p, {0, 0}) + b.at(p, {1, 0})) /
+               4.0f);
+    return b.stage();
+  };
+  const Stage& cb_bx = blur2d("cb_blur_x", cb.stage(), false);
+  const Stage& cb_by = blur2d("cb_blur_y", cb_bx, true);
+  const Stage& cr_bx = blur2d("cr_blur_x", cr.stage(), false);
+  const Stage& cr_by = blur2d("cr_blur_y", cr_bx, true);
+
+  // 31: recombine YCbCr -> RGB.
+  StageBuilder rc(pl, pl.add_stage("recombined", {3, height, width}));
+  {
+    const Eh c = rc.coord(0);
+    const Eh y = rc.at(ly.stage(), {0, 0});
+    const Eh cbv = rc.at(cb_by, {0, 0});
+    const Eh crv = rc.at(cr_by, {0, 0});
+    const Eh r = y + 1.403f * crv;
+    const Eh g = y - 0.344f * cbv - 0.714f * crv;
+    const Eh b = y + 1.773f * cbv;
+    rc.define(select(eq(c, 0.0f), r, select(eq(c, 1.0f), g, b)));
+  }
+
+  // 32: final contrast/brightness and clamp.
+  StageBuilder fin(pl, pl.add_stage("final", {3, height, width}));
+  fin.define(clamp(fin.at(rc.stage(), {0, 0, 0}) * 1.1f - 0.02f, 0.0f, 1.0f));
+
+  pl.finalize();
+  FUSEDP_CHECK(pl.num_stages() == 32, "campipe must have 32 stages");
+
+  spec.make_inputs = [height, width] {
+    std::vector<Buffer> in;
+    in.push_back(make_synthetic_image({height, width}, 23));
+    return in;
+  };
+  // Expert schedule: everything up to color correction fused in one tiled
+  // group (the Halide schedule computes the demosaic chain per output tile);
+  // the LUT stands alone; curved+sharpen fused; the YCbCr chain fused.
+  spec.manual_groups = {
+      {"hotpix", "d_gr", "d_r", "d_b", "d_gb", "g_r", "g_b", "r_gr", "b_gr",
+       "r_gb", "b_gb", "r_b", "b_r", "r_full", "g_full", "b_full",
+       "demosaiced", "corrected"},
+      {"curve"},
+      {"curved", "sharpen_x", "sharpen_y", "sharpened"},
+      {"luma", "cb", "cr", "cb_blur_x", "cb_blur_y", "cr_blur_x", "cr_blur_y",
+       "recombined", "final"}};
+  spec.manual_tiles = {{32, 64}, {}, {32, 256}, {32, 256}};
+  return spec;
+}
+
+}  // namespace fusedp

@@ -1,0 +1,92 @@
+// Harris Corner Detection (11 stages): grayscale, Sobel gradients, products,
+// 3x3 box sums, determinant/response.
+#include "pipelines/pipelines.hpp"
+
+namespace fusedp {
+
+namespace {
+
+// 3x3 box sum of `p` centered at (x, y).
+Eh box3x3(StageBuilder& b, const Stage& p) {
+  Eh acc = b.at(p, {-1, -1});
+  for (int dx = -1; dx <= 1; ++dx)
+    for (int dy = -1; dy <= 1; ++dy) {
+      if (dx == -1 && dy == -1) continue;
+      acc = acc + b.at(p, {dx, dy});
+    }
+  return acc;
+}
+
+}  // namespace
+
+PipelineSpec make_harris(std::int64_t height, std::int64_t width) {
+  PipelineSpec spec;
+  spec.pipeline = std::make_unique<Pipeline>("harris");
+  Pipeline& pl = *spec.pipeline;
+
+  const int img = pl.add_input("img", {3, height, width});
+
+  StageBuilder gray(pl, pl.add_stage("gray", {height, width}));
+  {
+    auto chan = [&](std::int64_t c) {
+      return gray.load({true, img},
+                       {AxisMap::constant(c), AxisMap::affine(0),
+                        AxisMap::affine(1)});
+    };
+    gray.define(0.299f * chan(0) + 0.587f * chan(1) + 0.114f * chan(2));
+  }
+  const Stage& g = gray.stage();
+
+  StageBuilder ix(pl, pl.add_stage("Ix", {height, width}));
+  ix.define((ix.at(g, {-1, -1}) * -1.0f + ix.at(g, {-1, 1}) +
+             ix.at(g, {0, -1}) * -2.0f + ix.at(g, {0, 1}) * 2.0f +
+             ix.at(g, {1, -1}) * -1.0f + ix.at(g, {1, 1})) /
+            12.0f);
+
+  StageBuilder iy(pl, pl.add_stage("Iy", {height, width}));
+  iy.define((iy.at(g, {-1, -1}) * -1.0f + iy.at(g, {1, -1}) +
+             iy.at(g, {-1, 0}) * -2.0f + iy.at(g, {1, 0}) * 2.0f +
+             iy.at(g, {-1, 1}) * -1.0f + iy.at(g, {1, 1})) /
+            12.0f);
+
+  StageBuilder ixx(pl, pl.add_stage("Ixx", {height, width}));
+  ixx.define(ixx.at(ix.stage(), {0, 0}) * ixx.at(ix.stage(), {0, 0}));
+  StageBuilder iyy(pl, pl.add_stage("Iyy", {height, width}));
+  iyy.define(iyy.at(iy.stage(), {0, 0}) * iyy.at(iy.stage(), {0, 0}));
+  StageBuilder ixy(pl, pl.add_stage("Ixy", {height, width}));
+  ixy.define(ixy.at(ix.stage(), {0, 0}) * ixy.at(iy.stage(), {0, 0}));
+
+  StageBuilder sxx(pl, pl.add_stage("Sxx", {height, width}));
+  sxx.define(box3x3(sxx, ixx.stage()));
+  StageBuilder syy(pl, pl.add_stage("Syy", {height, width}));
+  syy.define(box3x3(syy, iyy.stage()));
+  StageBuilder sxy(pl, pl.add_stage("Sxy", {height, width}));
+  sxy.define(box3x3(sxy, ixy.stage()));
+
+  StageBuilder det(pl, pl.add_stage("det", {height, width}));
+  det.define(det.at(sxx.stage(), {0, 0}) * det.at(syy.stage(), {0, 0}) -
+             det.at(sxy.stage(), {0, 0}) * det.at(sxy.stage(), {0, 0}));
+
+  StageBuilder resp(pl, pl.add_stage("harris", {height, width}));
+  {
+    const Eh trace =
+        resp.at(sxx.stage(), {0, 0}) + resp.at(syy.stage(), {0, 0});
+    resp.define(resp.at(det.stage(), {0, 0}) - 0.04f * trace * trace);
+  }
+
+  pl.finalize();
+
+  spec.make_inputs = [height, width] {
+    std::vector<Buffer> in;
+    in.push_back(make_synthetic_image({3, height, width}, 13));
+    return in;
+  };
+  // Expert schedule: full fusion with spatial tiling (the Halide schedule
+  // computes gray/Ix/Iy at tile granularity inside a tiled response loop).
+  spec.manual_groups = {{"gray", "Ix", "Iy", "Ixx", "Iyy", "Ixy", "Sxx",
+                         "Syy", "Sxy", "det", "harris"}};
+  spec.manual_tiles = {{64, 256}};
+  return spec;
+}
+
+}  // namespace fusedp

@@ -1,0 +1,151 @@
+// Multiscale Interpolation (49 stages): alpha-premultiply, a 10-level
+// downsampling pyramid (2 separable stages per level), a 9-level upsampling
+// + interpolation chain (3 stages per level), and a final full-resolution
+// reconstruct/normalize stage.
+//
+// Down/upsampling accesses use scaled AxisMaps (num=2 / den=2), so fusing
+// across pyramid levels exercises the paper's scaling+alignment machinery.
+#include "pipelines/pipelines.hpp"
+
+#include <algorithm>
+
+namespace fusedp {
+
+namespace {
+
+// Linear 2x upsampling taps of `p` along `dim` (rank-3 [4,H,W] stages):
+// 0.5 * (p[dim/2] + p[(dim+1)/2]).
+Eh up2(StageBuilder& b, const Stage& p, int dim) {
+  auto tap = [&](std::int64_t pre) {
+    std::vector<AxisMap> axes;
+    for (int d = 0; d < 3; ++d)
+      axes.push_back(d == dim ? AxisMap::affine(d, 0, 1, 2, pre)
+                              : AxisMap::affine(d));
+    return b.load({false, p.id}, std::move(axes));
+  };
+  return 0.5f * (tap(0) + tap(1));
+}
+
+// 1-2-1 2x downsampling taps of `p` along `dim`: (p[2x-1]+2p[2x]+p[2x+1])/4.
+Eh down2(StageBuilder& b, const Stage& p, int dim) {
+  auto tap = [&](std::int64_t off) {
+    std::vector<AxisMap> axes;
+    for (int d = 0; d < 3; ++d)
+      axes.push_back(d == dim ? AxisMap::affine(d, off, 2, 1)
+                              : AxisMap::affine(d));
+    return b.load({false, p.id}, std::move(axes));
+  };
+  return (tap(-1) + 2.0f * tap(0) + tap(1)) / 4.0f;
+}
+
+}  // namespace
+
+PipelineSpec make_interpolate(std::int64_t height, std::int64_t width) {
+  PipelineSpec spec;
+  spec.pipeline = std::make_unique<Pipeline>("interpolate");
+  Pipeline& pl = *spec.pipeline;
+  constexpr int kLevels = 10;
+
+  const int img = pl.add_input("img", {4, height, width});
+
+  std::int64_t hs[kLevels + 1], ws[kLevels + 1];
+  hs[0] = height;
+  ws[0] = width;
+  for (int l = 1; l <= kLevels; ++l) {
+    hs[l] = std::max<std::int64_t>(1, (hs[l - 1] + 1) / 2);
+    ws[l] = std::max<std::int64_t>(1, (ws[l - 1] + 1) / 2);
+  }
+
+  // Stage 1: alpha-premultiply.
+  StageBuilder pm(pl, pl.add_stage("premult", {4, height, width}));
+  {
+    const Eh c = pm.coord(0);
+    const Eh v = pm.in(img, {0, 0, 0});
+    const Eh alpha = pm.load({true, img}, {AxisMap::constant(3),
+                                           AxisMap::affine(1),
+                                           AxisMap::affine(2)});
+    pm.define(select(lt(c, 3.0f), v * alpha, alpha));
+  }
+
+  // Downsampling pyramid: d[0] = premult; 2 stages per level.
+  const Stage* down[kLevels + 1];
+  down[0] = &pm.stage();
+  for (int l = 1; l <= kLevels; ++l) {
+    const std::string suffix = std::to_string(l);
+    StageBuilder dx(pl, pl.add_stage("downx" + suffix, {4, hs[l - 1], ws[l]}));
+    dx.define(down2(dx, *down[l - 1], 2));
+    StageBuilder dy(pl, pl.add_stage("down" + suffix, {4, hs[l], ws[l]}));
+    dy.define(down2(dy, dx.stage(), 1));
+    down[l] = &dy.stage();
+  }
+
+  // Upsampling + interpolation: u[10] = down[10]; 3 stages per level 9..1.
+  const Stage* up[kLevels + 1];
+  up[kLevels] = down[kLevels];
+  for (int l = kLevels - 1; l >= 1; --l) {
+    const std::string suffix = std::to_string(l);
+    StageBuilder ux(pl, pl.add_stage("upx" + suffix, {4, hs[l + 1], ws[l]}));
+    ux.define(up2(ux, *up[l + 1], 2));
+    StageBuilder uy(pl, pl.add_stage("upy" + suffix, {4, hs[l], ws[l]}));
+    uy.define(up2(uy, ux.stage(), 1));
+    StageBuilder it(pl, pl.add_stage("interp" + suffix, {4, hs[l], ws[l]}));
+    {
+      const Eh d = it.at(*down[l], {0, 0, 0});
+      const Eh alpha = it.load({false, down[l]->id},
+                               {AxisMap::constant(3), AxisMap::affine(1),
+                                AxisMap::affine(2)});
+      it.define(d + (1.0f - alpha) * it.at(uy.stage(), {0, 0, 0}));
+    }
+    up[l] = &it.stage();
+  }
+
+  // Stage 49: reconstruct level 0 inline (4-tap bilinear up of interp1) and
+  // normalize by the reconstructed alpha.
+  StageBuilder out(pl, pl.add_stage("out", {3, height, width}));
+  {
+    auto up_tap = [&](bool alpha_chan, std::int64_t py, std::int64_t px) {
+      std::vector<AxisMap> axes;
+      axes.push_back(alpha_chan ? AxisMap::constant(3) : AxisMap::affine(0));
+      axes.push_back(AxisMap::affine(1, 0, 1, 2, py));
+      axes.push_back(AxisMap::affine(2, 0, 1, 2, px));
+      return out.load({false, up[1]->id}, std::move(axes));
+    };
+    const Eh upc = 0.25f * (up_tap(false, 0, 0) + up_tap(false, 0, 1) +
+                            up_tap(false, 1, 0) + up_tap(false, 1, 1));
+    const Eh upa = 0.25f * (up_tap(true, 0, 0) + up_tap(true, 0, 1) +
+                            up_tap(true, 1, 0) + up_tap(true, 1, 1));
+    const Eh pv = out.load({false, pm.stage_id()},
+                           {AxisMap::affine(0), AxisMap::affine(1),
+                            AxisMap::affine(2)});
+    const Eh pa = out.load({false, pm.stage_id()},
+                           {AxisMap::constant(3), AxisMap::affine(1),
+                            AxisMap::affine(2)});
+    const Eh numer = pv + (1.0f - pa) * upc;
+    const Eh denom = pa + (1.0f - pa) * upa;
+    out.define(numer / max(denom, 1e-6f));
+  }
+
+  pl.finalize();
+  FUSEDP_CHECK(pl.num_stages() == 49, "interpolate must have 49 stages");
+
+  spec.make_inputs = [height, width] {
+    std::vector<Buffer> in;
+    in.push_back(make_synthetic_image({4, height, width}, 19));
+    return in;
+  };
+  // Expert schedule: per-level fusion (down pair / up triple), output alone.
+  for (int l = 1; l <= kLevels; ++l) {
+    spec.manual_groups.push_back(
+        {"downx" + std::to_string(l), "down" + std::to_string(l)});
+    spec.manual_tiles.push_back({32, 64});
+  }
+  for (int l = kLevels - 1; l >= 1; --l) {
+    spec.manual_groups.push_back({"upx" + std::to_string(l),
+                                  "upy" + std::to_string(l),
+                                  "interp" + std::to_string(l)});
+    spec.manual_tiles.push_back({32, 64});
+  }
+  return spec;
+}
+
+}  // namespace fusedp

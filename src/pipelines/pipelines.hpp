@@ -1,0 +1,62 @@
+// The paper's six benchmark pipelines (Table 2) plus the blur example of
+// Figure 1.  Stage counts match the paper:
+//   Unsharp Mask 4, Harris Corner 11, Bilateral Grid 7 (one reduction),
+//   Multiscale Interpolation 49 (10 pyramid levels), Camera Pipeline 32,
+//   Pyramid Blending 44 (4-level Laplacian blend).
+//
+// Inputs are synthesized deterministically (see DESIGN.md).  Each spec also
+// carries the benchmark's expert ("H-manual") schedule: the grouping
+// structure of the hand-tuned Halide schedules for these apps.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "fusion/manual.hpp"
+#include "ir/builder.hpp"
+#include "support/image_io.hpp"
+
+namespace fusedp {
+
+struct PipelineSpec {
+  std::unique_ptr<Pipeline> pipeline;
+  std::function<std::vector<Buffer>()> make_inputs;
+  // Expert schedule: stage-name groups + tile sizes (see grouping_from_names).
+  std::vector<std::vector<std::string>> manual_groups;
+  std::vector<std::vector<std::int64_t>> manual_tiles;
+
+  Grouping manual_grouping(const CostModel& model) const {
+    return grouping_from_names(*pipeline, model, manual_groups, manual_tiles);
+  }
+};
+
+// Paper Figure 1: the two-stage blur.
+PipelineSpec make_blur(std::int64_t height, std::int64_t width);
+
+// Paper benchmarks; default extents are the paper's image sizes.
+PipelineSpec make_unsharp(std::int64_t height = 2832, std::int64_t width = 4256);
+PipelineSpec make_harris(std::int64_t height = 2832, std::int64_t width = 4256);
+PipelineSpec make_bilateral(std::int64_t height = 2560, std::int64_t width = 1536);
+PipelineSpec make_interpolate(std::int64_t height = 2560,
+                              std::int64_t width = 1536);
+PipelineSpec make_campipe(std::int64_t height = 1968, std::int64_t width = 2592);
+PipelineSpec make_pyramid_blend(std::int64_t height = 2160,
+                                std::int64_t width = 3840);
+
+struct BenchmarkInfo {
+  std::string key;        // registry name
+  std::string title;      // paper's benchmark name
+  std::string abbrev;     // UM / HC / BG / MI / CP / PB
+  int paper_stages;       // Table 2 "Stages"
+  std::string paper_size; // Table 2 image size
+};
+
+// The six paper benchmarks in Table 2/3/4 order.
+const std::vector<BenchmarkInfo>& benchmark_list();
+
+// Builds a benchmark by key ("unsharp", "harris", "bilateral",
+// "interpolate", "campipe", "pyramid"), dividing the paper's extents by
+// `scale` (>= 1).
+PipelineSpec make_benchmark(const std::string& key, std::int64_t scale = 1);
+
+}  // namespace fusedp

@@ -1,0 +1,190 @@
+// Pyramid Blending (44 stages): Gaussian pyramids of two images and a mask
+// (4 levels, separable), Laplacian bands, per-level mask-weighted blending,
+// and pyramid collapse back to full resolution.
+#include "pipelines/pipelines.hpp"
+
+#include <algorithm>
+
+namespace fusedp {
+
+namespace {
+
+constexpr int kLevels = 4;
+
+// (p[2x-1] + 2 p[2x] + p[2x+1]) / 4 along `dim` of a rank-`rank` producer.
+Eh down2(StageBuilder& b, const Stage& p, int rank, int dim) {
+  auto tap = [&](std::int64_t off) {
+    std::vector<AxisMap> axes;
+    for (int d = 0; d < rank; ++d)
+      axes.push_back(d == dim ? AxisMap::affine(d, off, 2, 1)
+                              : AxisMap::affine(d));
+    return b.load({false, p.id}, std::move(axes));
+  };
+  return (tap(-1) + 2.0f * tap(0) + tap(1)) / 4.0f;
+}
+
+// Bilinear 2x upsample of rank-3 `p` over dims 1 and 2 (4 taps).
+Eh up4(StageBuilder& b, const Stage& p) {
+  auto tap = [&](std::int64_t py, std::int64_t px) {
+    return b.load({false, p.id},
+                  {AxisMap::affine(0), AxisMap::affine(1, 0, 1, 2, py),
+                   AxisMap::affine(2, 0, 1, 2, px)});
+  };
+  return 0.25f * (tap(0, 0) + tap(0, 1) + tap(1, 0) + tap(1, 1));
+}
+
+// Linear 2x upsample along one dim (2 taps) of rank-3 `p`.
+Eh up2(StageBuilder& b, const Stage& p, int dim) {
+  auto tap = [&](std::int64_t pre) {
+    std::vector<AxisMap> axes;
+    for (int d = 0; d < 3; ++d)
+      axes.push_back(d == dim ? AxisMap::affine(d, 0, 1, 2, pre)
+                              : AxisMap::affine(d));
+    return b.load({false, p.id}, std::move(axes));
+  };
+  return 0.5f * (tap(0) + tap(1));
+}
+
+}  // namespace
+
+PipelineSpec make_pyramid_blend(std::int64_t height, std::int64_t width) {
+  PipelineSpec spec;
+  spec.pipeline = std::make_unique<Pipeline>("pyramid");
+  Pipeline& pl = *spec.pipeline;
+
+  const int in_a = pl.add_input("imgA", {3, height, width});
+  const int in_b = pl.add_input("imgB", {3, height, width});
+  const int in_m = pl.add_input("mask", {height, width});
+
+  std::int64_t hs[kLevels + 1], ws[kLevels + 1];
+  hs[0] = height;
+  ws[0] = width;
+  for (int l = 1; l <= kLevels; ++l) {
+    hs[l] = std::max<std::int64_t>(1, (hs[l - 1] + 1) / 2);
+    ws[l] = std::max<std::int64_t>(1, (ws[l - 1] + 1) / 2);
+  }
+
+  // Gaussian pyramids (24 stages).  Level 0 is the input itself.
+  const Stage* ga[kLevels + 1] = {nullptr};
+  const Stage* gb[kLevels + 1] = {nullptr};
+  const Stage* gm[kLevels + 1] = {nullptr};
+  auto build_pyr3 = [&](const char* prefix, int input,
+                        const Stage** levels) {
+    for (int l = 1; l <= kLevels; ++l) {
+      const std::string suffix = std::to_string(l);
+      StageBuilder gx(pl, pl.add_stage(std::string(prefix) + "x" + suffix,
+                                       {3, hs[l - 1], ws[l]}));
+      if (l == 1) {
+        auto tap = [&](std::int64_t off) {
+          return gx.load({true, input},
+                         {AxisMap::affine(0), AxisMap::affine(1),
+                          AxisMap::affine(2, off, 2, 1)});
+        };
+        gx.define((tap(-1) + 2.0f * tap(0) + tap(1)) / 4.0f);
+      } else {
+        gx.define(down2(gx, *levels[l - 1], 3, 2));
+      }
+      StageBuilder gy(pl, pl.add_stage(std::string(prefix) + suffix,
+                                       {3, hs[l], ws[l]}));
+      gy.define(down2(gy, gx.stage(), 3, 1));
+      levels[l] = &gy.stage();
+    }
+  };
+  build_pyr3("ga", in_a, ga);
+  build_pyr3("gb", in_b, gb);
+  for (int l = 1; l <= kLevels; ++l) {
+    const std::string suffix = std::to_string(l);
+    StageBuilder gx(pl, pl.add_stage("gmx" + suffix, {hs[l - 1], ws[l]}));
+    if (l == 1) {
+      auto tap = [&](std::int64_t off) {
+        return gx.load({true, in_m},
+                       {AxisMap::affine(0), AxisMap::affine(1, off, 2, 1)});
+      };
+      gx.define((tap(-1) + 2.0f * tap(0) + tap(1)) / 4.0f);
+    } else {
+      gx.define(down2(gx, *gm[l - 1], 2, 1));
+    }
+    StageBuilder gy(pl, pl.add_stage("gm" + suffix, {hs[l], ws[l]}));
+    gy.define(down2(gy, gx.stage(), 2, 0));
+    gm[l] = &gy.stage();
+  }
+
+  // Laplacian bands for A and B (8 stages): lap_l = g_l - up(g_{l+1}).
+  const Stage* lap_a[kLevels];
+  const Stage* lap_b[kLevels];
+  auto build_laps = [&](const char* prefix, int input, const Stage** g,
+                        const Stage** laps) {
+    for (int l = 0; l < kLevels; ++l) {
+      StageBuilder lp(pl, pl.add_stage(std::string(prefix) + std::to_string(l),
+                                       {3, hs[l], ws[l]}));
+      const Eh fine = l == 0 ? lp.in(input, {0, 0, 0})
+                             : lp.at(*g[l], {0, 0, 0});
+      lp.define(fine - up4(lp, *g[l + 1]));
+      laps[l] = &lp.stage();
+    }
+  };
+  build_laps("lapA", in_a, ga, lap_a);
+  build_laps("lapB", in_b, gb, lap_b);
+
+  // Per-level blends (5 stages including the coarsest Gaussian blend).
+  const Stage* blend[kLevels + 1];
+  for (int l = 0; l < kLevels; ++l) {
+    StageBuilder bl(pl, pl.add_stage("blend" + std::to_string(l),
+                                     {3, hs[l], ws[l]}));
+    const Eh m = l == 0 ? bl.in(in_m, {0, 0}) : bl.at(*gm[l], {0, 0});
+    bl.define(bl.at(*lap_a[l], {0, 0, 0}) * m +
+              bl.at(*lap_b[l], {0, 0, 0}) * (1.0f - m));
+    blend[l] = &bl.stage();
+  }
+  {
+    StageBuilder bl(pl, pl.add_stage("blend4", {3, hs[kLevels], ws[kLevels]}));
+    const Eh m = bl.at(*gm[kLevels], {0, 0});
+    bl.define(bl.at(*ga[kLevels], {0, 0, 0}) * m +
+              bl.at(*gb[kLevels], {0, 0, 0}) * (1.0f - m));
+    blend[kLevels] = &bl.stage();
+  }
+
+  // Collapse (7 stages): col_l = blend_l + up(col_{l+1}); col_4 = blend4.
+  const Stage* col = blend[kLevels];
+  for (int l = kLevels - 1; l >= 1; --l) {
+    const std::string suffix = std::to_string(l);
+    StageBuilder ux(pl,
+                    pl.add_stage("colupx" + suffix, {3, hs[l + 1], ws[l]}));
+    ux.define(up2(ux, *col, 2));
+    StageBuilder cl(pl, pl.add_stage("col" + suffix, {3, hs[l], ws[l]}));
+    cl.define(cl.at(*blend[l], {0, 0, 0}) + up2(cl, ux.stage(), 1));
+    col = &cl.stage();
+  }
+  StageBuilder out(pl, pl.add_stage("out", {3, height, width}));
+  out.define(out.at(*blend[0], {0, 0, 0}) + up4(out, *col));
+
+  pl.finalize();
+  FUSEDP_CHECK(pl.num_stages() == 44, "pyramid blend must have 44 stages");
+
+  spec.make_inputs = [height, width] {
+    std::vector<Buffer> in;
+    in.push_back(make_synthetic_image({3, height, width}, 29));
+    in.push_back(make_synthetic_image({3, height, width}, 31));
+    in.push_back(make_blend_mask(height, width));
+    return in;
+  };
+  // Expert schedule: separable pyramid stages fused per level; per-level
+  // Laplacian+blend fused; the collapse chain fused with the output.
+  for (int l = 1; l <= kLevels; ++l) {
+    const std::string s = std::to_string(l);
+    spec.manual_groups.push_back({"gax" + s, "ga" + s});
+    spec.manual_tiles.push_back({32, 64});
+    spec.manual_groups.push_back({"gbx" + s, "gb" + s});
+    spec.manual_tiles.push_back({32, 64});
+    spec.manual_groups.push_back({"gmx" + s, "gm" + s});
+    spec.manual_tiles.push_back({32, 64});
+  }
+  for (int l = 0; l < kLevels; ++l) {
+    const std::string s = std::to_string(l);
+    spec.manual_groups.push_back({"lapA" + s, "lapB" + s, "blend" + s});
+    spec.manual_tiles.push_back({32, 128});
+  }
+  return spec;
+}
+
+}  // namespace fusedp

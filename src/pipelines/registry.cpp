@@ -1,0 +1,36 @@
+#include "pipelines/pipelines.hpp"
+
+namespace fusedp {
+
+const std::vector<BenchmarkInfo>& benchmark_list() {
+  static const std::vector<BenchmarkInfo> kList = {
+      {"unsharp", "Unsharp Mask", "UM", 4, "4256x2832x3"},
+      {"harris", "Harris Corner", "HC", 11, "4256x2832"},
+      {"bilateral", "Bilateral Grid", "BG", 7, "1536x2560"},
+      {"interpolate", "Multiscale Interp.", "MI", 49, "1536x2560x3"},
+      {"campipe", "Camera Pipeline", "CP", 32, "2592x1968"},
+      {"pyramid", "Pyramid Blend", "PB", 44, "3840x2160x3"},
+  };
+  return kList;
+}
+
+PipelineSpec make_benchmark(const std::string& key, std::int64_t scale) {
+  FUSEDP_CHECK(scale >= 1, "scale must be >= 1");
+  // Paper sizes are quoted WxHxc; our extents are (height, width).  Sizes
+  // are rounded to multiples of 4 after scaling so that Bayer deinterleave
+  // and pyramid levels stay well-formed.
+  auto dim = [&](std::int64_t v) {
+    return std::max<std::int64_t>(64, v / scale / 4 * 4);
+  };
+  if (key == "unsharp") return make_unsharp(dim(2832), dim(4256));
+  if (key == "harris") return make_harris(dim(2832), dim(4256));
+  if (key == "bilateral") return make_bilateral(dim(2560), dim(1536));
+  if (key == "interpolate") return make_interpolate(dim(2560), dim(1536));
+  if (key == "campipe") return make_campipe(dim(1968), dim(2592));
+  if (key == "pyramid") return make_pyramid_blend(dim(2160), dim(3840));
+  if (key == "blur") return make_blur(dim(2048), dim(2048));
+  FUSEDP_CHECK(false, "unknown benchmark: " + key);
+  return {};
+}
+
+}  // namespace fusedp

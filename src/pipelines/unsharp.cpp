@@ -1,0 +1,50 @@
+// Unsharp Mask (4 stages): separable blur, sharpen, threshold mask.
+#include "pipelines/pipelines.hpp"
+
+namespace fusedp {
+
+PipelineSpec make_unsharp(std::int64_t height, std::int64_t width) {
+  PipelineSpec spec;
+  spec.pipeline = std::make_unique<Pipeline>("unsharp");
+  Pipeline& pl = *spec.pipeline;
+
+  const int img = pl.add_input("img", {3, height, width});
+  const float kWeight = 3.0f;
+  const float kThreshold = 0.01f;
+
+  StageBuilder bx(pl, pl.add_stage("blurx", {3, height, width}));
+  bx.define((bx.in(img, {0, -1, 0}) + bx.in(img, {0, 0, 0}) +
+             bx.in(img, {0, 1, 0})) /
+            3.0f);
+
+  StageBuilder by(pl, pl.add_stage("blury", {3, height, width}));
+  by.define((by.at(bx.stage(), {0, 0, -1}) + by.at(bx.stage(), {0, 0, 0}) +
+             by.at(bx.stage(), {0, 0, 1})) /
+            3.0f);
+
+  StageBuilder sh(pl, pl.add_stage("sharpen", {3, height, width}));
+  sh.define((1.0f + kWeight) * sh.in(img, {0, 0, 0}) -
+            kWeight * sh.at(by.stage(), {0, 0, 0}));
+
+  StageBuilder mk(pl, pl.add_stage("masked", {3, height, width}));
+  {
+    const Eh orig = mk.in(img, {0, 0, 0});
+    const Eh blur = mk.at(by.stage(), {0, 0, 0});
+    const Eh sharp = mk.at(sh.stage(), {0, 0, 0});
+    mk.define(select(lt(abs(orig - blur), kThreshold), orig, sharp));
+  }
+
+  pl.finalize();
+
+  spec.make_inputs = [height, width] {
+    std::vector<Buffer> in;
+    in.push_back(make_synthetic_image({3, height, width}, 11));
+    return in;
+  };
+  // Halide's expert schedule fuses the whole pipeline and tiles spatially.
+  spec.manual_groups = {{"blurx", "blury", "sharpen", "masked"}};
+  spec.manual_tiles = {{32, 256}};
+  return spec;
+}
+
+}  // namespace fusedp

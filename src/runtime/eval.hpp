@@ -1,0 +1,59 @@
+// Stage-body evaluators.
+//
+// Two implementations with identical semantics (tests assert bit-equality):
+//  * eval_scalar_at — straightforward per-point AST interpretation; the
+//    golden reference.
+//  * RowEvaluator — evaluates the AST one innermost-dimension run at a time,
+//    materializing each AST node into a contiguous row so the host compiler
+//    auto-vectorizes the per-op loops.  This is FuseDP's stand-in for
+//    PolyMage's generated C++ (see DESIGN.md).
+//
+// Loads clamp computed producer coordinates to the producer's domain
+// (clamp-to-edge borders).  `LoadSrc::view` must cover every in-domain
+// coordinate an access can produce from the evaluated region — the plan
+// lowering guarantees this via required-region propagation.
+#pragma once
+
+#include <vector>
+
+#include "ir/stage.hpp"
+#include "support/buffer.hpp"
+
+namespace fusedp {
+
+struct LoadSrc {
+  BufferView view;
+  Box domain;  // producer domain, for border clamping
+};
+
+struct StageEvalCtx {
+  const Stage* stage = nullptr;
+  std::vector<LoadSrc> srcs;  // indexed by ExprNode::load_id
+};
+
+// Evaluates expression `r` of the stage at point `c` (stage coordinates).
+float eval_scalar_at(const StageEvalCtx& ctx, ExprRef r,
+                     const std::int64_t* c);
+
+class RowEvaluator {
+ public:
+  // Evaluates the stage body over {base[0..rank-2] fixed, last dim in
+  // [y0, y1]} (inclusive) and writes the y1-y0+1 results to `out`.
+  void eval_row(const StageEvalCtx& ctx, const std::int64_t* base,
+                std::int64_t y0, std::int64_t y1, float* out);
+
+ private:
+  const float* eval_node(const StageEvalCtx& ctx, ExprRef r);
+  void eval_load(const StageEvalCtx& ctx, const ExprNode& n, float* out);
+
+  // Per-AST-node result rows; `stamp_` implements per-row memoization so
+  // shared subexpressions are evaluated once.
+  std::vector<std::vector<float>> rows_;
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t serial_ = 0;
+  const std::int64_t* base_ = nullptr;
+  std::int64_t y0_ = 0, y1_ = 0;
+  std::size_t n_ = 0;
+};
+
+}  // namespace fusedp

@@ -1,0 +1,311 @@
+#include "runtime/executor.hpp"
+
+#include <algorithm>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace fusedp {
+
+namespace {
+
+BufferView view_of_region(float* data, const Box& region) {
+  BufferView v;
+  v.data = data;
+  v.rank = region.rank;
+  std::int64_t stride = 1;
+  for (int d = region.rank - 1; d >= 0; --d) {
+    v.origin[d] = region.lo[d];
+    v.extent[d] = region.extent(d);
+    v.stride[d] = stride;
+    stride *= region.extent(d);
+  }
+  return v;
+}
+
+// Iterates the outer dims of `box` (all but the last); calls fn(coords) with
+// coords[last] set to box.lo[last].
+template <typename Fn>
+void for_each_row(const Box& box, Fn&& fn) {
+  std::int64_t c[kMaxDims];
+  for (int d = 0; d < box.rank; ++d) c[d] = box.lo[d];
+  const int last = box.rank - 1;
+  for (;;) {
+    fn(c);
+    int d = last - 1;
+    for (; d >= 0; --d) {
+      if (++c[d] <= box.hi[d]) break;
+      c[d] = box.lo[d];
+    }
+    if (d < 0) break;
+  }
+}
+
+}  // namespace
+
+namespace {
+
+BufferView dense_view_over(float* data, const Box& domain) {
+  BufferView v;
+  v.data = data;
+  v.rank = domain.rank;
+  std::int64_t stride = 1;
+  for (int d = domain.rank - 1; d >= 0; --d) {
+    v.origin[d] = domain.lo[d];
+    v.extent[d] = domain.extent(d);
+    v.stride[d] = stride;
+    stride *= domain.extent(d);
+  }
+  return v;
+}
+
+}  // namespace
+
+void Workspace::prepare(const ExecutablePlan& plan) {
+  const Pipeline& pl = *plan.pipeline;
+  buffers_.resize(static_cast<std::size_t>(pl.num_stages()));
+  views_.assign(static_cast<std::size_t>(pl.num_stages()), BufferView{});
+  for (int s = 0; s < pl.num_stages(); ++s) {
+    if (!plan.materialized[static_cast<std::size_t>(s)]) continue;
+    Buffer& b = buffers_[static_cast<std::size_t>(s)];
+    const auto extents = pl.stage(s).domain.extents();
+    if (b.empty() || b.rank() != static_cast<int>(extents.size()))
+      b.reset(extents);
+    views_[static_cast<std::size_t>(s)] = b.view();
+  }
+}
+
+void Workspace::prepare(const ExecutablePlan& plan,
+                        const StorageAssignment& storage) {
+  const Pipeline& pl = *plan.pipeline;
+  buffers_.resize(static_cast<std::size_t>(pl.num_stages()));
+  views_.assign(static_cast<std::size_t>(pl.num_stages()), BufferView{});
+  slots_.resize(storage.slot_floats.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i)
+    if (slots_[i].empty() || slots_[i].volume() < storage.slot_floats[i])
+      slots_[i].reset({storage.slot_floats[i]});
+  for (int s = 0; s < pl.num_stages(); ++s) {
+    if (!plan.materialized[static_cast<std::size_t>(s)]) continue;
+    const int slot = storage.slot[static_cast<std::size_t>(s)];
+    if (slot < 0) {
+      Buffer& b = buffers_[static_cast<std::size_t>(s)];
+      const auto extents = pl.stage(s).domain.extents();
+      if (b.empty() || b.rank() != static_cast<int>(extents.size()))
+        b.reset(extents);
+      views_[static_cast<std::size_t>(s)] = b.view();
+    } else {
+      views_[static_cast<std::size_t>(s)] = dense_view_over(
+          slots_[static_cast<std::size_t>(slot)].data(), pl.stage(s).domain);
+    }
+  }
+}
+
+std::int64_t Workspace::allocated_floats() const {
+  std::int64_t total = 0;
+  for (const Buffer& b : buffers_) total += b.volume();
+  for (const Buffer& b : slots_) total += b.volume();
+  return total;
+}
+
+Executor::Executor(const Pipeline& pl, const Grouping& grouping,
+                   ExecOptions opts)
+    : pl_(&pl), plan_(lower(pl, grouping)), opts_(opts) {
+  FUSEDP_CHECK(opts_.num_threads >= 1, "need at least one thread");
+  if (opts_.pooled_storage) storage_ = assign_storage(plan_);
+}
+
+void Executor::run(const std::vector<Buffer>& inputs, Workspace& ws) const {
+  FUSEDP_CHECK(static_cast<int>(inputs.size()) == pl_->num_inputs(),
+               "input count mismatch");
+  for (int i = 0; i < pl_->num_inputs(); ++i)
+    FUSEDP_CHECK(inputs[static_cast<std::size_t>(i)].volume() ==
+                     pl_->input(i).domain.volume(),
+                 "input " + pl_->input(i).name + " extent mismatch");
+  if (opts_.pooled_storage)
+    ws.prepare(plan_, storage_);
+  else
+    ws.prepare(plan_);
+  for (const GroupPlan& g : plan_.groups) {
+    if (g.is_reduction)
+      run_reduction(g, inputs, ws);
+    else
+      run_group(g, inputs, ws);
+  }
+}
+
+void Executor::run_reduction(const GroupPlan& g,
+                             const std::vector<Buffer>& inputs,
+                             Workspace& ws) const {
+  const int sid = g.stages.first();
+  const Stage& st = pl_->stage(sid);
+  ReductionCtx ctx;
+  for (const Access& a : st.loads) {
+    if (a.producer.is_input) {
+      ctx.inputs.push_back(inputs[static_cast<std::size_t>(a.producer.id)].view());
+    } else {
+      FUSEDP_CHECK(ws.has(a.producer.id),
+                   "reduction input not materialized");
+      ctx.inputs.push_back(ws.stage_view(a.producer.id));
+    }
+  }
+  const BufferView out = ws.stage_view(sid);
+  std::fill(out.data, out.data + out.volume(), 0.0f);
+  ctx.out = out;
+  ctx.num_threads = opts_.num_threads;
+  st.reduction(ctx);
+}
+
+void Executor::run_group(const GroupPlan& g, const std::vector<Buffer>& inputs,
+                         Workspace& ws) const {
+  const Pipeline& pl = *pl_;
+  const int ncls = g.align.num_classes;
+  const std::int64_t total = g.total_tiles;
+
+#ifdef _OPENMP
+#pragma omp parallel num_threads(opts_.num_threads)
+#endif
+  {
+    // Per-thread state: scratch per stage + evaluator.
+    std::vector<std::vector<float>> scratch(
+        static_cast<std::size_t>(pl.num_stages()));
+    std::vector<char> in_global(static_cast<std::size_t>(pl.num_stages()), 0);
+    std::vector<BufferView> tile_view(
+        static_cast<std::size_t>(pl.num_stages()));
+    RowEvaluator rowev;
+    StageEvalCtx ctx;
+
+#ifdef _OPENMP
+#pragma omp for schedule(static)
+#endif
+    for (std::int64_t t = 0; t < total; ++t) {
+      // Decode tile index into a reference-space box.
+      Box tile;
+      tile.rank = ncls;
+      std::int64_t rem = t;
+      for (int d = ncls - 1; d >= 0; --d) {
+        const std::int64_t nd = g.tiles_per_dim[static_cast<std::size_t>(d)];
+        const std::int64_t idx = rem % nd;
+        rem /= nd;
+        tile.lo[d] = idx * g.tile_sizes[static_cast<std::size_t>(d)];
+        tile.hi[d] = std::min(
+            tile.lo[d] + g.tile_sizes[static_cast<std::size_t>(d)] - 1,
+            g.align.class_extent[static_cast<std::size_t>(d)] - 1);
+      }
+
+      const GroupRegions regions = compute_group_regions(
+          pl, g.stages, g.align, tile, /*clamp=*/true, &g.stage_order);
+
+      for (int s : g.stage_order) {
+        const StageRegions& reg = regions.stages[static_cast<std::size_t>(s)];
+        const Box& req = reg.required;
+        if (req.empty()) continue;
+        const Stage& st = pl.stage(s);
+        const bool materialized = plan_.materialized[static_cast<std::size_t>(s)];
+        // Write directly into the global buffer when the computed region is
+        // exactly the owned slice (no halo): avoids a scratch copy.
+        const bool direct = materialized && req == reg.owned;
+
+        BufferView out_view;
+        if (direct) {
+          out_view = ws.stage_view(s);
+        } else {
+          auto& mem = scratch[static_cast<std::size_t>(s)];
+          const std::size_t need = static_cast<std::size_t>(req.volume());
+          if (mem.size() < need) mem.resize(need);
+          out_view = view_of_region(mem.data(), req);
+        }
+        in_global[static_cast<std::size_t>(s)] = direct ? 1 : 0;
+        tile_view[static_cast<std::size_t>(s)] = out_view;
+
+        // Resolve loads.
+        ctx.stage = &st;
+        ctx.srcs.clear();
+        ctx.srcs.reserve(st.loads.size());
+        for (const Access& a : st.loads) {
+          LoadSrc src;
+          if (a.producer.is_input) {
+            src.view = inputs[static_cast<std::size_t>(a.producer.id)].view();
+            src.domain = pl.input(a.producer.id).domain;
+          } else if (g.stages.contains(a.producer.id) &&
+                     !in_global[static_cast<std::size_t>(a.producer.id)]) {
+            src.view = tile_view[static_cast<std::size_t>(a.producer.id)];
+            src.domain = pl.stage(a.producer.id).domain;
+          } else {
+            FUSEDP_DCHECK(ws.has(a.producer.id),
+                          "producer not materialized");
+            src.view = ws.stage_view(a.producer.id);
+            src.domain = pl.stage(a.producer.id).domain;
+          }
+          ctx.srcs.push_back(std::move(src));
+        }
+
+        // Evaluate over the required box, row by row.
+        const int last = st.rank() - 1;
+        if (opts_.mode == EvalMode::kRow) {
+          for_each_row(req, [&](std::int64_t* c) {
+            float* out = &out_view.at(c);
+            rowev.eval_row(ctx, c, req.lo[last], req.hi[last], out);
+          });
+        } else {
+          for_each_row(req, [&](std::int64_t* c) {
+            float* out = &out_view.at(c);
+            for (std::int64_t y = req.lo[last]; y <= req.hi[last]; ++y) {
+              c[last] = y;
+              out[y - req.lo[last]] = eval_scalar_at(ctx, st.body, c);
+            }
+            c[last] = req.lo[last];
+          });
+        }
+
+        // Publish the owned slice of live-outs computed in scratch.
+        if (materialized && !direct) {
+          const Box owned = reg.owned;
+          if (!owned.empty()) {
+            BufferView dst = ws.stage_view(s);
+            for_each_row(owned, [&](std::int64_t* c) {
+              const float* srcp = &out_view.at(c);
+              float* dstp = &dst.at(c);
+              std::copy(srcp, srcp + owned.extent(last), dstp);
+            });
+          }
+        }
+      }
+    }
+  }
+}
+
+std::vector<Buffer> run_reference(const Pipeline& pl,
+                                  const std::vector<Buffer>& inputs) {
+  Grouping g;
+  for (int i = 0; i < pl.num_stages(); ++i) {
+    GroupSchedule gs;
+    gs.stages = NodeSet::single(i);
+    g.groups.push_back(gs);
+  }
+  ExecOptions opts;
+  opts.num_threads = 1;
+  opts.mode = EvalMode::kScalar;
+  Executor ex(pl, g, opts);
+  Workspace ws;
+  ex.run(inputs, ws);
+  std::vector<Buffer> out;
+  out.reserve(static_cast<std::size_t>(pl.num_stages()));
+  for (int s = 0; s < pl.num_stages(); ++s)
+    out.push_back(std::move(ws.stage_buffer(s)));
+  return out;
+}
+
+std::vector<Buffer> run_pipeline(const Pipeline& pl, const Grouping& grouping,
+                                 const std::vector<Buffer>& inputs,
+                                 ExecOptions opts) {
+  Executor ex(pl, grouping, opts);
+  Workspace ws;
+  ex.run(inputs, ws);
+  std::vector<Buffer> out;
+  out.reserve(pl.outputs().size());
+  for (int s : pl.outputs()) out.push_back(std::move(ws.stage_buffer(s)));
+  return out;
+}
+
+}  // namespace fusedp

@@ -1,0 +1,96 @@
+// The overlapped-tiling execution engine.
+//
+// Executes an ExecutablePlan: groups in topological order; within a group,
+// the tile grid is traversed by an OpenMP parallel loop (tiles are
+// independent thanks to redundant recomputation of the overlap, paper
+// Figure 2); within a tile, member stages run in topological order into
+// per-thread scratch buffers sized to their required regions, and live-out
+// stages write their owned slice to full-size global buffers.  This is the
+// loop structure of the code PolyMage generates (paper Figure 3).
+#pragma once
+
+#include "runtime/eval.hpp"
+#include "runtime/plan.hpp"
+#include "storage/liveness.hpp"
+
+namespace fusedp {
+
+enum class EvalMode : std::uint8_t {
+  kRow,     // row-vectorized evaluator (benchmarks)
+  kScalar,  // per-point interpreter (golden reference)
+};
+
+struct ExecOptions {
+  int num_threads = 1;
+  EvalMode mode = EvalMode::kRow;
+  // Share allocations between materialized intermediates with disjoint live
+  // intervals (PolyMage-style storage optimization; see storage/liveness).
+  bool pooled_storage = false;
+};
+
+// Holds the full-size buffers of materialized stages.  With pooling,
+// non-output intermediates become dense views into shared slot storage;
+// pipeline outputs always keep dedicated buffers.
+class Workspace {
+ public:
+  void prepare(const ExecutablePlan& plan);
+  void prepare(const ExecutablePlan& plan, const StorageAssignment& storage);
+
+  // Resolved view of a materialized stage (dedicated or pooled).
+  BufferView stage_view(int id) const {
+    return views_[static_cast<std::size_t>(id)];
+  }
+  // Dedicated buffer; only valid for unpooled stages (e.g. outputs).
+  Buffer& stage_buffer(int id) { return buffers_[static_cast<std::size_t>(id)]; }
+  const Buffer& stage_buffer(int id) const {
+    return buffers_[static_cast<std::size_t>(id)];
+  }
+  bool has(int id) const {
+    return views_[static_cast<std::size_t>(id)].data != nullptr;
+  }
+  std::int64_t allocated_floats() const;
+
+ private:
+  std::vector<Buffer> buffers_;  // dedicated, indexed by stage id
+  std::vector<Buffer> slots_;    // pooled storage
+  std::vector<BufferView> views_;
+};
+
+class Executor {
+ public:
+  Executor(const Pipeline& pl, const Grouping& grouping, ExecOptions opts);
+
+  // Runs the whole pipeline.  `inputs[i]` must match pipeline input i's
+  // domain.  Results land in `ws` (prepare()d automatically).
+  void run(const std::vector<Buffer>& inputs, Workspace& ws) const;
+
+  const ExecutablePlan& plan() const { return plan_; }
+
+  // Storage assignment used when opts.pooled_storage is set.
+  const StorageAssignment& storage() const { return storage_; }
+
+ private:
+  void run_group(const GroupPlan& g, const std::vector<Buffer>& inputs,
+                 Workspace& ws) const;
+  void run_reduction(const GroupPlan& g, const std::vector<Buffer>& inputs,
+                     Workspace& ws) const;
+
+  const Pipeline* pl_;
+  ExecutablePlan plan_;
+  ExecOptions opts_;
+  StorageAssignment storage_;
+};
+
+// Convenience: executes the pipeline completely unfused and untiled with the
+// scalar interpreter — the golden reference every schedule must match
+// bit-for-bit.  Returns one buffer per stage.
+std::vector<Buffer> run_reference(const Pipeline& pl,
+                                  const std::vector<Buffer>& inputs);
+
+// Runs `pl` under `grouping` and returns the buffers of the pipeline's
+// output stages (in pl.outputs() order).
+std::vector<Buffer> run_pipeline(const Pipeline& pl, const Grouping& grouping,
+                                 const std::vector<Buffer>& inputs,
+                                 ExecOptions opts = {});
+
+}  // namespace fusedp

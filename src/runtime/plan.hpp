@@ -1,0 +1,38 @@
+// Lowering: Grouping -> ExecutablePlan.
+//
+// The plan fixes everything the executor needs per group: stage order, the
+// reference-space tile grid (tile sizes rounded to the alignment
+// granularity), which stages write global buffers (live-outs), and how each
+// load resolves (in-group scratch vs. materialized global buffer vs. input
+// image).  The lowered loop structure matches PolyMage's generated code
+// (paper Figure 3): parallel fused tile-space loops; per-tile, the member
+// stages run one after another into per-thread scratch buffers.
+#pragma once
+
+#include "analysis/regions.hpp"
+#include "fusion/grouping.hpp"
+
+namespace fusedp {
+
+struct GroupPlan {
+  NodeSet stages;
+  AlignResult align;
+  std::vector<int> stage_order;           // topological within the group
+  std::vector<std::int64_t> tile_sizes;   // per reference dim, final
+  std::vector<std::int64_t> tiles_per_dim;
+  std::int64_t total_tiles = 1;
+  bool is_reduction = false;  // single reduction stage, runs untiled
+};
+
+struct ExecutablePlan {
+  const Pipeline* pipeline = nullptr;
+  std::vector<GroupPlan> groups;  // in executable (topological) order
+  // liveout[stage] — stage output is materialized in a full-size buffer
+  // (live-out of its group or consumed by a later group).
+  std::vector<bool> materialized;
+};
+
+// Validates the grouping (throws on invalid) and lowers it.
+ExecutablePlan lower(const Pipeline& pl, const Grouping& grouping);
+
+}  // namespace fusedp

@@ -1,0 +1,60 @@
+#include "runtime/plan_printer.hpp"
+
+#include <sstream>
+
+#include "ir/printer.hpp"
+
+namespace fusedp {
+
+std::string plan_to_string(const ExecutablePlan& plan) {
+  const Pipeline& pl = *plan.pipeline;
+  std::ostringstream out;
+  out << "// executable plan for pipeline '" << pl.name() << "' ("
+      << plan.groups.size() << " groups)\n";
+  int gi = 0;
+  for (const GroupPlan& g : plan.groups) {
+    out << "\n// group " << gi++ << ": " << g.stages.to_string() << "\n";
+    if (g.is_reduction) {
+      const Stage& st = pl.stage(g.stages.first());
+      out << "reduce " << st.name << st.domain.to_string()
+          << "  // native, per-cell parallel\n";
+      continue;
+    }
+    out << "#pragma omp parallel for  // " << g.total_tiles
+        << " independent overlapped tiles\n";
+    out << "for tile (";
+    for (int d = 0; d < g.align.num_classes; ++d) {
+      if (d) out << ", ";
+      out << g.tiles_per_dim[static_cast<std::size_t>(d)];
+    }
+    out << ") of size [";
+    for (int d = 0; d < g.align.num_classes; ++d) {
+      if (d) out << "x";
+      out << g.tile_sizes[static_cast<std::size_t>(d)];
+    }
+    out << "] {\n";
+    for (int s : g.stage_order) {
+      const Stage& st = pl.stage(s);
+      const bool mat = plan.materialized[static_cast<std::size_t>(s)];
+      out << "  // " << st.name;
+      if (st.rank() > 0) {
+        out << ": scale";
+        const StageAlign& sa = g.align.stages[static_cast<std::size_t>(s)];
+        for (int d = 0; d < st.rank(); ++d) {
+          const DimAlign& da = sa.dim[static_cast<std::size_t>(d)];
+          out << " " << da.sn << "/" << da.sd;
+        }
+      }
+      out << "\n";
+      out << "  for (required region of " << st.name << ")  "
+          << (mat ? "compute -> buffer (via scratch + owned-slice publish "
+                    "when the region carries a halo)"
+                  : "compute -> per-thread scratch")
+          << "\n";
+    }
+    out << "}\n";
+  }
+  return out.str();
+}
+
+}  // namespace fusedp

@@ -1,0 +1,14 @@
+// Renders an ExecutablePlan as pseudo-code resembling the C++ PolyMage
+// generates (paper Figure 3): parallel fused tile-space loops, per-tile
+// scratch buffers, intra-tile stage loops, and live-out publication.
+#pragma once
+
+#include <string>
+
+#include "runtime/plan.hpp"
+
+namespace fusedp {
+
+std::string plan_to_string(const ExecutablePlan& plan);
+
+}  // namespace fusedp

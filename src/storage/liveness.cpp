@@ -1,0 +1,77 @@
+#include "storage/liveness.hpp"
+
+#include <algorithm>
+
+namespace fusedp {
+
+std::vector<LiveInterval> compute_live_intervals(const ExecutablePlan& plan) {
+  const Pipeline& pl = *plan.pipeline;
+  std::vector<LiveInterval> out;
+  for (int s = 0; s < pl.num_stages(); ++s) {
+    if (!plan.materialized[static_cast<std::size_t>(s)]) continue;
+    if (pl.stage(s).is_output) continue;  // outlives the run: never pooled
+    LiveInterval li;
+    li.stage = s;
+    for (int gi = 0; gi < static_cast<int>(plan.groups.size()); ++gi) {
+      const GroupPlan& g = plan.groups[static_cast<std::size_t>(gi)];
+      if (g.stages.contains(s)) li.def_group = gi;
+      // Does any stage of a *later* group read s from the global buffer?
+      if (!g.stages.contains(s)) {
+        bool reads = false;
+        g.stages.for_each([&](int t) {
+          for (const Access& a : pl.stage(t).loads)
+            if (!a.producer.is_input && a.producer.id == s) reads = true;
+        });
+        if (reads) li.last_use = gi;
+      }
+    }
+    FUSEDP_DCHECK(li.def_group >= 0, "materialized stage has no group");
+    li.last_use = std::max(li.last_use, li.def_group);
+    out.push_back(li);
+  }
+  return out;
+}
+
+StorageAssignment assign_storage(const ExecutablePlan& plan) {
+  const Pipeline& pl = *plan.pipeline;
+  StorageAssignment asg;
+  asg.slot.assign(static_cast<std::size_t>(pl.num_stages()), -1);
+
+  std::vector<LiveInterval> intervals = compute_live_intervals(plan);
+  std::sort(intervals.begin(), intervals.end(),
+            [](const LiveInterval& a, const LiveInterval& b) {
+              if (a.def_group != b.def_group) return a.def_group < b.def_group;
+              return a.stage < b.stage;
+            });
+
+  // First-fit over slots: a slot is free for [def, last] if its current
+  // occupant interval ended strictly before `def` (group-granular liveness:
+  // a buffer read during group i conflicts with one written during i).
+  std::vector<int> slot_end;                  // last_use of latest tenant
+  for (const LiveInterval& li : intervals) {
+    const std::int64_t vol = pl.stage(li.stage).volume();
+    asg.unpooled_floats += vol;
+    int chosen = -1;
+    for (int s = 0; s < static_cast<int>(slot_end.size()); ++s) {
+      if (slot_end[static_cast<std::size_t>(s)] < li.def_group) {
+        chosen = s;
+        break;
+      }
+    }
+    if (chosen < 0) {
+      chosen = static_cast<int>(slot_end.size());
+      slot_end.push_back(li.last_use);
+      asg.slot_floats.push_back(0);
+    } else {
+      slot_end[static_cast<std::size_t>(chosen)] = li.last_use;
+    }
+    asg.slot[static_cast<std::size_t>(li.stage)] = chosen;
+    asg.slot_floats[static_cast<std::size_t>(chosen)] =
+        std::max(asg.slot_floats[static_cast<std::size_t>(chosen)], vol);
+  }
+  asg.num_slots = static_cast<int>(asg.slot_floats.size());
+  for (std::int64_t v : asg.slot_floats) asg.pooled_floats += v;
+  return asg;
+}
+
+}  // namespace fusedp

@@ -1,0 +1,113 @@
+// Dense n-dimensional float buffers.
+//
+// All pipeline data in FuseDP is single-precision float (the paper's
+// benchmarks are evaluated on 32-bit float data).  A Buffer owns a
+// 64-byte-aligned allocation; BufferView is a non-owning strided window used
+// for per-tile scratch regions.  Dimension order is outermost-first; the last
+// dimension is contiguous (unit stride).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace fusedp {
+
+inline constexpr int kMaxRank = 4;
+
+// A non-owning view over a strided n-D float region.
+// `origin[d]` is the coordinate (in the producer stage's own coordinate
+// space) that maps to local index 0 along dimension d; loads subtract it.
+struct BufferView {
+  float* data = nullptr;
+  int rank = 0;
+  std::int64_t origin[kMaxRank] = {0, 0, 0, 0};
+  std::int64_t extent[kMaxRank] = {0, 0, 0, 0};
+  std::int64_t stride[kMaxRank] = {0, 0, 0, 0};
+
+  // Flat offset of global coordinate `c` (length `rank`).
+  std::int64_t offset_of(const std::int64_t* c) const {
+    std::int64_t off = 0;
+    for (int d = 0; d < rank; ++d) off += (c[d] - origin[d]) * stride[d];
+    return off;
+  }
+  float& at(const std::int64_t* c) { return data[offset_of(c)]; }
+  float at(const std::int64_t* c) const { return data[offset_of(c)]; }
+  std::int64_t volume() const {
+    std::int64_t v = 1;
+    for (int d = 0; d < rank; ++d) v *= extent[d];
+    return v;
+  }
+};
+
+// An owning, aligned, dense n-D float buffer (unit stride innermost).
+class Buffer {
+ public:
+  Buffer() = default;
+  explicit Buffer(const std::vector<std::int64_t>& extents) { reset(extents); }
+
+  void reset(const std::vector<std::int64_t>& extents) {
+    FUSEDP_CHECK(!extents.empty() && extents.size() <= kMaxRank,
+                 "buffer rank out of range");
+    rank_ = static_cast<int>(extents.size());
+    std::int64_t vol = 1;
+    for (int d = 0; d < rank_; ++d) {
+      FUSEDP_CHECK(extents[d] > 0, "buffer extent must be positive");
+      extent_[d] = extents[d];
+      vol *= extents[d];
+    }
+    std::int64_t s = 1;
+    for (int d = rank_ - 1; d >= 0; --d) {
+      stride_[d] = s;
+      s *= extent_[d];
+    }
+    storage_.assign(static_cast<std::size_t>(vol), 0.0f);
+  }
+
+  bool empty() const { return storage_.empty(); }
+  int rank() const { return rank_; }
+  std::int64_t extent(int d) const { return extent_[d]; }
+  std::int64_t stride(int d) const { return stride_[d]; }
+  std::int64_t volume() const { return static_cast<std::int64_t>(storage_.size()); }
+  float* data() { return storage_.data(); }
+  const float* data() const { return storage_.data(); }
+
+  float& at(std::initializer_list<std::int64_t> c) {
+    return storage_[flat(c)];
+  }
+  float at(std::initializer_list<std::int64_t> c) const {
+    return storage_[flat(c)];
+  }
+
+  BufferView view() {
+    BufferView v;
+    v.data = storage_.data();
+    v.rank = rank_;
+    for (int d = 0; d < rank_; ++d) {
+      v.origin[d] = 0;
+      v.extent[d] = extent_[d];
+      v.stride[d] = stride_[d];
+    }
+    return v;
+  }
+  BufferView view() const { return const_cast<Buffer*>(this)->view(); }
+
+ private:
+  std::size_t flat(std::initializer_list<std::int64_t> c) const {
+    FUSEDP_DCHECK(static_cast<int>(c.size()) == rank_, "bad coordinate rank");
+    std::int64_t off = 0;
+    int d = 0;
+    for (std::int64_t x : c) off += x * stride_[d++];
+    return static_cast<std::size_t>(off);
+  }
+
+  int rank_ = 0;
+  std::int64_t extent_[kMaxRank] = {0, 0, 0, 0};
+  std::int64_t stride_[kMaxRank] = {0, 0, 0, 0};
+  std::vector<float> storage_;
+};
+
+}  // namespace fusedp

@@ -1,0 +1,78 @@
+#include "support/cli.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+namespace fusedp {
+
+namespace {
+
+std::string upper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+}  // namespace
+
+Cli::Cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    args_ += argv[i];
+    args_ += '\x1f';
+  }
+}
+
+std::string Cli::find(const std::string& name) const {
+  const std::string key = "--" + name + "=";
+  std::size_t pos = 0;
+  while (pos < args_.size()) {
+    std::size_t end = args_.find('\x1f', pos);
+    if (end == std::string::npos) end = args_.size();
+    const std::string tok = args_.substr(pos, end - pos);
+    if (tok.rfind(key, 0) == 0) return tok.substr(key.size());
+    if (tok == "--" + name) return "1";  // boolean flag
+    pos = end + 1;
+  }
+  return {};
+}
+
+bool Cli::has(const std::string& name) const { return !find(name).empty(); }
+
+std::string Cli::get(const std::string& name, const std::string& def) const {
+  const std::string v = find(name);
+  return v.empty() ? def : v;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
+  const std::string v = find(name);
+  return v.empty() ? def : std::strtoll(v.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double def) const {
+  const std::string v = find(name);
+  return v.empty() ? def : std::strtod(v.c_str(), nullptr);
+}
+
+std::int64_t Cli::get_int_env(const std::string& name, std::int64_t def) const {
+  const std::string v = find(name);
+  if (!v.empty()) return std::strtoll(v.c_str(), nullptr, 10);
+  return env_int(upper(name), def);
+}
+
+std::string Cli::get_env(const std::string& name, const std::string& def) const {
+  const std::string v = find(name);
+  if (!v.empty()) return v;
+  return env_str(upper(name), def);
+}
+
+std::int64_t env_int(const std::string& fusedp_suffix, std::int64_t def) {
+  const char* e = std::getenv(("FUSEDP_" + fusedp_suffix).c_str());
+  return e ? std::strtoll(e, nullptr, 10) : def;
+}
+
+std::string env_str(const std::string& fusedp_suffix, const std::string& def) {
+  const char* e = std::getenv(("FUSEDP_" + fusedp_suffix).c_str());
+  return e ? std::string(e) : def;
+}
+
+}  // namespace fusedp

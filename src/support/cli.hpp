@@ -1,0 +1,35 @@
+// Tiny flag/env helper shared by benches and examples.
+//
+// Flags look like `--name=value`; environment variables use the FUSEDP_
+// prefix (e.g. FUSEDP_SCALE=4).  Flags win over env vars which win over
+// defaults.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fusedp {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+
+  // Env-var fallback: --name beats FUSEDP_<NAME> beats `def`.
+  std::int64_t get_int_env(const std::string& name, std::int64_t def) const;
+  std::string get_env(const std::string& name, const std::string& def) const;
+
+ private:
+  std::string find(const std::string& name) const;
+  std::string args_;  // "\x1f"-joined argv for simple lookup
+};
+
+// Standalone env readers (for code without argv access).
+std::int64_t env_int(const std::string& fusedp_suffix, std::int64_t def);
+std::string env_str(const std::string& fusedp_suffix, const std::string& def);
+
+}  // namespace fusedp

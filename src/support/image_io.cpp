@@ -1,0 +1,119 @@
+#include "support/image_io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "support/rng.hpp"
+#include "support/status.hpp"
+
+namespace fusedp {
+
+namespace {
+
+std::uint8_t to_byte(float v) {
+  v = std::clamp(v, 0.0f, 1.0f);
+  return static_cast<std::uint8_t>(std::lround(v * 255.0f));
+}
+
+}  // namespace
+
+void write_ppm(const std::string& path, const Buffer& img) {
+  FUSEDP_CHECK(img.rank() == 2 || (img.rank() == 3 && img.extent(0) == 3),
+               "write_ppm expects [H,W] or [3,H,W]");
+  const bool gray = img.rank() == 2;
+  const std::int64_t h = gray ? img.extent(0) : img.extent(1);
+  const std::int64_t w = gray ? img.extent(1) : img.extent(2);
+  std::ofstream out(path, std::ios::binary);
+  FUSEDP_CHECK(out.good(), "cannot open " + path + " for writing");
+  out << "P6\n" << w << " " << h << "\n255\n";
+  std::vector<std::uint8_t> row(static_cast<std::size_t>(w) * 3);
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      for (int c = 0; c < 3; ++c) {
+        const float v = gray ? img.at({y, x}) : img.at({c, y, x});
+        row[static_cast<std::size_t>(x) * 3 + static_cast<std::size_t>(c)] =
+            to_byte(v);
+      }
+    }
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+  }
+  FUSEDP_CHECK(out.good(), "failed writing " + path);
+}
+
+Buffer read_ppm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  FUSEDP_CHECK(in.good(), "cannot open " + path);
+  std::string magic;
+  in >> magic;
+  FUSEDP_CHECK(magic == "P6", "not a P6 PPM: " + path);
+  std::int64_t w = 0, h = 0, maxval = 0;
+  in >> w >> h >> maxval;
+  FUSEDP_CHECK(w > 0 && h > 0 && maxval == 255, "unsupported PPM header");
+  in.get();  // single whitespace after header
+  Buffer img({3, h, w});
+  std::vector<std::uint8_t> row(static_cast<std::size_t>(w) * 3);
+  for (std::int64_t y = 0; y < h; ++y) {
+    in.read(reinterpret_cast<char*>(row.data()),
+            static_cast<std::streamsize>(row.size()));
+    FUSEDP_CHECK(in.good(), "truncated PPM: " + path);
+    for (std::int64_t x = 0; x < w; ++x)
+      for (int c = 0; c < 3; ++c)
+        img.at({c, y, x}) =
+            static_cast<float>(row[static_cast<std::size_t>(x) * 3 +
+                                   static_cast<std::size_t>(c)]) /
+            255.0f;
+  }
+  return img;
+}
+
+Buffer make_synthetic_image(const std::vector<std::int64_t>& extents,
+                            std::uint64_t seed) {
+  Buffer img(extents);
+  const int rank = img.rank();
+  // Treat the last two dims as (y, x); earlier dims shift phase per plane.
+  const std::int64_t h = rank >= 2 ? img.extent(rank - 2) : 1;
+  const std::int64_t w = img.extent(rank - 1);
+  Rng rng(seed);
+  const float ph0 = rng.next_float() * 6.2831853f;
+  const float ph1 = rng.next_float() * 6.2831853f;
+
+  float* p = img.data();
+  std::int64_t planes = img.volume() / (h * w);
+  std::int64_t idx = 0;
+  for (std::int64_t pl = 0; pl < planes; ++pl) {
+    const float plane_shift = 0.13f * static_cast<float>(pl);
+    for (std::int64_t y = 0; y < h; ++y) {
+      for (std::int64_t x = 0; x < w; ++x, ++idx) {
+        const float fy = static_cast<float>(y) / static_cast<float>(h);
+        const float fx = static_cast<float>(x) / static_cast<float>(w);
+        float v = 0.35f + 0.25f * fy + 0.15f * fx + plane_shift * 0.1f;
+        v += 0.12f * std::sin(23.0f * fx + ph0 + plane_shift) *
+             std::cos(17.0f * fy + ph1);
+        // Step edges give gradient/corner detectors something to find.
+        if (((x / 97) + (y / 71)) % 2 == 0) v += 0.08f;
+        if (x % 251 < 3 || y % 233 < 3) v -= 0.2f;
+        p[idx] = std::clamp(v, 0.0f, 1.0f);
+      }
+    }
+  }
+  return img;
+}
+
+Buffer make_blend_mask(std::int64_t height, std::int64_t width) {
+  Buffer m({height, width});
+  for (std::int64_t y = 0; y < height; ++y) {
+    for (std::int64_t x = 0; x < width; ++x) {
+      // Soft vertical split with a sinusoidal seam.
+      const double seam =
+          width / 2.0 + 0.08 * width * std::sin(6.0 * y / double(height));
+      const double d = (static_cast<double>(x) - seam) / (0.04 * width);
+      m.at({y, x}) = static_cast<float>(1.0 / (1.0 + std::exp(d)));
+    }
+  }
+  return m;
+}
+
+}  // namespace fusedp

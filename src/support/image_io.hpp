@@ -1,0 +1,33 @@
+// Minimal image I/O and synthetic image generation.
+//
+// The paper's benchmarks ship photographic inputs; we synthesize
+// deterministic procedural images at the paper's resolutions instead (see
+// DESIGN.md "Input data").  PPM (P6) output lets examples write viewable
+// results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/buffer.hpp"
+
+namespace fusedp {
+
+// Writes `img` as a binary PPM.  Accepts [3,H,W] (channel-first) or [H,W]
+// (grayscale, replicated to RGB).  Values are clamped to [0,1] then scaled
+// to 0..255.
+void write_ppm(const std::string& path, const Buffer& img);
+
+// Reads a binary P6 PPM into a [3,H,W] float buffer with values in [0,1].
+Buffer read_ppm(const std::string& path);
+
+// Deterministic synthetic test content: smooth gradients + sinusoidal
+// texture + a few step edges, so that blurs/gradients/histograms all see
+// non-trivial data.  `extents` is any rank 1..4 shape; `seed` perturbs phase.
+Buffer make_synthetic_image(const std::vector<std::int64_t>& extents,
+                            std::uint64_t seed = 1);
+
+// A binary-ish soft mask in [0,1] (used by pyramid blending).
+Buffer make_blend_mask(std::int64_t height, std::int64_t width);
+
+}  // namespace fusedp

@@ -1,0 +1,40 @@
+// Deterministic RNG (SplitMix64).  Used for synthetic input images and
+// property-test DAG generation; determinism keeps golden tests and the
+// schedule-independence invariant reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace fusedp {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, n).
+  std::uint64_t next_below(std::uint64_t n) { return n ? next_u64() % n : 0; }
+
+  // Uniform float in [0, 1).
+  float next_float() {
+    return static_cast<float>(next_u64() >> 40) * (1.0f / 16777216.0f);
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool next_bool(double p = 0.5) { return next_double() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace fusedp

@@ -1,0 +1,51 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/status.hpp"
+#include "support/timing.hpp"
+
+namespace fusedp {
+
+RunStats measure_min_of_averages(const std::function<void()>& fn, int samples,
+                                 int runs) {
+  FUSEDP_CHECK(samples > 0 && runs > 0, "samples/runs must be positive");
+  RunStats st;
+  st.best_ms = std::numeric_limits<double>::infinity();
+  st.worst_ms = 0.0;
+  st.sample_avgs_ms.reserve(static_cast<std::size_t>(samples));
+  for (int s = 0; s < samples; ++s) {
+    double total = 0.0;
+    for (int r = 0; r < runs; ++r) {
+      WallTimer t;
+      fn();
+      const double ms = t.millis();
+      total += ms;
+      st.best_ms = std::min(st.best_ms, ms);
+      st.worst_ms = std::max(st.worst_ms, ms);
+    }
+    st.sample_avgs_ms.push_back(total / runs);
+  }
+  st.min_avg_ms =
+      *std::min_element(st.sample_avgs_ms.begin(), st.sample_avgs_ms.end());
+  return st;
+}
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double stddev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(v.size() - 1));
+}
+
+}  // namespace fusedp

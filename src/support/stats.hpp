@@ -1,0 +1,31 @@
+// Measurement protocol from the paper (Section 6.1):
+//   "All experiments were conducted with five sample runs with each sample
+//    using 500 runs. We report the minimum of the average of each sample."
+//
+// measure_min_of_averages() runs `samples` samples of `runs` invocations each
+// and returns the minimum per-sample average in milliseconds.  Sample/run
+// counts are configurable (the paper's 5x500 is impractically slow in CI-like
+// environments; benches read FUSEDP_SAMPLES / FUSEDP_RUNS).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace fusedp {
+
+struct RunStats {
+  double min_avg_ms = 0.0;  // paper's reported metric
+  double best_ms = 0.0;     // fastest single run
+  double worst_ms = 0.0;    // slowest single run
+  std::vector<double> sample_avgs_ms;
+};
+
+RunStats measure_min_of_averages(const std::function<void()>& fn, int samples,
+                                 int runs);
+
+// Simple summary helpers.
+double mean(const std::vector<double>& v);
+double stddev(const std::vector<double>& v);
+
+}  // namespace fusedp

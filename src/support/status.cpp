@@ -1,0 +1,9 @@
+#include "support/status.hpp"
+
+namespace fusedp {
+
+void fail(const std::string& msg, const char* file, int line) {
+  throw Error(std::string(file) + ":" + std::to_string(line) + ": " + msg);
+}
+
+}  // namespace fusedp

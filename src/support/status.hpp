@@ -1,0 +1,34 @@
+// Error handling primitives for FuseDP.
+//
+// The library throws `fusedp::Error` for construction/usage errors (invalid
+// pipeline specs, schedule mismatches); hot paths use FUSEDP_DCHECK which
+// compiles away in release builds.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fusedp {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string msg) : std::runtime_error(std::move(msg)) {}
+};
+
+[[noreturn]] void fail(const std::string& msg, const char* file, int line);
+
+// Formats "<cond>" failure context and throws fusedp::Error.
+#define FUSEDP_CHECK(cond, msg)                              \
+  do {                                                       \
+    if (!(cond)) ::fusedp::fail((msg), __FILE__, __LINE__);  \
+  } while (0)
+
+#ifdef NDEBUG
+#define FUSEDP_DCHECK(cond, msg) \
+  do {                           \
+  } while (0)
+#else
+#define FUSEDP_DCHECK(cond, msg) FUSEDP_CHECK(cond, msg)
+#endif
+
+}  // namespace fusedp

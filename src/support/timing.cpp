@@ -1,0 +1,3 @@
+#include "support/timing.hpp"
+
+// WallTimer is header-only; this TU anchors the library.

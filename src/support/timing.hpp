@@ -1,0 +1,23 @@
+// Wall-clock timing.
+#pragma once
+
+#include <chrono>
+
+namespace fusedp {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+  void restart() { start_ = clock::now(); }
+  // Elapsed seconds since construction / last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace fusedp

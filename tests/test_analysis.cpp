@@ -1,0 +1,308 @@
+// Tests for scaling/alignment, required-region propagation, and reuse
+// analysis — including the blur trapezoid of paper Figure 2 and the
+// owned-boxes-partition-the-domain property that tile correctness rests on.
+#include <gtest/gtest.h>
+
+#include "analysis/regions.hpp"
+#include "analysis/reuse.hpp"
+#include "analysis/scaling.hpp"
+#include "pipelines/pipelines.hpp"
+#include "support/rng.hpp"
+#include "test_util.hpp"
+
+namespace fusedp {
+namespace {
+
+NodeSet all_stages(const Pipeline& pl) {
+  NodeSet s;
+  for (int i = 0; i < pl.num_stages(); ++i) s = s.with(i);
+  return s;
+}
+
+TEST(ScalingTest, IdentityChainAligns) {
+  const PipelineSpec spec = make_blur(64, 64);
+  const AlignResult align = solve_alignment(*spec.pipeline, all_stages(*spec.pipeline));
+  ASSERT_TRUE(align.constant);
+  EXPECT_FALSE(align.hard_conflict);
+  EXPECT_EQ(align.num_classes, 3);
+  for (int s = 0; s < 2; ++s)
+    for (int d = 0; d < 3; ++d) {
+      const DimAlign& da = align.stages[static_cast<std::size_t>(s)]
+                               .dim[static_cast<std::size_t>(d)];
+      EXPECT_EQ(da.sn, 1);
+      EXPECT_EQ(da.sd, 1);
+    }
+  EXPECT_EQ(align.class_extent[1], 64);
+  EXPECT_EQ(align.class_granularity[1], 1);
+}
+
+TEST(ScalingTest, DownsampleChainScales) {
+  // premult(0) -> downx1(1) -> down1(2): down accesses use num=2.
+  const PipelineSpec spec = make_interpolate(64, 64);
+  const Pipeline& pl = *spec.pipeline;
+  const NodeSet group = NodeSet::single(0).with(1).with(2);
+  const AlignResult align = solve_alignment(pl, group);
+  ASSERT_TRUE(align.constant);
+  // Stage 2 (down1, half resolution) must be stretched 2x into reference
+  // coordinates along both spatial dims.
+  const StageAlign& sa = align.stages[2];
+  EXPECT_EQ(sa.dim[1].sn, 2);
+  EXPECT_EQ(sa.dim[1].sd, 1);
+  EXPECT_EQ(sa.dim[2].sn, 2);
+  // Reference space spans the full-resolution extents.
+  const DimAlign& ref1 = align.stages[0].dim[1];
+  EXPECT_EQ(align.class_extent[static_cast<std::size_t>(ref1.cls)], 64);
+}
+
+TEST(ScalingTest, UpsampleGranularity) {
+  // interp1 group {upx1=45? ...} - use pyramid: colupx reads col with den=2.
+  const PipelineSpec spec = make_pyramid_blend(64, 64);
+  const Pipeline& pl = *spec.pipeline;
+  // Find the "out" stage (reads col1 with den=2) and col1.
+  int out_id = -1, col1_id = -1;
+  for (const Stage& s : pl.stages()) {
+    if (s.name == "out") out_id = s.id;
+    if (s.name == "col1") col1_id = s.id;
+  }
+  ASSERT_GE(out_id, 0);
+  ASSERT_GE(col1_id, 0);
+  const AlignResult align =
+      solve_alignment(pl, NodeSet::single(out_id).with(col1_id));
+  ASSERT_TRUE(align.constant);
+  // col1 (coarser) is stretched 2x; tile granularity along the spatial
+  // classes must be 2 so tile edges land on col1 pixels.
+  const StageAlign& sa = align.stages[static_cast<std::size_t>(out_id)];
+  const int cls = sa.dim[1].cls;
+  EXPECT_EQ(align.class_granularity[static_cast<std::size_t>(cls)], 2);
+}
+
+TEST(ScalingTest, DynamicAccessIsHardConflict) {
+  const PipelineSpec spec = make_bilateral(64, 64);
+  const Pipeline& pl = *spec.pipeline;
+  // blurx (3) -> slice_num (4) crosses the dynamic z access.
+  const AlignResult align = solve_alignment(pl, NodeSet::single(3).with(4));
+  EXPECT_FALSE(align.constant);
+  EXPECT_TRUE(align.hard_conflict);
+}
+
+TEST(ScalingTest, ReductionGroupIsHardConflict) {
+  const PipelineSpec spec = make_bilateral(64, 64);
+  const AlignResult align =
+      solve_alignment(*spec.pipeline, NodeSet::single(0).with(1));
+  EXPECT_FALSE(align.constant);
+  EXPECT_TRUE(align.hard_conflict);
+}
+
+TEST(ScalingTest, SingletonAlwaysConstant) {
+  const PipelineSpec spec = make_bilateral(64, 64);
+  for (int s = 0; s < spec.pipeline->num_stages(); ++s)
+    EXPECT_TRUE(constant_dependence_vectors(*spec.pipeline, NodeSet::single(s)))
+        << "stage " << s;
+}
+
+TEST(RegionsTest, MapAccessBoxAffine) {
+  const PipelineSpec spec = make_blur(64, 64);
+  const Pipeline& pl = *spec.pipeline;
+  // blury reads blurx at y-1..y+1.
+  Box cbox = Box::dense({3, 8, 8});
+  cbox.lo[2] = 16;
+  cbox.hi[2] = 23;
+  const Stage& blury = pl.stage(1);
+  Box lo_hull, hi_hull;
+  bool first = true;
+  for (const Access& a : blury.loads) {
+    const Box b = map_access_box(pl, a, cbox);
+    lo_hull = first ? b : lo_hull.hull(b);
+    first = false;
+  }
+  EXPECT_EQ(lo_hull.lo[2], 15);
+  EXPECT_EQ(lo_hull.hi[2], 24);
+}
+
+TEST(RegionsTest, MapAccessBoxScaledAndPre) {
+  Pipeline pl("p");
+  const int img = pl.add_input("img", {64});
+  StageBuilder a(pl, pl.add_stage("a", {64}));
+  a.define(a.in(img, {0}));
+  StageBuilder b(pl, pl.add_stage("b", {128}));
+  // b(x) reads a(floor((x+1)/2)).
+  b.define(b.load({false, 0}, {AxisMap::affine(0, 0, 1, 2, 1)}));
+  pl.finalize();
+  Box cbox;
+  cbox.rank = 1;
+  cbox.lo[0] = 10;
+  cbox.hi[0] = 13;
+  const Box pbox = map_access_box(pl, pl.stage(1).loads[0], cbox);
+  EXPECT_EQ(pbox.lo[0], 5);  // floor(11/2)
+  EXPECT_EQ(pbox.hi[0], 7);  // floor(14/2)
+}
+
+TEST(RegionsTest, BlurTrapezoidOverlap) {
+  // Paper Figure 2: fusing blurx+blury with overlapped tiling recomputes a
+  // 1-pixel halo of blurx on each side of the tile along y.
+  const PipelineSpec spec = make_blur(64, 256);
+  const Pipeline& pl = *spec.pipeline;
+  const NodeSet group = all_stages(pl);
+  const AlignResult align = solve_alignment(pl, group);
+  Box tile;  // interior 3 x 16 x 32 tile
+  tile.rank = 3;
+  tile.lo[0] = 0; tile.hi[0] = 2;
+  tile.lo[1] = 16; tile.hi[1] = 31;
+  tile.lo[2] = 64; tile.hi[2] = 95;
+  const GroupRegions r =
+      compute_group_regions(pl, group, align, tile, /*clamp=*/false);
+  // blury computes exactly the tile; blurx needs the tile plus y +/- 1.
+  EXPECT_EQ(r.stages[1].required.volume(), 3 * 16 * 32);
+  EXPECT_EQ(r.stages[0].required.volume(), 3 * 16 * 34);
+  EXPECT_EQ(r.overlap_volume, 3 * 16 * 2);
+  EXPECT_EQ(r.computed_volume, 3 * 16 * 32 + 3 * 16 * 34);
+  EXPECT_EQ(r.liveout_volume, 3 * 16 * 32);
+}
+
+TEST(RegionsTest, OwnedBoxesPartitionDomain) {
+  // Property: for every stage of a fused group, the owned boxes of all tiles
+  // partition the stage domain exactly (no gaps, no overlaps).
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const auto pl = testing::random_pipeline(6, 40, 48, seed, /*scaling=*/true);
+    const NodeSet group = all_stages(*pl);
+    const AlignResult align = solve_alignment(*pl, group);
+    if (!align.constant) continue;
+    // Tile the reference space with granularity-respecting tiles.
+    std::vector<std::int64_t> ts(static_cast<std::size_t>(align.num_classes));
+    for (int d = 0; d < align.num_classes; ++d)
+      ts[static_cast<std::size_t>(d)] = std::max<std::int64_t>(
+          align.class_granularity[static_cast<std::size_t>(d)] * 7,
+          align.class_granularity[static_cast<std::size_t>(d)]);
+    std::vector<std::int64_t> counts(ts.size());
+    std::int64_t total = 1;
+    for (int d = 0; d < align.num_classes; ++d) {
+      counts[static_cast<std::size_t>(d)] = ceil_div(
+          align.class_extent[static_cast<std::size_t>(d)],
+          ts[static_cast<std::size_t>(d)]);
+      total *= counts[static_cast<std::size_t>(d)];
+    }
+    group.for_each([&](int s) {
+      Buffer cover(pl->stage(s).domain.extents());
+      for (std::int64_t t = 0; t < total; ++t) {
+        Box tile;
+        tile.rank = align.num_classes;
+        std::int64_t rem = t;
+        for (int d = align.num_classes - 1; d >= 0; --d) {
+          const std::int64_t idx = rem % counts[static_cast<std::size_t>(d)];
+          rem /= counts[static_cast<std::size_t>(d)];
+          tile.lo[d] = idx * ts[static_cast<std::size_t>(d)];
+          tile.hi[d] = std::min(
+              tile.lo[d] + ts[static_cast<std::size_t>(d)] - 1,
+              align.class_extent[static_cast<std::size_t>(d)] - 1);
+        }
+        Box owned = owned_box(pl->stage(s), align, tile);
+        owned = owned.intersect(pl->stage(s).domain);
+        if (owned.empty()) continue;
+        std::int64_t c[kMaxDims];
+        for (int d = 0; d < owned.rank; ++d) c[d] = owned.lo[d];
+        for (;;) {
+          float* cell = &cover.data()[0];
+          std::int64_t off = 0;
+          for (int d = 0; d < owned.rank; ++d)
+            off = off * pl->stage(s).domain.extent(d) + c[d];
+          cell[off] += 1.0f;
+          int d = owned.rank - 1;
+          for (; d >= 0; --d) {
+            if (++c[d] <= owned.hi[d]) break;
+            c[d] = owned.lo[d];
+          }
+          if (d < 0) break;
+        }
+      }
+      for (std::int64_t i = 0; i < cover.volume(); ++i)
+        ASSERT_EQ(cover.data()[i], 1.0f)
+            << "stage " << s << " element " << i << " covered "
+            << cover.data()[i] << " times (seed " << seed << ")";
+    });
+  }
+}
+
+TEST(RegionsTest, RequiredContainsOwned) {
+  const PipelineSpec spec = make_harris(48, 64);
+  const Pipeline& pl = *spec.pipeline;
+  const NodeSet group = all_stages(pl);
+  const AlignResult align = solve_alignment(pl, group);
+  ASSERT_TRUE(align.constant);
+  Box tile;
+  tile.rank = align.num_classes;
+  for (int d = 0; d < tile.rank; ++d) {
+    tile.lo[d] = 0;
+    tile.hi[d] = 15;
+  }
+  const GroupRegions r =
+      compute_group_regions(pl, group, align, tile, /*clamp=*/true);
+  group.for_each([&](int s) {
+    const StageRegions& sr = r.stages[static_cast<std::size_t>(s)];
+    if (!sr.owned.empty()) {
+      EXPECT_TRUE(sr.required.contains(sr.owned)) << pl.stage(s).name;
+    }
+  });
+  EXPECT_GT(r.overlap_volume, 0);  // harris has plenty of stencil halo
+}
+
+TEST(RegionsTest, LiveinUsesHullNotTapCount) {
+  const PipelineSpec spec = make_blur(64, 64);
+  const Pipeline& pl = *spec.pipeline;
+  const AlignResult align = solve_alignment(pl, NodeSet::single(0));
+  Box tile;
+  tile.rank = 3;
+  tile.lo[0] = 0; tile.hi[0] = 2;
+  tile.lo[1] = 8; tile.hi[1] = 23;
+  tile.lo[2] = 8; tile.hi[2] = 23;
+  const GroupRegions r = compute_group_regions(pl, NodeSet::single(0), align,
+                                               tile, /*clamp=*/false);
+  // blurx reads img at x-1..x+1: hull is (16+2) x 16, not 3x the tile.
+  EXPECT_EQ(r.livein_volume, 3 * 18 * 16);
+}
+
+TEST(ReuseTest, StencilDirectionGetsMoreReuse) {
+  // blurx reads img along x (dim 1); fused blur group reads blurx along y
+  // (dim 2).  Innermost also gets spatial credit.
+  const PipelineSpec spec = make_blur(64, 64);
+  const Pipeline& pl = *spec.pipeline;
+  const NodeSet group = all_stages(pl);
+  const AlignResult align = solve_alignment(pl, group);
+  const ReuseInfo reuse = compute_reuse(pl, group, align);
+  ASSERT_EQ(reuse.dim_reuse.size(), 3u);
+  EXPECT_GT(reuse.dim_reuse[1], reuse.dim_reuse[0]);  // x-stencil beats c
+  EXPECT_GT(reuse.dim_reuse[2], reuse.dim_reuse[0]);  // y-stencil + spatial
+  EXPECT_EQ(reuse.dim_sizes[1], 64);
+  EXPECT_DOUBLE_EQ(reuse.dim_size_stddev, 0.0);  // equal extents everywhere
+}
+
+TEST(ReuseTest, CleanPyramidLevelsAlignToZeroStddev) {
+  // A clean 2x downsample chain aligns to identical reference extents —
+  // scaling exists precisely to cancel resolution differences.
+  const PipelineSpec spec = make_interpolate(64, 64);
+  const Pipeline& pl = *spec.pipeline;
+  const NodeSet group = NodeSet::single(0).with(1).with(2);
+  const AlignResult align = solve_alignment(pl, group);
+  ASSERT_TRUE(align.constant);
+  const ReuseInfo reuse = compute_reuse(pl, group, align);
+  EXPECT_DOUBLE_EQ(reuse.dim_size_stddev, 0.0);
+}
+
+TEST(ReuseTest, MismatchedExtentsRaiseStddev) {
+  // A consumer with a genuinely smaller domain (a crop) leaves a residual
+  // extent mismatch that the w4 term penalizes.
+  Pipeline pl("crop");
+  const int img = pl.add_input("img", {64, 64});
+  StageBuilder a(pl, pl.add_stage("a", {64, 64}));
+  a.define(a.in(img, {0, 0}) * 2.0f);
+  StageBuilder b(pl, pl.add_stage("b", {40, 64}));  // cropped consumer
+  b.define(b.at(a.stage(), {0, 0}) + 1.0f);
+  pl.finalize();
+  const NodeSet group = NodeSet::single(0).with(1);
+  const AlignResult align = solve_alignment(pl, group);
+  ASSERT_TRUE(align.constant);
+  const ReuseInfo reuse = compute_reuse(pl, group, align);
+  EXPECT_GT(reuse.dim_size_stddev, 0.0);
+}
+
+}  // namespace
+}  // namespace fusedp

@@ -1,0 +1,179 @@
+// Border-mode tests: fold_coord semantics, evaluator agreement, region
+// folding, and the schedule-independence invariant under every border mode.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "pipelines/pipelines.hpp"
+#include "runtime/executor.hpp"
+#include "support/rng.hpp"
+#include "test_util.hpp"
+
+namespace fusedp {
+namespace {
+
+TEST(FoldCoordTest, ClampSemantics) {
+  EXPECT_EQ(fold_coord(-5, 0, 9, Border::kClamp), 0);
+  EXPECT_EQ(fold_coord(12, 0, 9, Border::kClamp), 9);
+  EXPECT_EQ(fold_coord(4, 0, 9, Border::kClamp), 4);
+}
+
+TEST(FoldCoordTest, MirrorSemantics) {
+  // Reflect-101 on [0,9]: -1 -> 1, -2 -> 2, 10 -> 8, 11 -> 7.
+  EXPECT_EQ(fold_coord(-1, 0, 9, Border::kMirror), 1);
+  EXPECT_EQ(fold_coord(-2, 0, 9, Border::kMirror), 2);
+  EXPECT_EQ(fold_coord(10, 0, 9, Border::kMirror), 8);
+  EXPECT_EQ(fold_coord(11, 0, 9, Border::kMirror), 7);
+  // Far out-of-range folds periodically (period 18).
+  EXPECT_EQ(fold_coord(-19, 0, 9, Border::kMirror),
+            fold_coord(-1, 0, 9, Border::kMirror));
+  EXPECT_EQ(fold_coord(28, 0, 9, Border::kMirror),
+            fold_coord(10, 0, 9, Border::kMirror));
+  // Degenerate one-element domain.
+  EXPECT_EQ(fold_coord(100, 3, 3, Border::kMirror), 3);
+}
+
+TEST(FoldCoordTest, WrapSemantics) {
+  EXPECT_EQ(fold_coord(-1, 0, 9, Border::kWrap), 9);
+  EXPECT_EQ(fold_coord(10, 0, 9, Border::kWrap), 0);
+  EXPECT_EQ(fold_coord(23, 0, 9, Border::kWrap), 3);
+  EXPECT_EQ(fold_coord(-13, 0, 9, Border::kWrap), 7);
+}
+
+TEST(FoldCoordTest, NonZeroDomainLow) {
+  EXPECT_EQ(fold_coord(1, 2, 5, Border::kMirror), 3);
+  EXPECT_EQ(fold_coord(1, 2, 5, Border::kWrap), 5);
+  EXPECT_EQ(fold_coord(6, 2, 5, Border::kClamp), 5);
+}
+
+// Builds a 2-stage pipeline where the second stage reads the first with the
+// given border and large offsets, and checks tiled-vs-reference equality.
+void expect_border_schedule_independence(Border border, std::uint64_t seed) {
+  Pipeline pl("border");
+  const int img = pl.add_input("img", {24, 30});
+  StageBuilder a(pl, pl.add_stage("a", {24, 30}));
+  a.define(a.in(img, {0, 0}) * 1.5f + 0.1f);
+  StageBuilder b(pl, pl.add_stage("b", {24, 30}));
+  b.set_border(border);
+  b.define(b.at(a.stage(), {-4, 3}) + b.at(a.stage(), {5, -6}) * 0.5f +
+           b.at(a.stage(), {0, 29}));
+  pl.finalize();
+
+  std::vector<Buffer> inputs;
+  inputs.push_back(make_synthetic_image({24, 30}, seed));
+  const std::vector<Buffer> ref = run_reference(pl, inputs);
+
+  Rng rng(seed);
+  for (int trial = 0; trial < 6; ++trial) {
+    Grouping g;
+    GroupSchedule gs;
+    gs.stages = NodeSet::single(0).with(1);
+    gs.tile_sizes = {1 + static_cast<std::int64_t>(rng.next_below(25)),
+                     1 + static_cast<std::int64_t>(rng.next_below(31))};
+    g.groups = {gs};
+    ExecOptions opts;
+    opts.num_threads = 2;
+    const std::vector<Buffer> outs = run_pipeline(pl, g, inputs, opts);
+    const std::int64_t bad = testing::first_mismatch(outs[0], ref[1]);
+    ASSERT_LT(bad, 0) << "border mode " << static_cast<int>(border)
+                      << " trial " << trial << " tiles "
+                      << gs.tile_sizes[0] << "x" << gs.tile_sizes[1]
+                      << " differs at " << bad;
+  }
+}
+
+TEST(BorderTest, ClampTiledMatchesReference) {
+  expect_border_schedule_independence(Border::kClamp, 11);
+}
+TEST(BorderTest, MirrorTiledMatchesReference) {
+  expect_border_schedule_independence(Border::kMirror, 12);
+}
+TEST(BorderTest, WrapTiledMatchesReference) {
+  expect_border_schedule_independence(Border::kWrap, 13);
+}
+TEST(BorderTest, ZeroTiledMatchesReference) {
+  expect_border_schedule_independence(Border::kZero, 14);
+}
+
+TEST(BorderTest, ZeroBorderYieldsZeros) {
+  Pipeline pl("z");
+  const int img = pl.add_input("img", {8, 8});
+  StageBuilder s(pl, pl.add_stage("s", {8, 8}));
+  s.set_border(Border::kZero);
+  s.define(s.in(img, {0, 100}));  // entirely out of range
+  pl.finalize();
+  std::vector<Buffer> inputs;
+  inputs.push_back(make_synthetic_image({8, 8}, 5));
+  const std::vector<Buffer> ref = run_reference(pl, inputs);
+  for (std::int64_t i = 0; i < ref[0].volume(); ++i)
+    EXPECT_EQ(ref[0].data()[i], 0.0f);
+}
+
+TEST(BorderTest, WrapBlurOnPeriodicSignalIsExact) {
+  // A wrap-border 3-tap average over a periodic ramp has no edge artifacts:
+  // output at column 0 must equal output at column W (same phase).
+  constexpr std::int64_t kW = 12;
+  Pipeline pl("w");
+  const int img = pl.add_input("img", {4, kW});
+  StageBuilder s(pl, pl.add_stage("s", {4, kW}));
+  s.set_border(Border::kWrap);
+  s.define((s.in(img, {0, -1}) + s.in(img, {0, 0}) + s.in(img, {0, 1})) /
+           3.0f);
+  pl.finalize();
+  Buffer in({4, kW});
+  for (std::int64_t x = 0; x < 4; ++x)
+    for (std::int64_t y = 0; y < kW; ++y)
+      in.at({x, y}) = static_cast<float>((y * 3) % kW);
+  std::vector<Buffer> inputs;
+  inputs.push_back(std::move(in));
+  const std::vector<Buffer> ref = run_reference(pl, inputs);
+  // Column 0 uses wrap tap y=-1 -> y=kW-1; compare against the interior
+  // column with the same neighbourhood values (y=4: values 12%12=0 around).
+  const Buffer& img0 = inputs[0];
+  const float expect =
+      (img0.at({0, kW - 1}) + img0.at({0, 0}) + img0.at({0, 1})) / 3.0f;
+  EXPECT_EQ(ref[0].at({0, 0}), expect);
+}
+
+// Property: the row evaluator equals the scalar interpreter under every
+// border mode for random stencils (exercises the general border gather).
+class BorderEvalFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(BorderEvalFuzz, EvaluatorsAgree) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131);
+  const Border borders[] = {Border::kClamp, Border::kMirror, Border::kWrap,
+                            Border::kZero};
+  const Border border = borders[GetParam() % 4];
+  Pipeline pl("f");
+  const int img = pl.add_input("img", {10, 14});
+  StageBuilder s(pl, pl.add_stage("s", {10, 14}));
+  s.set_border(border);
+  Eh acc = s.cst(0.0f);
+  for (int t = 0; t < 4; ++t) {
+    const std::int64_t dy = static_cast<std::int64_t>(rng.next_below(31)) - 15;
+    const std::int64_t dx = static_cast<std::int64_t>(rng.next_below(31)) - 15;
+    acc = acc + s.in(img, {dy, dx}) * (0.2f + 0.1f * static_cast<float>(t));
+  }
+  s.define(acc);
+  pl.finalize();
+
+  std::vector<Buffer> inputs;
+  inputs.push_back(make_synthetic_image({10, 14},
+                                        static_cast<std::uint64_t>(GetParam())));
+  // Reference (scalar) vs a fused row-evaluated run over the same domain.
+  const std::vector<Buffer> ref = run_reference(pl, inputs);
+  Grouping g;
+  GroupSchedule gs;
+  gs.stages = NodeSet::single(0);
+  g.groups = {gs};
+  ExecOptions opts;
+  opts.mode = EvalMode::kRow;
+  const std::vector<Buffer> outs = run_pipeline(pl, g, inputs, opts);
+  EXPECT_TRUE(testing::buffers_equal(outs[0], ref[0]))
+      << "border " << static_cast<int>(border);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BorderEvalFuzz, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace fusedp

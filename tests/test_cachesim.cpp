@@ -1,0 +1,115 @@
+// Tests for the set-associative LRU cache simulator and the tiled-execution
+// trace replay used for Table 5.
+#include <gtest/gtest.h>
+
+#include "cachesim/trace.hpp"
+#include "fusion/dp.hpp"
+#include "pipelines/pipelines.hpp"
+
+namespace fusedp {
+namespace {
+
+TEST(CacheTest, GeometryChecks) {
+  const Cache c(32 * 1024, 8, 64);
+  EXPECT_EQ(c.num_sets(), 64);
+  EXPECT_THROW(Cache(1000, 3, 64), Error);
+  EXPECT_THROW(Cache(0, 1, 64), Error);
+}
+
+TEST(CacheTest, ColdMissThenHit) {
+  Cache c(1024, 2, 64);
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(63));   // same line
+  EXPECT_FALSE(c.access(64));  // next line
+  EXPECT_TRUE(c.access(64));
+}
+
+TEST(CacheTest, LruEvictionWithinSet) {
+  // 2-way, 8 sets of 64B lines: addresses k*512 all map to set 0.
+  Cache c(1024, 2, 64);
+  EXPECT_FALSE(c.access(0 * 512));
+  EXPECT_FALSE(c.access(1 * 512));
+  EXPECT_TRUE(c.access(0 * 512));   // 0 now MRU
+  EXPECT_FALSE(c.access(2 * 512));  // evicts 1 (LRU)
+  EXPECT_TRUE(c.access(0 * 512));
+  EXPECT_FALSE(c.access(1 * 512));  // 1 was evicted
+}
+
+TEST(CacheTest, FullyAssociativeKeepsWorkingSet) {
+  Cache c(8 * 64, 8, 64);  // one set, 8 ways
+  for (int i = 0; i < 8; ++i) EXPECT_FALSE(c.access(static_cast<std::uint64_t>(i) * 64));
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(c.access(static_cast<std::uint64_t>(i) * 64));
+}
+
+TEST(CacheTest, SequentialStreamHitRate) {
+  // Streaming floats through 64B lines: 1 miss per 16 accesses.
+  Cache c(32 * 1024, 8, 64);
+  int misses = 0;
+  for (std::uint64_t i = 0; i < 16 * 1024; ++i)
+    if (!c.access(i * 4)) ++misses;
+  EXPECT_EQ(misses, 1024);
+}
+
+TEST(HierarchyTest, StatsAccounting) {
+  CacheHierarchy h(Cache(1024, 2, 64), Cache(8 * 1024, 4, 64));
+  // Touch 32 lines (2KB): first pass misses both levels; second pass misses
+  // L1 for the evicted lines but hits L2.
+  for (int rep = 0; rep < 2; ++rep)
+    for (std::uint64_t i = 0; i < 32; ++i) h.access(i * 64);
+  const HierarchyStats& st = h.stats();
+  EXPECT_EQ(st.accesses, 64u);
+  EXPECT_EQ(st.l2_misses, 32u);             // only cold misses reach memory
+  EXPECT_EQ(st.l1_hits + st.l2_hits, 32u);  // second pass serviced on-chip
+  EXPECT_NEAR(st.l1_hit_frac() + st.l2_hit_frac() + st.l2_miss_frac(), 1.0,
+              1e-12);
+}
+
+TEST(TraceTest, SmallTilesHitMoreInL1ThanHugeTiles) {
+  // The crux of paper Table 5: L1-sized tiles show higher L1 hit fractions
+  // than tiles that spill into L2/memory.
+  const PipelineSpec spec = make_unsharp(256, 512);
+  const Pipeline& pl = *spec.pipeline;
+
+  auto stats_for = [&](std::int64_t t1, std::int64_t t2) {
+    Grouping g;
+    GroupSchedule gs;
+    for (int i = 0; i < 4; ++i) gs.stages = gs.stages.with(i);
+    gs.tile_sizes = {3, t1, t2};
+    g.groups.push_back(gs);
+    CacheHierarchy hier(Cache(32 * 1024, 8), Cache(256 * 1024, 8));
+    return simulate_grouping(pl, g, hier);
+  };
+  const HierarchyStats small = stats_for(5, 256);
+  const HierarchyStats huge = stats_for(128, 512);
+  EXPECT_GT(small.l1_hit_frac(), huge.l1_hit_frac());
+  EXPECT_LT(small.l2_miss_frac(), huge.l2_miss_frac());
+  EXPECT_GT(small.accesses, 0u);
+}
+
+TEST(TraceTest, FusionReducesMemoryMisses) {
+  const PipelineSpec spec = make_blur(256, 512);
+  const Pipeline& pl = *spec.pipeline;
+  const CostModel model(pl, MachineModel::xeon_haswell());
+
+  CacheHierarchy hier(Cache(32 * 1024, 8), Cache(256 * 1024, 8));
+  DpFusion dp(pl, model);
+  const HierarchyStats fused = simulate_grouping(pl, dp.run(), hier);
+  const HierarchyStats apart =
+      simulate_grouping(pl, singleton_grouping(pl, model), hier);
+  EXPECT_LT(fused.l2_miss_frac(), apart.l2_miss_frac())
+      << "fusing blur must keep the intermediate on-chip";
+}
+
+TEST(TraceTest, RejectsDynamicAndReductions) {
+  const PipelineSpec spec = make_bilateral(64, 64);
+  const CostModel model(*spec.pipeline, MachineModel::xeon_haswell());
+  CacheHierarchy hier(Cache(32 * 1024, 8), Cache(256 * 1024, 8));
+  EXPECT_THROW(simulate_grouping(*spec.pipeline,
+                                 singleton_grouping(*spec.pipeline, model),
+                                 hier),
+               Error);
+}
+
+}  // namespace
+}  // namespace fusedp

@@ -1,0 +1,201 @@
+// Integration tests for the overlapped-tiling executor: the load-bearing
+// invariant is that EVERY valid schedule produces output bit-identical to
+// the unfused scalar reference (DESIGN.md invariant #1).
+#include <gtest/gtest.h>
+
+#include "fusion/dp.hpp"
+#include "fusion/halide_auto.hpp"
+#include "fusion/incremental.hpp"
+#include "fusion/polymage_greedy.hpp"
+#include "pipelines/pipelines.hpp"
+#include "runtime/executor.hpp"
+#include "test_util.hpp"
+
+namespace fusedp {
+namespace {
+
+void expect_matches_reference(const Pipeline& pl, const Grouping& g,
+                              const std::vector<Buffer>& inputs,
+                              const std::vector<Buffer>& ref, int threads,
+                              EvalMode mode, const std::string& label) {
+  ExecOptions opts;
+  opts.num_threads = threads;
+  opts.mode = mode;
+  const std::vector<Buffer> outs = run_pipeline(pl, g, inputs, opts);
+  ASSERT_EQ(outs.size(), pl.outputs().size());
+  for (std::size_t o = 0; o < outs.size(); ++o) {
+    const Buffer& expect = ref[static_cast<std::size_t>(pl.outputs()[o])];
+    const std::int64_t bad = testing::first_mismatch(outs[o], expect);
+    ASSERT_LT(bad, 0) << label << ": output " << o << " differs at " << bad
+                      << " (got " << outs[o].data()[bad] << ", want "
+                      << expect.data()[bad] << ")";
+  }
+}
+
+class BenchmarkGoldenTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BenchmarkGoldenTest, AllSchedulersMatchReference) {
+  const PipelineSpec spec = make_benchmark(GetParam(), 24);
+  const Pipeline& pl = *spec.pipeline;
+  const CostModel model(pl, MachineModel::xeon_haswell());
+  const std::vector<Buffer> inputs = spec.make_inputs();
+  const std::vector<Buffer> ref = run_reference(pl, inputs);
+
+  // PolyMageDP (incremental driver).
+  IncFusion inc(pl, model);
+  expect_matches_reference(pl, inc.run(), inputs, ref, 2, EvalMode::kRow,
+                           "PolyMageDP");
+  // PolyMage greedy at two configurations.
+  const PolyMageGreedy greedy(pl, model);
+  expect_matches_reference(pl, greedy.run(32, 64, 0.4), inputs, ref, 2,
+                           EvalMode::kRow, "PolyMage-greedy-32x64");
+  expect_matches_reference(pl, greedy.run(256, 256, 0.2), inputs, ref, 1,
+                           EvalMode::kRow, "PolyMage-greedy-256");
+  // H-auto.
+  const HalideAuto hauto(pl, model);
+  expect_matches_reference(pl, hauto.run(), inputs, ref, 2, EvalMode::kRow,
+                           "H-auto");
+  // H-manual.
+  expect_matches_reference(pl, spec.manual_grouping(model), inputs, ref, 2,
+                           EvalMode::kRow, "H-manual");
+  // No fusion at all.
+  expect_matches_reference(pl, singleton_grouping(pl, model), inputs, ref, 2,
+                           EvalMode::kRow, "singletons");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchmarkGoldenTest,
+                         ::testing::Values("unsharp", "harris", "bilateral",
+                                           "interpolate", "campipe",
+                                           "pyramid", "blur"));
+
+TEST(ExecutorTest, ScalarAndRowModesAgree) {
+  const PipelineSpec spec = make_harris(64, 96);
+  const Pipeline& pl = *spec.pipeline;
+  const CostModel model(pl, MachineModel::xeon_haswell());
+  DpFusion dp(pl, model);
+  const Grouping g = dp.run();
+  const std::vector<Buffer> inputs = spec.make_inputs();
+  ExecOptions row, scalar;
+  row.mode = EvalMode::kRow;
+  scalar.mode = EvalMode::kScalar;
+  const std::vector<Buffer> a = run_pipeline(pl, g, inputs, row);
+  const std::vector<Buffer> b = run_pipeline(pl, g, inputs, scalar);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_TRUE(testing::buffers_equal(a[i], b[i]));
+}
+
+TEST(ExecutorTest, ThreadCountDoesNotChangeResults) {
+  // Tiles recompute their halos, so any thread count yields identical bits
+  // (the bilateral reduction is also thread-count invariant by design).
+  const PipelineSpec spec = make_bilateral(96, 96);
+  const Pipeline& pl = *spec.pipeline;
+  const CostModel model(pl, MachineModel::xeon_haswell());
+  DpFusion dp(pl, model);
+  const Grouping g = dp.run();
+  const std::vector<Buffer> inputs = spec.make_inputs();
+  std::vector<Buffer> prev;
+  for (int threads : {1, 2, 5}) {
+    ExecOptions opts;
+    opts.num_threads = threads;
+    std::vector<Buffer> outs = run_pipeline(pl, g, inputs, opts);
+    if (!prev.empty()) {
+      for (std::size_t i = 0; i < outs.size(); ++i)
+        EXPECT_TRUE(testing::buffers_equal(outs[i], prev[i]))
+            << "threads=" << threads;
+    }
+    prev = std::move(outs);
+  }
+}
+
+class TileSizeFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TileSizeFuzzTest, ArbitraryTileSizesAreCorrect) {
+  // Property: correctness never depends on the tile sizes chosen.
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const PipelineSpec spec = make_unsharp(64 + GetParam() * 3, 96);
+  const Pipeline& pl = *spec.pipeline;
+  const std::vector<Buffer> inputs = spec.make_inputs();
+  const std::vector<Buffer> ref = run_reference(pl, inputs);
+  Grouping g;
+  GroupSchedule gs;
+  for (int i = 0; i < pl.num_stages(); ++i) gs.stages = gs.stages.with(i);
+  gs.tile_sizes = {1 + static_cast<std::int64_t>(rng.next_below(3)),
+                   1 + static_cast<std::int64_t>(rng.next_below(70)),
+                   1 + static_cast<std::int64_t>(rng.next_below(100))};
+  g.groups.push_back(gs);
+  expect_matches_reference(pl, g, inputs, ref, 3, EvalMode::kRow,
+                           "fuzz tiles");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TileSizeFuzzTest, ::testing::Range(1, 9));
+
+class RandomPipelineFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPipelineFuzzTest, DpScheduleMatchesReference) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const auto pl = testing::random_pipeline(7, 40 + GetParam(), 52, seed,
+                                           /*scaling=*/GetParam() % 2 == 0);
+  const CostModel model(*pl, MachineModel::xeon_haswell());
+  DpFusion dp(*pl, model);
+  const Grouping g = dp.run();
+  std::vector<Buffer> inputs;
+  inputs.push_back(make_synthetic_image(pl->input(0).domain.extents(), seed));
+  const std::vector<Buffer> ref = run_reference(*pl, inputs);
+  expect_matches_reference(*pl, g, inputs, ref, 2, EvalMode::kRow,
+                           "random pipeline");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPipelineFuzzTest, ::testing::Range(1, 13));
+
+TEST(ExecutorTest, RejectsWrongInputCount) {
+  const PipelineSpec spec = make_pyramid_blend(64, 64);
+  const CostModel model(*spec.pipeline, MachineModel::xeon_haswell());
+  const Grouping g = singleton_grouping(*spec.pipeline, model);
+  Executor ex(*spec.pipeline, g, {});
+  Workspace ws;
+  std::vector<Buffer> too_few;
+  too_few.push_back(make_synthetic_image({3, 64, 64}, 1));
+  EXPECT_THROW(ex.run(too_few, ws), Error);
+}
+
+TEST(ExecutorTest, RejectsInvalidGrouping) {
+  const PipelineSpec spec = make_unsharp(64, 64);
+  Grouping bad;
+  GroupSchedule gs;
+  gs.stages = NodeSet::single(0);
+  bad.groups.push_back(gs);  // does not cover all stages
+  EXPECT_THROW(Executor(*spec.pipeline, bad, {}), Error);
+}
+
+TEST(ExecutorTest, WorkspaceReuseAcrossRuns) {
+  const PipelineSpec spec = make_blur(64, 64);
+  const Pipeline& pl = *spec.pipeline;
+  const CostModel model(pl, MachineModel::xeon_haswell());
+  DpFusion dp(pl, model);
+  Executor ex(pl, dp.run(), {});
+  const std::vector<Buffer> inputs = spec.make_inputs();
+  Workspace ws;
+  ex.run(inputs, ws);
+  const Buffer first = ws.stage_buffer(pl.outputs()[0]);
+  ex.run(inputs, ws);  // second run into the same workspace
+  EXPECT_TRUE(testing::buffers_equal(first, ws.stage_buffer(pl.outputs()[0])));
+}
+
+TEST(ExecutorTest, OddExtentsAndTinyImages) {
+  // Non-power-of-two, odd extents exercise boundary tiles everywhere.
+  const PipelineSpec spec = make_unsharp(37, 53);
+  const Pipeline& pl = *spec.pipeline;
+  const CostModel model(pl, MachineModel::xeon_haswell());
+  const std::vector<Buffer> inputs = spec.make_inputs();
+  const std::vector<Buffer> ref = run_reference(pl, inputs);
+  Grouping g;
+  GroupSchedule gs;
+  for (int i = 0; i < 4; ++i) gs.stages = gs.stages.with(i);
+  gs.tile_sizes = {2, 5, 7};
+  g.groups.push_back(gs);
+  expect_matches_reference(pl, g, inputs, ref, 2, EvalMode::kRow, "odd");
+}
+
+}  // namespace
+}  // namespace fusedp

@@ -1,0 +1,115 @@
+// Heavier schedule-independence fuzzing: random pipelines under *every*
+// valid grouping (brute-force enumerated) and random tile sizes must match
+// the scalar reference bit-for-bit.  This is the strongest form of
+// DESIGN.md invariant #1.
+#include <gtest/gtest.h>
+
+#include "pipelines/pipelines.hpp"
+#include "runtime/executor.hpp"
+#include "support/rng.hpp"
+#include "test_util.hpp"
+
+namespace fusedp {
+namespace {
+
+class AllGroupingsFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllGroupingsFuzz, EveryValidGroupingMatchesReference) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const auto pl = testing::random_pipeline(5, 33 + GetParam(), 41, seed,
+                                           /*scaling=*/GetParam() % 2 == 1);
+  std::vector<Buffer> inputs;
+  inputs.push_back(make_synthetic_image(pl->input(0).domain.extents(), seed));
+  const std::vector<Buffer> ref = run_reference(*pl, inputs);
+  Rng rng(seed * 977);
+
+  int tried = 0;
+  testing::for_each_valid_grouping(*pl, [&](const Grouping& base) {
+    // Keep runtime bounded: execute a random ~half of the groupings.
+    if (rng.next_bool(0.5)) return;
+    Grouping g = base;
+    for (GroupSchedule& gs : g.groups) {
+      // Random tile sizes, sometimes untiled.
+      if (rng.next_bool(0.3)) continue;
+      gs.tile_sizes = {1 + static_cast<std::int64_t>(rng.next_below(40)),
+                       1 + static_cast<std::int64_t>(rng.next_below(50))};
+    }
+    ExecOptions opts;
+    opts.num_threads = 1 + static_cast<int>(rng.next_below(3));
+    const std::vector<Buffer> outs = run_pipeline(*pl, g, inputs, opts);
+    for (std::size_t o = 0; o < outs.size(); ++o) {
+      const Buffer& expect =
+          ref[static_cast<std::size_t>(pl->outputs()[o])];
+      const std::int64_t bad = testing::first_mismatch(outs[o], expect);
+      ASSERT_LT(bad, 0) << "seed " << seed << " grouping "
+                        << g.to_string(*pl) << " output " << o
+                        << " differs at " << bad;
+    }
+    ++tried;
+  });
+  EXPECT_GT(tried, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllGroupingsFuzz, ::testing::Range(1, 7));
+
+TEST(MultiOutputTest, MarkedIntermediateIsMaterializedUnderFusion) {
+  // A stage explicitly marked as output, fused into the middle of a group,
+  // must still be written out completely and correctly.
+  Pipeline pl("multiout");
+  const int img = pl.add_input("img", {48, 64});
+  StageBuilder a(pl, pl.add_stage("a", {48, 64}));
+  a.define((a.in(img, {0, -1}) + a.in(img, {0, 1})) * 0.5f);
+  StageBuilder b(pl, pl.add_stage("b", {48, 64}));
+  b.define((b.at(a.stage(), {-1, 0}) + b.at(a.stage(), {1, 0})) * 0.5f);
+  b.mark_output();  // intermediate live-out
+  StageBuilder c(pl, pl.add_stage("c", {48, 64}));
+  c.define(c.at(b.stage(), {0, 0}) * 2.0f + c.at(a.stage(), {0, 0}));
+  pl.finalize();
+  ASSERT_EQ(pl.outputs().size(), 2u);
+
+  std::vector<Buffer> inputs;
+  inputs.push_back(make_synthetic_image({48, 64}, 3));
+  const std::vector<Buffer> ref = run_reference(pl, inputs);
+
+  Grouping g;
+  GroupSchedule gs;
+  gs.stages = NodeSet::single(0).with(1).with(2);
+  gs.tile_sizes = {13, 17};
+  g.groups = {gs};
+  const std::vector<Buffer> outs = run_pipeline(pl, g, inputs, {});
+  ASSERT_EQ(outs.size(), 2u);
+  for (std::size_t o = 0; o < 2; ++o)
+    EXPECT_TRUE(testing::buffers_equal(
+        outs[o], ref[static_cast<std::size_t>(pl.outputs()[o])]));
+}
+
+TEST(MultiOutputTest, DiamondConsumersShareProducerScratch) {
+  // Diamond: a feeds b and c, d reads both; fused with tiling, all halos
+  // must union correctly in a's required region.
+  Pipeline pl("diamond");
+  const int img = pl.add_input("img", {40, 56});
+  StageBuilder a(pl, pl.add_stage("a", {40, 56}));
+  a.define(a.in(img, {0, 0}) * 1.5f);
+  StageBuilder b(pl, pl.add_stage("b", {40, 56}));
+  b.define(b.at(a.stage(), {0, -3}) + b.at(a.stage(), {0, 3}));
+  StageBuilder c(pl, pl.add_stage("c", {40, 56}));
+  c.define(c.at(a.stage(), {-2, 0}) + c.at(a.stage(), {2, 0}));
+  StageBuilder d(pl, pl.add_stage("d", {40, 56}));
+  d.define(d.at(b.stage(), {0, 0}) * 0.25f + d.at(c.stage(), {0, 0}));
+  pl.finalize();
+
+  std::vector<Buffer> inputs;
+  inputs.push_back(make_synthetic_image({40, 56}, 9));
+  const std::vector<Buffer> ref = run_reference(pl, inputs);
+
+  Grouping g;
+  GroupSchedule gs;
+  for (int i = 0; i < 4; ++i) gs.stages = gs.stages.with(i);
+  gs.tile_sizes = {7, 11};
+  g.groups = {gs};
+  const std::vector<Buffer> outs = run_pipeline(pl, g, inputs, {});
+  EXPECT_TRUE(testing::buffers_equal(outs[0], ref[3]));
+}
+
+}  // namespace
+}  // namespace fusedp

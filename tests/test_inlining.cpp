@@ -1,0 +1,132 @@
+// Tests for pointwise-stage inlining: semantics must be exactly preserved,
+// and the structural conditions respected.
+#include <gtest/gtest.h>
+
+#include "fusion/dp.hpp"
+#include "fusion/inlining.hpp"
+#include "pipelines/pipelines.hpp"
+#include "runtime/executor.hpp"
+#include "test_util.hpp"
+
+namespace fusedp {
+namespace {
+
+// Runs both pipelines on the same inputs and compares their (single) output
+// bit-for-bit.
+void expect_same_output(const Pipeline& a, const Pipeline& b,
+                        const std::vector<Buffer>& inputs) {
+  const std::vector<Buffer> ra = run_reference(a, inputs);
+  const std::vector<Buffer> rb = run_reference(b, inputs);
+  ASSERT_EQ(a.outputs().size(), b.outputs().size());
+  for (std::size_t o = 0; o < a.outputs().size(); ++o) {
+    const Buffer& ba = ra[static_cast<std::size_t>(a.outputs()[o])];
+    const Buffer& bb = rb[static_cast<std::size_t>(b.outputs()[o])];
+    const std::int64_t bad = testing::first_mismatch(ba, bb);
+    ASSERT_LT(bad, 0) << "output " << o << " differs at " << bad;
+  }
+}
+
+TEST(InlineTest, PointwiseChainCollapses) {
+  Pipeline pl("chain");
+  const int img = pl.add_input("img", {24, 32});
+  StageBuilder a(pl, pl.add_stage("a", {24, 32}));
+  a.define(a.in(img, {0, 0}) * 2.0f + 1.0f);
+  StageBuilder b(pl, pl.add_stage("b", {24, 32}));
+  b.define(b.at(a.stage(), {0, 0}) * 0.5f);
+  StageBuilder c(pl, pl.add_stage("c", {24, 32}));
+  c.define(c.at(b.stage(), {0, 0}) - 0.25f);
+  pl.finalize();
+
+  const InlineResult res = inline_pointwise(pl);
+  EXPECT_EQ(res.stages_inlined, 2);
+  EXPECT_EQ(res.pipeline->num_stages(), 1);
+  std::vector<Buffer> inputs;
+  inputs.push_back(make_synthetic_image({24, 32}, 3));
+  expect_same_output(pl, *res.pipeline, inputs);
+}
+
+TEST(InlineTest, StencilConsumerBlocksInlining) {
+  Pipeline pl("stencil");
+  const int img = pl.add_input("img", {24, 32});
+  StageBuilder a(pl, pl.add_stage("a", {24, 32}));
+  a.define(a.in(img, {0, 0}) * 2.0f);
+  StageBuilder b(pl, pl.add_stage("b", {24, 32}));
+  b.define(b.at(a.stage(), {0, -1}) + b.at(a.stage(), {0, 1}));  // offsets!
+  pl.finalize();
+  const InlineResult res = inline_pointwise(pl);
+  EXPECT_EQ(res.stages_inlined, 0)
+      << "offset accesses change boundary semantics; must not inline";
+  EXPECT_EQ(res.pipeline->num_stages(), 2);
+}
+
+TEST(InlineTest, ConstantChannelSelectIsSubstituted) {
+  // gray reads img channels via constant axes; a pointwise producer of the
+  // [3,H,W] image can still be inlined (coords become constants).
+  Pipeline pl("chan");
+  const int img = pl.add_input("img", {3, 16, 16});
+  StageBuilder boost(pl, pl.add_stage("boost", {3, 16, 16}));
+  boost.define(boost.in(img, {0, 0, 0}) * (boost.coord(0) + 1.0f));
+  StageBuilder gray(pl, pl.add_stage("gray", {16, 16}));
+  auto chan = [&](std::int64_t c) {
+    return gray.load({false, boost.stage_id()},
+                     {AxisMap::constant(c), AxisMap::affine(0),
+                      AxisMap::affine(1)});
+  };
+  gray.define(0.5f * chan(0) + 0.3f * chan(1) + 0.2f * chan(2));
+  pl.finalize();
+
+  const InlineResult res = inline_pointwise(pl);
+  EXPECT_EQ(res.stages_inlined, 1);
+  ASSERT_EQ(res.pipeline->num_stages(), 1);
+  std::vector<Buffer> inputs;
+  inputs.push_back(make_synthetic_image({3, 16, 16}, 5));
+  expect_same_output(pl, *res.pipeline, inputs);
+}
+
+TEST(InlineTest, OutputsAndReductionsKept) {
+  const PipelineSpec spec = make_bilateral(64, 64);
+  const InlineResult res = inline_pointwise(*spec.pipeline);
+  // grid (reduction) and out (output) must survive.
+  bool has_grid = false, has_out = false;
+  for (const Stage& s : res.pipeline->stages()) {
+    if (s.name == "grid") has_grid = true;
+    if (s.name == "out") has_out = true;
+  }
+  EXPECT_TRUE(has_grid);
+  EXPECT_TRUE(has_out);
+  expect_same_output(*spec.pipeline, *res.pipeline, spec.make_inputs());
+}
+
+class InlineBenchmarkFidelity : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(InlineBenchmarkFidelity, InlinedPipelineMatchesOriginal) {
+  const PipelineSpec spec = make_benchmark(GetParam(), 24);
+  const InlineResult res = inline_pointwise(*spec.pipeline);
+  EXPECT_LE(res.pipeline->num_stages(), spec.pipeline->num_stages());
+  expect_same_output(*spec.pipeline, *res.pipeline, spec.make_inputs());
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, InlineBenchmarkFidelity,
+                         ::testing::Values("unsharp", "harris", "bilateral",
+                                           "campipe", "interpolate",
+                                           "pyramid"));
+
+TEST(InlineTest, InlinedPipelineSchedulesAndRuns) {
+  const PipelineSpec spec = make_benchmark("campipe", 24);
+  const InlineResult res = inline_pointwise(*spec.pipeline);
+  const Pipeline& pl = *res.pipeline;
+  EXPECT_GT(res.stages_inlined, 0) << "campipe has inlinable selects";
+  const CostModel model(pl, MachineModel::xeon_haswell());
+  DpFusion dp(pl, model);
+  const Grouping g = dp.run();
+  std::vector<Buffer> inputs = spec.make_inputs();
+  const std::vector<Buffer> ref = run_reference(pl, inputs);
+  ExecOptions opts;
+  opts.num_threads = 2;
+  const std::vector<Buffer> outs = run_pipeline(pl, g, inputs, opts);
+  EXPECT_TRUE(testing::buffers_equal(
+      outs[0], ref[static_cast<std::size_t>(pl.outputs()[0])]));
+}
+
+}  // namespace
+}  // namespace fusedp

@@ -1,0 +1,199 @@
+// Benchmark-pipeline structure tests: stage counts must match the paper's
+// Table 2, DAGs must be well-formed, and the semantics of a few stages are
+// spot-checked against hand computations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pipelines/pipelines.hpp"
+#include "runtime/executor.hpp"
+
+namespace fusedp {
+namespace {
+
+TEST(PipelinesTest, StageCountsMatchPaperTable2) {
+  for (const auto& info : benchmark_list()) {
+    const PipelineSpec spec = make_benchmark(info.key, 16);
+    EXPECT_EQ(spec.pipeline->num_stages(), info.paper_stages) << info.key;
+  }
+}
+
+TEST(PipelinesTest, BenchmarkListOrderAndAbbrevs) {
+  const auto& list = benchmark_list();
+  ASSERT_EQ(list.size(), 6u);
+  EXPECT_EQ(list[0].abbrev, "UM");
+  EXPECT_EQ(list[5].abbrev, "PB");
+  EXPECT_EQ(list[3].paper_stages, 49);
+}
+
+TEST(PipelinesTest, InputsMatchDeclaredDomains) {
+  for (const auto& info : benchmark_list()) {
+    const PipelineSpec spec = make_benchmark(info.key, 16);
+    const std::vector<Buffer> inputs = spec.make_inputs();
+    ASSERT_EQ(static_cast<int>(inputs.size()), spec.pipeline->num_inputs())
+        << info.key;
+    for (int i = 0; i < spec.pipeline->num_inputs(); ++i)
+      EXPECT_EQ(inputs[static_cast<std::size_t>(i)].volume(),
+                spec.pipeline->input(i).domain.volume())
+          << info.key;
+  }
+}
+
+TEST(PipelinesTest, SingleOutputEach) {
+  for (const auto& info : benchmark_list()) {
+    const PipelineSpec spec = make_benchmark(info.key, 16);
+    EXPECT_EQ(spec.pipeline->outputs().size(), 1u) << info.key;
+  }
+}
+
+TEST(PipelinesTest, BilateralHasExactlyOneReduction) {
+  const PipelineSpec spec = make_bilateral(64, 64);
+  int reductions = 0;
+  for (const Stage& s : spec.pipeline->stages())
+    if (s.kind == StageKind::kReduction) ++reductions;
+  EXPECT_EQ(reductions, 1);
+  EXPECT_EQ(spec.pipeline->stage(0).kind, StageKind::kReduction);
+}
+
+TEST(PipelinesTest, CampipeHasDynamicLutAccess) {
+  const PipelineSpec spec = make_campipe(64, 64);
+  bool found = false;
+  for (const Stage& s : spec.pipeline->stages())
+    for (const Access& a : s.loads)
+      for (const AxisMap& m : a.axes)
+        if (m.kind == AxisMap::Kind::kDynamic) found = true;
+  EXPECT_TRUE(found) << "campipe's tone curve must be a dynamic gather";
+}
+
+TEST(PipelinesTest, InterpolateUsesBothScalingDirections) {
+  const PipelineSpec spec = make_interpolate(64, 64);
+  bool down = false, up = false;
+  for (const Stage& s : spec.pipeline->stages())
+    for (const Access& a : s.loads)
+      for (const AxisMap& m : a.axes) {
+        if (m.kind != AxisMap::Kind::kAffine) continue;
+        if (m.num == 2) down = true;
+        if (m.den == 2) up = true;
+      }
+  EXPECT_TRUE(down);
+  EXPECT_TRUE(up);
+}
+
+TEST(PipelinesTest, BlurSemantics) {
+  // blury of blur == hand-computed separable 3x3 box blur with clamping.
+  const PipelineSpec spec = make_blur(8, 8);
+  const Pipeline& pl = *spec.pipeline;
+  const std::vector<Buffer> inputs = spec.make_inputs();
+  const std::vector<Buffer> ref = run_reference(pl, inputs);
+  const Buffer& in = inputs[0];
+  const Buffer& out = ref[1];
+  auto at = [&](std::int64_t c, std::int64_t x, std::int64_t y) {
+    x = std::clamp<std::int64_t>(x, 0, 7);
+    y = std::clamp<std::int64_t>(y, 0, 7);
+    return in.at({c, x, y});
+  };
+  for (std::int64_t x = 0; x < 8; ++x) {
+    for (std::int64_t y = 0; y < 8; ++y) {
+      float bx[3];
+      for (int dy = -1; dy <= 1; ++dy)
+        bx[dy + 1] =
+            (at(0, x - 1, y + dy) + at(0, x, y + dy) + at(0, x + 1, y + dy)) /
+            3.0f;
+      const float expect = (bx[0] + bx[1] + bx[2]) / 3.0f;
+      EXPECT_NEAR(out.at({0, x, y}), expect, 1e-5f) << x << "," << y;
+    }
+  }
+}
+
+TEST(PipelinesTest, HarrisFindsCornerOnSyntheticSquare) {
+  // A bright axis-aligned square on a dark background: the response at its
+  // corner must exceed the response on its edge and in flat regions.
+  Pipeline* harris_pl;
+  PipelineSpec spec = make_harris(64, 64);
+  harris_pl = spec.pipeline.get();
+  Buffer img({3, 64, 64});
+  for (std::int64_t c = 0; c < 3; ++c)
+    for (std::int64_t x = 20; x < 44; ++x)
+      for (std::int64_t y = 20; y < 44; ++y) img.at({c, x, y}) = 1.0f;
+  std::vector<Buffer> inputs;
+  inputs.push_back(std::move(img));
+  const std::vector<Buffer> ref = run_reference(*harris_pl, inputs);
+  const Buffer& resp = ref[static_cast<std::size_t>(harris_pl->outputs()[0])];
+  const float corner = std::fabs(resp.at({20, 20}));
+  const float edge = std::fabs(resp.at({20, 32}));
+  const float flat = std::fabs(resp.at({5, 5}));
+  EXPECT_GT(corner, edge);
+  EXPECT_GT(corner, 100.0f * (flat + 1e-12f));
+}
+
+TEST(PipelinesTest, BilateralPreservesConstantImage) {
+  // Bilateral filtering of a constant image must return (approximately)
+  // the same constant.
+  const PipelineSpec spec = make_bilateral(64, 64);
+  const Pipeline& pl = *spec.pipeline;
+  Buffer img({64, 64});
+  for (std::int64_t i = 0; i < img.volume(); ++i) img.data()[i] = 0.42f;
+  std::vector<Buffer> inputs;
+  inputs.push_back(std::move(img));
+  const std::vector<Buffer> ref = run_reference(pl, inputs);
+  const Buffer& out = ref[static_cast<std::size_t>(pl.outputs()[0])];
+  for (std::int64_t i = 0; i < out.volume(); ++i)
+    ASSERT_NEAR(out.data()[i], 0.42f, 1e-3f) << i;
+}
+
+TEST(PipelinesTest, PyramidBlendInterpolatesBetweenInputs) {
+  // With mask ~1 the output must match blending toward image A on the left
+  // side, and toward B on the right.
+  const PipelineSpec spec = make_pyramid_blend(64, 64);
+  const Pipeline& pl = *spec.pipeline;
+  Buffer a({3, 64, 64}), b({3, 64, 64});
+  for (std::int64_t i = 0; i < a.volume(); ++i) {
+    a.data()[i] = 0.9f;
+    b.data()[i] = 0.1f;
+  }
+  std::vector<Buffer> inputs;
+  inputs.push_back(std::move(a));
+  inputs.push_back(std::move(b));
+  inputs.push_back(make_blend_mask(64, 64));
+  const std::vector<Buffer> ref = run_reference(pl, inputs);
+  const Buffer& out = ref[static_cast<std::size_t>(pl.outputs()[0])];
+  EXPECT_NEAR(out.at({0, 32, 2}), 0.9f, 0.05f);   // left: image A
+  EXPECT_NEAR(out.at({0, 32, 61}), 0.1f, 0.05f);  // right: image B
+}
+
+TEST(PipelinesTest, CampipeOutputInRange) {
+  const PipelineSpec spec = make_campipe(64, 64);
+  const Pipeline& pl = *spec.pipeline;
+  const std::vector<Buffer> inputs = spec.make_inputs();
+  const std::vector<Buffer> ref = run_reference(pl, inputs);
+  const Buffer& out = ref[static_cast<std::size_t>(pl.outputs()[0])];
+  for (std::int64_t i = 0; i < out.volume(); ++i) {
+    ASSERT_GE(out.data()[i], 0.0f);
+    ASSERT_LE(out.data()[i], 1.0f);
+  }
+}
+
+TEST(PipelinesTest, ScaleParameterShrinksExtents) {
+  const PipelineSpec full = make_benchmark("unsharp", 4);
+  const PipelineSpec half = make_benchmark("unsharp", 8);
+  EXPECT_GT(full.pipeline->stage(0).domain.volume(),
+            half.pipeline->stage(0).domain.volume());
+  EXPECT_THROW(make_benchmark("unknown", 1), Error);
+  EXPECT_THROW(make_benchmark("unsharp", 0), Error);
+}
+
+TEST(PipelinesTest, MaxSuccIsSmall) {
+  // Paper Table 2 reports small max|succ| values; sanity-check ours stay
+  // below the partition-width danger zone for the stage graphs themselves.
+  for (const auto& info : benchmark_list()) {
+    const PipelineSpec spec = make_benchmark(info.key, 16);
+    const Pipeline& pl = *spec.pipeline;
+    int max_succ = 0;
+    for (int s = 0; s < pl.num_stages(); ++s)
+      max_succ = std::max(max_succ, pl.graph().successors(s).size());
+    EXPECT_LE(max_succ, 8) << info.key;
+  }
+}
+
+}  // namespace
+}  // namespace fusedp

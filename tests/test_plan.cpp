@@ -1,0 +1,174 @@
+// Tests for schedule lowering (Grouping -> ExecutablePlan): group ordering,
+// materialization, tile rounding, and the untiled-non-common-class rule.
+#include <gtest/gtest.h>
+
+#include "fusion/dp.hpp"
+#include "pipelines/pipelines.hpp"
+#include "runtime/plan.hpp"
+
+namespace fusedp {
+namespace {
+
+TEST(PlanTest, GroupsOrderedTopologically) {
+  const PipelineSpec spec = make_unsharp(128, 128);
+  const Pipeline& pl = *spec.pipeline;
+  Grouping g;
+  // Deliberately pass groups in reverse order.
+  GroupSchedule g2, g1;
+  g2.stages = NodeSet::single(2).with(3);
+  g1.stages = NodeSet::single(0).with(1);
+  g.groups = {g2, g1};
+  const ExecutablePlan plan = lower(pl, g);
+  ASSERT_EQ(plan.groups.size(), 2u);
+  EXPECT_TRUE(plan.groups[0].stages.contains(0));
+  EXPECT_TRUE(plan.groups[1].stages.contains(3));
+}
+
+TEST(PlanTest, MaterializationMatchesLiveouts) {
+  const PipelineSpec spec = make_unsharp(128, 128);
+  const Pipeline& pl = *spec.pipeline;
+  Grouping g;
+  GroupSchedule all;
+  for (int i = 0; i < 4; ++i) all.stages = all.stages.with(i);
+  g.groups = {all};
+  const ExecutablePlan plan = lower(pl, g);
+  // Only the pipeline output (masked, id 3) is materialized when everything
+  // is fused: blurx/blury/sharpen stay in scratch.
+  EXPECT_FALSE(plan.materialized[0]);
+  EXPECT_FALSE(plan.materialized[1]);
+  EXPECT_FALSE(plan.materialized[2]);
+  EXPECT_TRUE(plan.materialized[3]);
+}
+
+TEST(PlanTest, SplitGroupsMaterializeBoundary) {
+  const PipelineSpec spec = make_unsharp(128, 128);
+  const Pipeline& pl = *spec.pipeline;
+  Grouping g;
+  GroupSchedule a, b;
+  a.stages = NodeSet::single(0).with(1);  // blurx, blury
+  b.stages = NodeSet::single(2).with(3);  // sharpen, masked
+  g.groups = {a, b};
+  const ExecutablePlan plan = lower(pl, g);
+  EXPECT_FALSE(plan.materialized[0]);  // blurx consumed inside its group
+  EXPECT_TRUE(plan.materialized[1]);   // blury crosses the boundary
+  EXPECT_FALSE(plan.materialized[2]);
+  EXPECT_TRUE(plan.materialized[3]);
+}
+
+TEST(PlanTest, TileSizesClampedAndGranular) {
+  const PipelineSpec spec = make_pyramid_blend(128, 128);
+  const Pipeline& pl = *spec.pipeline;
+  // Fuse out+col1 (mixed resolutions -> granularity 2) with odd tile sizes.
+  int out_id = -1, col1_id = -1, colupx1_id = -1;
+  for (const Stage& s : pl.stages()) {
+    if (s.name == "out") out_id = s.id;
+    if (s.name == "col1") col1_id = s.id;
+    if (s.name == "colupx1") colupx1_id = s.id;
+  }
+  Grouping g;
+  GroupSchedule gs;
+  gs.stages = NodeSet::single(out_id).with(col1_id).with(colupx1_id);
+  gs.tile_sizes = {3, 33, 7};  // odd sizes on a granularity-2 group
+  g.groups.push_back(gs);
+  for (int s = 0; s < pl.num_stages(); ++s)
+    if (!gs.stages.contains(s)) {
+      GroupSchedule single;
+      single.stages = NodeSet::single(s);
+      g.groups.push_back(single);
+    }
+  const ExecutablePlan plan = lower(pl, g);
+  const GroupPlan* gp = nullptr;
+  for (const GroupPlan& cand : plan.groups)
+    if (cand.stages.contains(out_id)) gp = &cand;
+  ASSERT_NE(gp, nullptr);
+  for (int d = 0; d < gp->align.num_classes; ++d) {
+    const std::int64_t t = gp->tile_sizes[static_cast<std::size_t>(d)];
+    EXPECT_EQ(t % gp->align.class_granularity[static_cast<std::size_t>(d)], 0)
+        << "tile must land on member-coordinate boundaries";
+    EXPECT_GE(t, 1);
+  }
+}
+
+TEST(PlanTest, NonCommonClassesForcedUntiled) {
+  // Fusing rank-2 luma with rank-3 sharpened in campipe: the channel class
+  // must stay untiled no matter what the schedule requests.
+  const PipelineSpec spec = make_campipe(128, 128);
+  const Pipeline& pl = *spec.pipeline;
+  int shp = -1, luma = -1;
+  for (const Stage& s : pl.stages()) {
+    if (s.name == "sharpened") shp = s.id;
+    if (s.name == "luma") luma = s.id;
+  }
+  Grouping g;
+  GroupSchedule gs;
+  gs.stages = NodeSet::single(shp).with(luma);
+  gs.tile_sizes = {1, 16, 64};  // request a channel tile of 1
+  g.groups.push_back(gs);
+  for (int s = 0; s < pl.num_stages(); ++s)
+    if (!gs.stages.contains(s)) {
+      GroupSchedule single;
+      single.stages = NodeSet::single(s);
+      g.groups.push_back(single);
+    }
+  const ExecutablePlan plan = lower(pl, g);
+  const GroupPlan* gp = nullptr;
+  for (const GroupPlan& cand : plan.groups)
+    if (cand.stages.contains(shp)) gp = &cand;
+  ASSERT_NE(gp, nullptr);
+  const AlignResult& align = gp->align;
+  for (int d = 0; d < align.num_classes; ++d) {
+    if (!align.class_common[static_cast<std::size_t>(d)]) {
+      EXPECT_EQ(gp->tile_sizes[static_cast<std::size_t>(d)],
+                align.class_extent[static_cast<std::size_t>(d)])
+          << "non-common class " << d << " must be untiled";
+    }
+  }
+}
+
+TEST(PlanTest, ReductionGroupIsSingleTile) {
+  const PipelineSpec spec = make_bilateral(128, 128);
+  const Pipeline& pl = *spec.pipeline;
+  const CostModel model(pl, MachineModel::xeon_haswell());
+  const ExecutablePlan plan = lower(pl, singleton_grouping(pl, model));
+  const GroupPlan* grid = nullptr;
+  for (const GroupPlan& gp : plan.groups)
+    if (gp.stages.contains(0)) grid = &gp;
+  ASSERT_NE(grid, nullptr);
+  EXPECT_TRUE(grid->is_reduction);
+  EXPECT_EQ(grid->total_tiles, 1);
+}
+
+TEST(PlanTest, UntiledGroupHasOneTile) {
+  const PipelineSpec spec = make_blur(64, 64);
+  const Pipeline& pl = *spec.pipeline;
+  Grouping g;
+  GroupSchedule gs;
+  gs.stages = NodeSet::single(0).with(1);
+  // empty tile_sizes -> untiled
+  g.groups = {gs};
+  const ExecutablePlan plan = lower(pl, g);
+  EXPECT_EQ(plan.groups[0].total_tiles, 1);
+}
+
+TEST(PlanTest, TileGridCoversClassExtents) {
+  const PipelineSpec spec = make_harris(100, 70);
+  const Pipeline& pl = *spec.pipeline;
+  Grouping g;
+  GroupSchedule gs;
+  for (int i = 0; i < pl.num_stages(); ++i) gs.stages = gs.stages.with(i);
+  gs.tile_sizes = {17, 23};
+  g.groups = {gs};
+  const ExecutablePlan plan = lower(pl, g);
+  const GroupPlan& gp = plan.groups[0];
+  for (int d = 0; d < gp.align.num_classes; ++d) {
+    const std::int64_t covered =
+        gp.tiles_per_dim[static_cast<std::size_t>(d)] *
+        gp.tile_sizes[static_cast<std::size_t>(d)];
+    EXPECT_GE(covered, gp.align.class_extent[static_cast<std::size_t>(d)]);
+    EXPECT_LT(covered - gp.tile_sizes[static_cast<std::size_t>(d)],
+              gp.align.class_extent[static_cast<std::size_t>(d)]);
+  }
+}
+
+}  // namespace
+}  // namespace fusedp

@@ -1,0 +1,99 @@
+// Property tests for required-region soundness: for random stencils, border
+// modes, and tile boxes, every coordinate the evaluator can touch must lie
+// inside the propagated required region (brute-force per-point check).
+#include <gtest/gtest.h>
+
+#include "analysis/regions.hpp"
+#include "ir/builder.hpp"
+#include "support/rng.hpp"
+
+namespace fusedp {
+namespace {
+
+class RegionSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegionSoundness, EvaluatorCoordinatesStayInsideRequired) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  const Border borders[] = {Border::kClamp, Border::kMirror, Border::kWrap,
+                            Border::kZero};
+  const Border border = borders[GetParam() % 4];
+
+  // Two-stage pipeline with random (possibly scaled) stencil taps.
+  const std::int64_t h = 20 + static_cast<std::int64_t>(rng.next_below(20));
+  const std::int64_t w = 20 + static_cast<std::int64_t>(rng.next_below(20));
+  const bool down = rng.next_bool(0.3);
+  Pipeline pl("rs");
+  const int img = pl.add_input("img", {h, w});
+  StageBuilder a(pl, pl.add_stage("a", {h, w}));
+  a.define(a.in(img, {0, 0}));
+  const std::int64_t ch = down ? (h + 1) / 2 : h;
+  const std::int64_t cw = down ? (w + 1) / 2 : w;
+  StageBuilder b(pl, pl.add_stage("b", {ch, cw}));
+  b.set_border(border);
+  struct Tap {
+    std::int64_t dy, dx;
+  };
+  std::vector<Tap> taps;
+  Eh acc = b.cst(0.0f);
+  for (int t = 0; t < 3; ++t) {
+    Tap tap{static_cast<std::int64_t>(rng.next_below(13)) - 6,
+            static_cast<std::int64_t>(rng.next_below(13)) - 6};
+    taps.push_back(tap);
+    acc = acc + (down ? b.at_scaled({false, 0}, {tap.dy, tap.dx}, {2, 2},
+                                    {1, 1})
+                      : b.at(a.stage(), {tap.dy, tap.dx}));
+  }
+  b.define(acc);
+  pl.finalize();
+
+  const NodeSet group = NodeSet::single(0).with(1);
+  const AlignResult align = solve_alignment(pl, group);
+  ASSERT_TRUE(align.constant);
+
+  // Random tile box in reference space.
+  Box tile;
+  tile.rank = align.num_classes;
+  for (int d = 0; d < tile.rank; ++d) {
+    const std::int64_t ext = align.class_extent[static_cast<std::size_t>(d)];
+    const std::int64_t g =
+        align.class_granularity[static_cast<std::size_t>(d)];
+    std::int64_t ts =
+        (1 + static_cast<std::int64_t>(rng.next_below(10))) * g;
+    const std::int64_t ti = static_cast<std::int64_t>(
+        rng.next_below(static_cast<std::uint64_t>(ceil_div(ext, ts))));
+    tile.lo[d] = ti * ts;
+    tile.hi[d] = std::min(tile.lo[d] + ts - 1, ext - 1);
+  }
+  const GroupRegions regions =
+      compute_group_regions(pl, group, align, tile, /*clamp=*/true);
+  const Box& breq = regions.stages[1].required;
+  const Box& areq = regions.stages[0].required;
+  if (breq.empty()) return;
+
+  // Brute force: for every point of b's required region and every tap,
+  // compute the folded coordinate the evaluator would read.
+  for (std::int64_t y = breq.lo[0]; y <= breq.hi[0]; ++y) {
+    for (std::int64_t x = breq.lo[1]; x <= breq.hi[1]; ++x) {
+      for (const Tap& t : taps) {
+        std::int64_t py = (down ? 2 * y : y) + t.dy;
+        std::int64_t px = (down ? 2 * x : x) + t.dx;
+        if (border == Border::kZero &&
+            (py < 0 || py >= h || px < 0 || px >= w))
+          continue;  // reads nothing
+        py = fold_coord(py, 0, h - 1, border);
+        px = fold_coord(px, 0, w - 1, border);
+        const std::int64_t c[2] = {py, px};
+        ASSERT_TRUE(areq.contains_point(c))
+            << "seed " << GetParam() << " border " << static_cast<int>(border)
+            << ": consumer (" << y << "," << x << ") tap (" << t.dy << ","
+            << t.dx << ") reads (" << py << "," << px
+            << ") outside producer required " << areq.to_string();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegionSoundness, ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace fusedp

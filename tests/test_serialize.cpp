@@ -1,0 +1,102 @@
+// Tests for schedule text serialization and DOT export.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "fusion/dp.hpp"
+#include "fusion/serialize.hpp"
+#include "ir/dot.hpp"
+#include "pipelines/pipelines.hpp"
+
+namespace fusedp {
+namespace {
+
+TEST(SerializeTest, RoundTripPreservesGrouping) {
+  for (const auto& info : benchmark_list()) {
+    const PipelineSpec spec = make_benchmark(info.key, 16);
+    const Pipeline& pl = *spec.pipeline;
+    const CostModel model(pl, MachineModel::xeon_haswell());
+    const Grouping g = spec.manual_grouping(model);
+    const Grouping back = grouping_from_text(pl, grouping_to_text(pl, g));
+    ASSERT_EQ(back.groups.size(), g.groups.size()) << info.key;
+    // Compare as sets of (stages, tiles).
+    for (const GroupSchedule& gs : g.groups) {
+      bool found = false;
+      for (const GroupSchedule& bs : back.groups)
+        if (bs.stages == gs.stages && bs.tile_sizes == gs.tile_sizes)
+          found = true;
+      EXPECT_TRUE(found) << info.key << " group " << gs.stages.to_string();
+    }
+  }
+}
+
+TEST(SerializeTest, HandWrittenScheduleParses) {
+  const PipelineSpec spec = make_unsharp(128, 128);
+  const Grouping g = grouping_from_text(*spec.pipeline,
+                                        "# comment\n"
+                                        "\n"
+                                        "group blurx blury : 3 16 128\n"
+                                        "group sharpen masked :\n");
+  ASSERT_EQ(g.groups.size(), 2u);
+  EXPECT_EQ(g.groups[0].tile_sizes, (std::vector<std::int64_t>{3, 16, 128}));
+  EXPECT_TRUE(g.groups[1].tile_sizes.empty());
+}
+
+TEST(SerializeTest, RejectsBadInput) {
+  const PipelineSpec spec = make_unsharp(128, 128);
+  const Pipeline& pl = *spec.pipeline;
+  EXPECT_THROW(grouping_from_text(pl, "group nosuchstage :\n"), Error);
+  EXPECT_THROW(grouping_from_text(pl, "grp blurx :\n"), Error);
+  EXPECT_THROW(grouping_from_text(pl, "group blurx blurx :\n"), Error);
+  EXPECT_THROW(grouping_from_text(pl, "group blurx : -3\n"), Error);
+  // Valid syntax but incomplete coverage -> invalid grouping.
+  EXPECT_THROW(grouping_from_text(pl, "group blurx blury :\n"), Error);
+  // Fusing across a gap -> disconnected group.
+  EXPECT_THROW(grouping_from_text(pl,
+                                  "group blurx masked :\n"
+                                  "group blury :\ngroup sharpen :\n"),
+               Error);
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  const PipelineSpec spec = make_harris(96, 96);
+  const Pipeline& pl = *spec.pipeline;
+  const CostModel model(pl, MachineModel::xeon_haswell());
+  DpFusion dp(pl, model);
+  const Grouping g = dp.run();
+  const std::string path = ::testing::TempDir() + "/fusedp_sched.txt";
+  save_grouping(pl, g, path);
+  const Grouping back = load_grouping(pl, path);
+  EXPECT_EQ(back.groups.size(), g.groups.size());
+  std::remove(path.c_str());
+}
+
+TEST(DotTest, PipelineDotMentionsEverything) {
+  const PipelineSpec spec = make_bilateral(64, 64);
+  const std::string dot = pipeline_to_dot(*spec.pipeline);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("grid"), std::string::npos);
+  EXPECT_NE(dot.find("(reduction)"), std::string::npos);
+  EXPECT_NE(dot.find("dyn"), std::string::npos);  // slice's dynamic edge
+  // One node line per stage.
+  for (const Stage& s : spec.pipeline->stages())
+    EXPECT_NE(dot.find("\"" + s.name), std::string::npos) << s.name;
+}
+
+TEST(DotTest, GroupingDotHasClusters) {
+  const PipelineSpec spec = make_unsharp(128, 128);
+  const CostModel model(*spec.pipeline, MachineModel::xeon_haswell());
+  DpFusion dp(*spec.pipeline, model);
+  const std::string dot = grouping_to_dot(*spec.pipeline, dp.run());
+  EXPECT_NE(dot.find("subgraph cluster_0"), std::string::npos);
+  EXPECT_NE(dot.find("tiles ["), std::string::npos);
+}
+
+TEST(DotTest, ScaledEdgesLabeled) {
+  const PipelineSpec spec = make_interpolate(64, 64);
+  const std::string dot = pipeline_to_dot(*spec.pipeline);
+  EXPECT_NE(dot.find("scaled"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fusedp

@@ -1,0 +1,152 @@
+// Unit tests for the support library: buffers, stats, RNG, CLI, image I/O.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "support/buffer.hpp"
+#include "support/cli.hpp"
+#include "support/image_io.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/status.hpp"
+
+namespace fusedp {
+namespace {
+
+TEST(Status, CheckThrowsWithContext) {
+  try {
+    FUSEDP_CHECK(false, "boom");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+}
+
+TEST(Buffer, StridesAreRowMajor) {
+  Buffer b({2, 3, 4});
+  EXPECT_EQ(b.volume(), 24);
+  EXPECT_EQ(b.stride(2), 1);
+  EXPECT_EQ(b.stride(1), 4);
+  EXPECT_EQ(b.stride(0), 12);
+  b.at({1, 2, 3}) = 7.0f;
+  EXPECT_EQ(b.data()[23], 7.0f);
+}
+
+TEST(Buffer, ZeroInitialized) {
+  Buffer b({5, 5});
+  for (std::int64_t i = 0; i < b.volume(); ++i) EXPECT_EQ(b.data()[i], 0.0f);
+}
+
+TEST(Buffer, ViewOriginOffsets) {
+  Buffer b({4, 8});
+  b.at({2, 5}) = 3.0f;
+  BufferView v = b.view();
+  v.origin[0] = 1;
+  v.origin[1] = 2;
+  const std::int64_t c[2] = {3, 7};  // global (3,7) -> local (2,5)
+  EXPECT_EQ(v.at(c), 3.0f);
+}
+
+TEST(Buffer, RejectsBadExtents) {
+  EXPECT_THROW(Buffer({0, 4}), Error);
+  EXPECT_THROW(Buffer({1, 2, 3, 4, 5}), Error);
+}
+
+TEST(Stats, MinOfAveragesProtocol) {
+  int calls = 0;
+  const RunStats st = measure_min_of_averages([&] { ++calls; }, 3, 5);
+  EXPECT_EQ(calls, 15);
+  EXPECT_EQ(st.sample_avgs_ms.size(), 3u);
+  EXPECT_GE(st.min_avg_ms, 0.0);
+  EXPECT_LE(st.best_ms, st.worst_ms);
+  for (double avg : st.sample_avgs_ms) EXPECT_GE(avg, st.min_avg_ms);
+}
+
+TEST(Stats, MeanAndStddev) {
+  EXPECT_DOUBLE_EQ(mean({2.0, 4.0, 6.0}), 4.0);
+  EXPECT_DOUBLE_EQ(stddev({2.0, 4.0, 6.0}), 2.0);
+  EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+}
+
+TEST(Rng, DeterministicAndBounded) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.next_below(10), 10u);
+    const float f = r.next_float();
+    EXPECT_GE(f, 0.0f);
+    EXPECT_LT(f, 1.0f);
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Cli, FlagsParse) {
+  const char* argv[] = {"prog", "--alpha=3", "--name=xyz", "--flag"};
+  Cli cli(4, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("alpha", 0), 3);
+  EXPECT_EQ(cli.get("name", ""), "xyz");
+  EXPECT_TRUE(cli.has("flag"));
+  EXPECT_FALSE(cli.has("missing"));
+  EXPECT_EQ(cli.get_int("missing", 9), 9);
+  EXPECT_DOUBLE_EQ(cli.get_double("missing", 1.5), 1.5);
+}
+
+TEST(Cli, EnvFallback) {
+  setenv("FUSEDP_TESTKNOB", "17", 1);
+  const char* argv[] = {"prog"};
+  Cli cli(1, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int_env("testknob", 0), 17);
+  unsetenv("FUSEDP_TESTKNOB");
+  EXPECT_EQ(cli.get_int_env("testknob", 5), 5);
+}
+
+TEST(ImageIo, SyntheticImageInRange) {
+  const Buffer img = make_synthetic_image({3, 64, 48}, 5);
+  EXPECT_EQ(img.rank(), 3);
+  float lo = 1e9f, hi = -1e9f;
+  for (std::int64_t i = 0; i < img.volume(); ++i) {
+    lo = std::min(lo, img.data()[i]);
+    hi = std::max(hi, img.data()[i]);
+  }
+  EXPECT_GE(lo, 0.0f);
+  EXPECT_LE(hi, 1.0f);
+  EXPECT_GT(hi - lo, 0.1f) << "synthetic image should have contrast";
+}
+
+TEST(ImageIo, SyntheticDeterministic) {
+  const Buffer a = make_synthetic_image({32, 32}, 9);
+  const Buffer b = make_synthetic_image({32, 32}, 9);
+  for (std::int64_t i = 0; i < a.volume(); ++i)
+    EXPECT_EQ(a.data()[i], b.data()[i]);
+}
+
+TEST(ImageIo, PpmRoundTrip) {
+  const Buffer img = make_synthetic_image({3, 20, 30}, 3);
+  const std::string path = ::testing::TempDir() + "/fusedp_roundtrip.ppm";
+  write_ppm(path, img);
+  const Buffer back = read_ppm(path);
+  ASSERT_EQ(back.rank(), 3);
+  EXPECT_EQ(back.extent(1), 20);
+  EXPECT_EQ(back.extent(2), 30);
+  // 8-bit quantization: everything within 1/255 of the original.
+  for (std::int64_t i = 0; i < img.volume(); ++i)
+    EXPECT_NEAR(back.data()[i], img.data()[i], 1.0f / 255.0f + 1e-4f);
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, BlendMaskIsSoftSplit) {
+  const Buffer m = make_blend_mask(64, 128);
+  EXPECT_GT(m.at({32, 4}), 0.95f);   // far left: ~1
+  EXPECT_LT(m.at({32, 124}), 0.05f); // far right: ~0
+}
+
+}  // namespace
+}  // namespace fusedp

@@ -1,0 +1,36 @@
+// Shared test helpers: random stencil-DAG pipeline generation, brute-force
+// grouping enumeration, and buffer comparison.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fusion/grouping.hpp"
+#include "ir/builder.hpp"
+#include "support/buffer.hpp"
+#include "support/rng.hpp"
+
+namespace fusedp::testing {
+
+// Builds a random pipeline of `n` stages over a `h x w` image: stage i reads
+// 1..2 random earlier producers (or the input) through small random stencils,
+// occasionally through 2x down/upsampling accesses when `allow_scaling`.
+// Deterministic in `seed`.
+std::unique_ptr<Pipeline> random_pipeline(int n, std::int64_t h,
+                                          std::int64_t w, std::uint64_t seed,
+                                          bool allow_scaling = false);
+
+// Enumerates every valid grouping of `pl` (disjoint connected groups
+// covering all stages, acyclic quotient, no fused reductions, constant
+// dependences) and calls `fn` for each.  Exponential — test-size DAGs only.
+void for_each_valid_grouping(const Pipeline& pl,
+                             const std::function<void(const Grouping&)>& fn);
+
+// True if the two buffers are bit-identical.
+bool buffers_equal(const Buffer& a, const Buffer& b);
+
+// Index of the first mismatching element, or -1.
+std::int64_t first_mismatch(const Buffer& a, const Buffer& b);
+
+}  // namespace fusedp::testing

@@ -1,0 +1,176 @@
+// fusedp — command-line driver for the library.
+//
+//   fusedp list
+//   fusedp show <benchmark> [--scale=N]
+//   fusedp schedule <benchmark> [--scheduler=dp|greedy|hauto|manual]
+//                   [--machine=xeon|opteron|host] [--scale=N] [--save=FILE]
+//   fusedp dot <benchmark> [--scheduler=...] [--scale=N]      (graphviz)
+//   fusedp run <benchmark> [--scheduler=...] [--threads=T] [--runs=R]
+//              [--verify] [--pooled] [--load=FILE]
+#include <cstdio>
+#include <cstring>
+
+#include "fusedp.hpp"
+#include "fusion/serialize.hpp"
+#include "ir/dot.hpp"
+#include "support/cli.hpp"
+#include "support/timing.hpp"
+
+using namespace fusedp;
+
+namespace {
+
+MachineModel machine_of(const Cli& cli) {
+  const std::string m = cli.get("machine", "host");
+  if (m == "xeon") return MachineModel::xeon_haswell();
+  if (m == "opteron") return MachineModel::amd_opteron();
+  return MachineModel::host();
+}
+
+Grouping make_schedule(const Cli& cli, const PipelineSpec& spec,
+                       const CostModel& model) {
+  const std::string load = cli.get("load", "");
+  if (!load.empty()) return load_grouping(*spec.pipeline, load);
+  const std::string which = cli.get("scheduler", "dp");
+  if (which == "dp") {
+    IncFusion inc(*spec.pipeline, model);
+    return inc.run();
+  }
+  if (which == "greedy") {
+    const PolyMageGreedy greedy(*spec.pipeline, model);
+    return greedy.run(cli.get_int("t1", 64), cli.get_int("t2", 128),
+                      cli.get_double("tolerance", 0.4));
+  }
+  if (which == "hauto") {
+    HalideAutoOptions opts;
+    opts.cache_bytes = model.machine().l2_bytes;
+    opts.parallelism_threshold = model.machine().cores;
+    const HalideAuto h(*spec.pipeline, model, opts);
+    return h.run();
+  }
+  if (which == "manual") return spec.manual_grouping(model);
+  FUSEDP_CHECK(false, "unknown scheduler: " + which +
+                          " (want dp|greedy|hauto|manual)");
+  return {};
+}
+
+int cmd_list() {
+  std::printf("%-12s %-22s %7s %s\n", "key", "benchmark", "stages",
+              "paper image size");
+  for (const auto& b : benchmark_list())
+    std::printf("%-12s %-22s %7d %s\n", b.key.c_str(), b.title.c_str(),
+                b.paper_stages, b.paper_size.c_str());
+  std::printf("%-12s %-22s %7d %s\n", "blur", "Blur (paper Fig. 1)", 2,
+              "2048x2048x3");
+  return 0;
+}
+
+int cmd_show(const Cli& cli, const std::string& bench) {
+  const PipelineSpec spec = make_benchmark(bench, cli.get_int("scale", 8));
+  std::printf("%s", pipeline_to_string(*spec.pipeline).c_str());
+  return 0;
+}
+
+int cmd_schedule(const Cli& cli, const std::string& bench) {
+  const PipelineSpec spec = make_benchmark(bench, cli.get_int("scale", 8));
+  const CostModel model(*spec.pipeline, machine_of(cli));
+  const Grouping g = make_schedule(cli, spec, model);
+  std::printf("%s", g.to_string(*spec.pipeline).c_str());
+  std::printf("\n%s", plan_to_string(lower(*spec.pipeline, g)).c_str());
+  const std::string save = cli.get("save", "");
+  if (!save.empty()) {
+    save_grouping(*spec.pipeline, g, save);
+    std::printf("\nsaved schedule to %s\n", save.c_str());
+  }
+  return 0;
+}
+
+int cmd_dot(const Cli& cli, const std::string& bench) {
+  const PipelineSpec spec = make_benchmark(bench, cli.get_int("scale", 8));
+  if (cli.has("scheduler") || cli.has("load")) {
+    const CostModel model(*spec.pipeline, machine_of(cli));
+    std::printf("%s", grouping_to_dot(*spec.pipeline,
+                                      make_schedule(cli, spec, model))
+                          .c_str());
+  } else {
+    std::printf("%s", pipeline_to_dot(*spec.pipeline).c_str());
+  }
+  return 0;
+}
+
+int cmd_run(const Cli& cli, const std::string& bench) {
+  const PipelineSpec spec = make_benchmark(bench, cli.get_int("scale", 8));
+  const Pipeline& pl = *spec.pipeline;
+  const CostModel model(pl, machine_of(cli));
+  const Grouping g = make_schedule(cli, spec, model);
+  std::printf("%s\n", g.to_string(pl).c_str());
+
+  const std::vector<Buffer> inputs = spec.make_inputs();
+  ExecOptions opts;
+  opts.num_threads = static_cast<int>(cli.get_int("threads", 4));
+  opts.pooled_storage = cli.has("pooled");
+  Executor ex(pl, g, opts);
+  Workspace ws;
+  ex.run(inputs, ws);  // warm-up
+  const int runs = static_cast<int>(cli.get_int("runs", 3));
+  const RunStats st =
+      measure_min_of_averages([&] { ex.run(inputs, ws); }, 1, runs);
+  std::printf("%s: %.2f ms (best %.2f) on %d threads%s\n", bench.c_str(),
+              st.min_avg_ms, st.best_ms, opts.num_threads,
+              opts.pooled_storage ? ", pooled storage" : "");
+
+  if (cli.has("verify")) {
+    const std::vector<Buffer> ref = run_reference(pl, inputs);
+    for (std::size_t o = 0; o < pl.outputs().size(); ++o) {
+      const Buffer& expect =
+          ref[static_cast<std::size_t>(pl.outputs()[o])];
+      const Buffer& got = ws.stage_buffer(pl.outputs()[o]);
+      for (std::int64_t i = 0; i < got.volume(); ++i)
+        FUSEDP_CHECK(std::memcmp(&got.data()[i], &expect.data()[i], 4) == 0,
+                     "verification FAILED");
+    }
+    std::printf("verified bit-identical to the scalar reference\n");
+  }
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "usage: fusedp <command> [flags]\n"
+      "  list                         available benchmark pipelines\n"
+      "  show <bench>                 print the pipeline IR\n"
+      "  schedule <bench>             run a scheduler, print/save the result\n"
+      "  dot <bench>                  graphviz DAG (clustered if --scheduler)\n"
+      "  run <bench>                  execute (and optionally --verify)\n"
+      "flags: --scale=N --machine=xeon|opteron|host "
+      "--scheduler=dp|greedy|hauto|manual\n"
+      "       --threads=T --runs=R --verify --pooled --save=F --load=F\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const Cli cli(argc, argv);
+  try {
+    if (cmd == "list") return cmd_list();
+    if (argc < 3) {
+      usage();
+      return 2;
+    }
+    const std::string bench = argv[2];
+    if (cmd == "show") return cmd_show(cli, bench);
+    if (cmd == "schedule") return cmd_schedule(cli, bench);
+    if (cmd == "dot") return cmd_dot(cli, bench);
+    if (cmd == "run") return cmd_run(cli, bench);
+    usage();
+    return 2;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
