@@ -11,6 +11,7 @@
 
 #include "cachesim/cache.hpp"        // IWYU pragma: export
 #include "cachesim/trace.hpp"        // IWYU pragma: export
+#include "fusion/autoschedule.hpp"   // IWYU pragma: export
 #include "fusion/dp.hpp"             // IWYU pragma: export
 #include "fusion/halide_auto.hpp"    // IWYU pragma: export
 #include "fusion/incremental.hpp"    // IWYU pragma: export

@@ -1,0 +1,79 @@
+// Deadline-bounded auto-scheduling with graceful degradation.
+//
+// Production schedulers treat schedule search as best-effort: a result must
+// come back within budget even when the optimal search cannot finish
+// (Halide's GPU auto-scheduler always keeps a naive schedule in reserve; the
+// paper's Algorithm 3 exists to bound DP time).  auto_schedule() runs the
+// search ladder
+//
+//     full DP  ->  bounded DP (Algorithm 3 passes with shrinking
+//                  group_limit)  ->  PolyMage-greedy  ->  unfused
+//
+// under a wall-clock deadline and a DP state budget.  Budget or deadline
+// exhaustion in one tier (Error codes kSearchBudgetExhausted /
+// kDeadlineExceeded / kAllocationFailed) drops to the next; the final
+// unfused tier cannot fail, so a valid schedule always comes back.  Which
+// tier won and why the others lost is recorded in Diagnostics.
+#pragma once
+
+#include "fusion/dp.hpp"
+
+namespace fusedp {
+
+enum class ScheduleTier : std::uint8_t {
+  kFullDp = 0,   // unbounded DP (Algorithm 1) finished in budget
+  kBoundedDp,    // a group-size-bounded DP pass (Algorithm 3 building block)
+  kGreedy,       // PolyMage-greedy heuristic
+  kUnfused,      // singleton groups; the always-valid floor
+};
+
+const char* schedule_tier_name(ScheduleTier tier);
+
+struct AutoScheduleOptions {
+  // Wall-clock budget across all search tiers; <= 0 means no deadline.
+  double deadline_seconds = 0.0;
+  // DP state budget per DP attempt (full and bounded tiers).
+  std::uint64_t max_states = 50'000'000;
+  // First bounded-DP fallback group limit; halved per retry down to 2.
+  int bounded_initial_limit = 8;
+  // Configuration for the greedy tier.
+  std::int64_t greedy_t1 = 64;
+  std::int64_t greedy_t2 = 128;
+  double greedy_tolerance = 0.4;
+};
+
+// One search attempt (successful or not) for post-mortems and logging.
+struct TierAttempt {
+  ScheduleTier tier = ScheduleTier::kUnfused;
+  int group_limit = 0;  // bounded-DP attempts only
+  bool succeeded = false;
+  ErrorCode code = ErrorCode::kInternal;  // failure code when !succeeded
+  std::string detail;                     // error message / stats summary
+  std::uint64_t states = 0;               // DP states enumerated
+  double seconds = 0.0;
+};
+
+struct Diagnostics {
+  ScheduleTier tier = ScheduleTier::kUnfused;  // tier that produced the result
+  std::vector<TierAttempt> attempts;           // in ladder order
+  std::uint64_t total_states = 0;
+  double total_seconds = 0.0;
+
+  // Human-readable multi-line report (printed by the CLI).
+  std::string summary() const;
+};
+
+struct ScheduleResult {
+  Grouping grouping;
+  Diagnostics diagnostics;
+};
+
+// Never throws for budget/deadline/allocation exhaustion — those demote to
+// the next tier.  Errors that no tier can fix (invalid pipeline) still
+// propagate.  The returned grouping always passes validate_grouping().
+ScheduleResult auto_schedule(const Pipeline& pl, const CostModel& model,
+                             const AutoScheduleOptions& opts = {});
+ScheduleResult auto_schedule(const Pipeline& pl, const MachineModel& machine,
+                             const AutoScheduleOptions& opts = {});
+
+}  // namespace fusedp

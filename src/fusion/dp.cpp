@@ -21,7 +21,8 @@ QuotientGraph QuotientGraph::identity(const Pipeline& pl) {
   const NodeSet srcs = pl.graph().sources();
   const bool need_dummy = srcs.size() > 1;
   const int total = n + (need_dummy ? 1 : 0);
-  FUSEDP_CHECK(total <= kMaxNodes, "pipeline too large for quotient graph");
+  FUSEDP_CHECK_CODE(total <= kMaxNodes, ErrorCode::kInvalidPipeline,
+                    "pipeline too large for quotient graph");
   q.graph = Digraph(total);
   q.underlying.assign(static_cast<std::size_t>(total), NodeSet());
   for (int i = 0; i < n; ++i) {
@@ -44,7 +45,8 @@ QuotientGraph QuotientGraph::condense(const Pipeline& pl, const Grouping& g) {
     for (int i = 0; i < n; ++i)
       if (g.groups[static_cast<std::size_t>(i)].stages.contains(stage))
         return i;
-    FUSEDP_CHECK(false, "stage not covered by grouping");
+    FUSEDP_CHECK_CODE(false, ErrorCode::kInvalidSchedule,
+                      "stage not covered by grouping");
     return -1;
   };
   std::vector<std::pair<int, int>> edges;
@@ -142,8 +144,20 @@ const DpFusion::Entry& DpFusion::solve(const std::vector<NodeSet>& groups) {
   if (const auto it = memo_.find(key); it != memo_.end()) return it->second;
 
   ++stats_.groupings_enumerated;
-  FUSEDP_CHECK(stats_.groupings_enumerated <= opts_.max_states,
-               "DP state budget exhausted; use bounded incremental grouping");
+  FUSEDP_CHECK_CODE(
+      stats_.groupings_enumerated <= opts_.max_states,
+      ErrorCode::kSearchBudgetExhausted,
+      "DP state budget exhausted; use bounded incremental grouping");
+  // Deadline valve, next to the state valve: sampled every 256 states to
+  // keep the clock read off the hot path.
+  if (opts_.deadline_seconds > 0 &&
+      (stats_.groupings_enumerated & 0xFF) == 0 &&
+      deadline_timer_.seconds() > opts_.deadline_seconds)
+    fail(ErrorCode::kDeadlineExceeded,
+         "DP deadline of " + std::to_string(opts_.deadline_seconds) +
+             "s exceeded after " +
+             std::to_string(stats_.groupings_enumerated) + " states",
+         __FILE__, __LINE__);
 
   // State validity: the open groups must admit an execution order (their
   // quotient must be acyclic).  Per-group sandwich-freeness alone is not
@@ -278,6 +292,7 @@ Grouping DpFusion::run() {
 
 Grouping DpFusion::run_on(const QuotientGraph& q) {
   WallTimer timer;
+  deadline_timer_.restart();
   q_ = &q;
   memo_.clear();
   cost_memo_.clear();

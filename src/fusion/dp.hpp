@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "fusion/grouping.hpp"
+#include "support/timing.hpp"
 
 namespace fusedp {
 
@@ -48,8 +49,14 @@ struct DpOptions {
   // (Bell(k) of them) up to this width; wider frontiers fall back to the
   // all-singletons partition.  Bell(6) = 203.
   int max_partition_width = 6;
-  // Safety valve: abort (throw Error) past this many DP states.
+  // Safety valve: abort (throw Error with kSearchBudgetExhausted) past this
+  // many DP states.
   std::uint64_t max_states = 50'000'000;
+  // Wall-clock deadline for the search, measured from run()/run_on() entry;
+  // <= 0 means none.  Checked every few hundred states; exceeding it throws
+  // Error with kDeadlineExceeded.  The autoschedule driver catches both
+  // codes and falls back to a cheaper tier.
+  double deadline_seconds = 0.0;
 };
 
 struct DpStats {
@@ -97,6 +104,7 @@ class DpFusion {
   const CostModel* model_;
   DpOptions opts_;
   DpStats stats_;
+  WallTimer deadline_timer_;  // restarted at run_on() entry
   const QuotientGraph* q_ = nullptr;
   std::unordered_map<Key, Entry, KeyHash> memo_;
   std::unordered_map<std::uint64_t, double> cost_memo_;

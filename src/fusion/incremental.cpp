@@ -10,8 +10,8 @@ IncFusion::IncFusion(const Pipeline& pl, const CostModel& model,
 
 Grouping IncFusion::run() {
   WallTimer timer;
-  FUSEDP_CHECK(opts_.initial_limit >= 1 && opts_.step >= 2,
-               "bad incremental options");
+  FUSEDP_CHECK_CODE(opts_.initial_limit >= 1 && opts_.step >= 2,
+                    ErrorCode::kInvalidArgument, "bad incremental options");
   int limit = opts_.initial_limit;
   QuotientGraph q = QuotientGraph::identity(*pl_);
   Grouping current;
@@ -21,6 +21,14 @@ Grouping IncFusion::run() {
     DpOptions dopts;
     dopts.group_limit = limit >= pl_->num_stages() ? 0 : limit;
     dopts.max_states = opts_.max_states;
+    if (opts_.deadline_seconds > 0) {
+      const double remaining = opts_.deadline_seconds - timer.seconds();
+      FUSEDP_CHECK_CODE(remaining > 0, ErrorCode::kDeadlineExceeded,
+                        "incremental grouping deadline exceeded after " +
+                            std::to_string(stats_.iterations - 1) +
+                            " iterations");
+      dopts.deadline_seconds = remaining;
+    }
     DpFusion dp(*pl_, *model_, dopts);
     current = dp.run_on(q);
     stats_.groupings_enumerated += dp.stats().groupings_enumerated;

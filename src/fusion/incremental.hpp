@@ -18,6 +18,9 @@ struct IncOptions {
   int initial_limit = 2;
   int step = 2;            // multiplicative growth of the limit
   std::uint64_t max_states = 50'000'000;
+  // Wall-clock deadline over all iterations combined; <= 0 means none.
+  // Each DP pass runs under the time remaining when it starts.
+  double deadline_seconds = 0.0;
 };
 
 struct IncStats {

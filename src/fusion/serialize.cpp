@@ -1,9 +1,30 @@
 #include "fusion/serialize.hpp"
 
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
+#include "ir/box.hpp"
+#include "support/fault.hpp"
+
 namespace fusedp {
+
+namespace {
+
+// Hardening limits for schedule text coming from disk or users.  Well past
+// anything grouping_to_text can emit, so they only reject hostile or
+// corrupted input.
+constexpr std::size_t kMaxLineLength = 4096;
+constexpr std::size_t kMaxLines = 1 << 16;
+constexpr long long kMaxTileSize = 1ll << 40;
+
+[[noreturn]] void parse_fail(int lineno, const std::string& msg) {
+  throw Error("schedule line " + std::to_string(lineno) + ": " + msg,
+              ErrorCode::kInvalidSchedule);
+}
+
+}  // namespace
 
 std::string grouping_to_text(const Pipeline& pl, const Grouping& g) {
   std::ostringstream out;
@@ -19,69 +40,118 @@ std::string grouping_to_text(const Pipeline& pl, const Grouping& g) {
 }
 
 Grouping grouping_from_text(const Pipeline& pl, const std::string& text) {
+  FUSEDP_FAULT_POINT("serialize.parse");
   Grouping g;
   std::istringstream in(text);
   std::string line;
-  int lineno = 0;
+  std::size_t lineno = 0;
+  bool saw_content = false;
   NodeSet covered;
   while (std::getline(in, line)) {
     ++lineno;
-    const auto first = line.find_first_not_of(" \t");
-    if (first == std::string::npos || line[first] == '#') continue;
+    if (lineno > kMaxLines)
+      parse_fail(static_cast<int>(lineno), "too many lines");
+    if (line.size() > kMaxLineLength)
+      parse_fail(static_cast<int>(lineno),
+                 "line too long (" + std::to_string(line.size()) + " > " +
+                     std::to_string(kMaxLineLength) + " bytes)");
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') {
+      // A "# fusedp-schedule ..." header must name a version we read.
+      // Other comments pass through.
+      std::istringstream cs(line.substr(first + 1));
+      std::string magic, version;
+      cs >> magic >> version;
+      if (magic == "fusedp-schedule" && version != "v1")
+        parse_fail(static_cast<int>(lineno),
+                   "unsupported schedule version '" + version +
+                       "' (this reader understands v1)");
+      continue;
+    }
+    saw_content = true;
     std::istringstream ls(line);
     std::string tok;
     ls >> tok;
-    FUSEDP_CHECK(tok == "group",
-                 "schedule line " + std::to_string(lineno) +
-                     ": expected 'group', got '" + tok + "'");
+    if (tok != "group")
+      parse_fail(static_cast<int>(lineno),
+                 "expected 'group', got '" + tok + "'");
     GroupSchedule gs;
     bool in_tiles = false;
     while (ls >> tok) {
       if (tok == ":") {
+        if (in_tiles)
+          parse_fail(static_cast<int>(lineno), "repeated ':' separator");
         in_tiles = true;
         continue;
       }
       if (in_tiles) {
         char* end = nullptr;
+        errno = 0;
         const long long v = std::strtoll(tok.c_str(), &end, 10);
-        FUSEDP_CHECK(end && *end == '\0' && v > 0,
-                     "schedule line " + std::to_string(lineno) +
-                         ": bad tile size '" + tok + "'");
+        if (end == nullptr || *end != '\0' || end == tok.c_str())
+          parse_fail(static_cast<int>(lineno),
+                     "tile size '" + tok + "' is not a number");
+        if (errno == ERANGE || v > kMaxTileSize)
+          parse_fail(static_cast<int>(lineno),
+                     "tile size '" + tok + "' overflows");
+        if (v <= 0)
+          parse_fail(static_cast<int>(lineno),
+                     "tile size '" + tok + "' must be positive");
+        if (gs.tile_sizes.size() >= static_cast<std::size_t>(kMaxDims))
+          parse_fail(static_cast<int>(lineno),
+                     "more than " + std::to_string(kMaxDims) + " tile sizes");
         gs.tile_sizes.push_back(v);
       } else {
         int id = -1;
         for (const Stage& s : pl.stages())
           if (s.name == tok) id = s.id;
-        FUSEDP_CHECK(id >= 0, "schedule line " + std::to_string(lineno) +
-                                  ": no stage named '" + tok + "'");
-        FUSEDP_CHECK(!covered.contains(id),
-                     "schedule line " + std::to_string(lineno) + ": stage '" +
-                         tok + "' appears twice");
+        if (id < 0)
+          parse_fail(static_cast<int>(lineno), "no stage named '" + tok + "'");
+        if (covered.contains(id))
+          parse_fail(static_cast<int>(lineno),
+                     "stage '" + tok + "' appears twice");
         covered = covered.with(id);
         gs.stages = gs.stages.with(id);
       }
     }
-    FUSEDP_CHECK(!gs.stages.empty(), "schedule line " +
-                                         std::to_string(lineno) +
-                                         ": empty group");
+    if (gs.stages.empty())
+      parse_fail(static_cast<int>(lineno), "empty group");
     g.groups.push_back(std::move(gs));
   }
+  FUSEDP_CHECK_CODE(saw_content, ErrorCode::kInvalidSchedule,
+                    "schedule text contains no groups");
   std::string why;
-  FUSEDP_CHECK(validate_grouping(pl, g, &why), "loaded schedule invalid: " + why);
+  FUSEDP_CHECK_CODE(validate_grouping(pl, g, &why),
+                    ErrorCode::kInvalidSchedule,
+                    "loaded schedule invalid: " + why);
   return g;
+}
+
+Result<Grouping> try_grouping_from_text(const Pipeline& pl,
+                                        const std::string& text) {
+  try {
+    return grouping_from_text(pl, text);
+  } catch (const Error& e) {
+    return Result<Grouping>(e);
+  } catch (const std::exception& e) {
+    return Result<Grouping>::failure(ErrorCode::kInternal, e.what());
+  }
 }
 
 void save_grouping(const Pipeline& pl, const Grouping& g,
                    const std::string& path) {
   std::ofstream out(path);
-  FUSEDP_CHECK(out.good(), "cannot open " + path + " for writing");
+  FUSEDP_CHECK_CODE(out.good(), ErrorCode::kIoError,
+                    "cannot open " + path + " for writing");
   out << grouping_to_text(pl, g);
-  FUSEDP_CHECK(out.good(), "failed writing " + path);
+  out.flush();
+  FUSEDP_CHECK_CODE(out.good(), ErrorCode::kIoError, "failed writing " + path);
 }
 
 Grouping load_grouping(const Pipeline& pl, const std::string& path) {
   std::ifstream in(path);
-  FUSEDP_CHECK(in.good(), "cannot open " + path);
+  FUSEDP_CHECK_CODE(in.good(), ErrorCode::kIoError, "cannot open " + path);
   std::stringstream ss;
   ss << in.rdbuf();
   return grouping_from_text(pl, ss.str());

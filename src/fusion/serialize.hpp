@@ -18,9 +18,15 @@ namespace fusedp {
 std::string grouping_to_text(const Pipeline& pl, const Grouping& g);
 
 // Parses a schedule produced by grouping_to_text (or hand-written).
-// Throws fusedp::Error on syntax errors, unknown stage names, repeated
-// stages, or an invalid resulting grouping.
+// Throws fusedp::Error (code kInvalidSchedule) on syntax errors, overlong
+// lines, a version-header mismatch, non-numeric or overflowing tile sizes,
+// unknown or repeated stage names, or an invalid resulting grouping —
+// malformed input never crashes.
 Grouping grouping_from_text(const Pipeline& pl, const std::string& text);
+
+// Non-throwing variant for batch/scripted callers.
+Result<Grouping> try_grouping_from_text(const Pipeline& pl,
+                                        const std::string& text);
 
 // File convenience wrappers.
 void save_grouping(const Pipeline& pl, const Grouping& g,

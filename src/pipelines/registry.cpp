@@ -15,7 +15,8 @@ const std::vector<BenchmarkInfo>& benchmark_list() {
 }
 
 PipelineSpec make_benchmark(const std::string& key, std::int64_t scale) {
-  FUSEDP_CHECK(scale >= 1, "scale must be >= 1");
+  FUSEDP_CHECK_CODE(scale >= 1, ErrorCode::kInvalidArgument,
+               "scale must be >= 1");
   // Paper sizes are quoted WxHxc; our extents are (height, width).  Sizes
   // are rounded to multiples of 4 after scaling so that Bayer deinterleave
   // and pyramid levels stay well-formed.
@@ -29,7 +30,8 @@ PipelineSpec make_benchmark(const std::string& key, std::int64_t scale) {
   if (key == "campipe") return make_campipe(dim(1968), dim(2592));
   if (key == "pyramid") return make_pyramid_blend(dim(2160), dim(3840));
   if (key == "blur") return make_blur(dim(2048), dim(2048));
-  FUSEDP_CHECK(false, "unknown benchmark: " + key);
+  FUSEDP_CHECK_CODE(false, ErrorCode::kInvalidArgument,
+                    "unknown benchmark: " + key);
   return {};
 }
 

@@ -1,6 +1,12 @@
 #include "runtime/executor.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <new>
+
+#include "support/fault.hpp"
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -62,38 +68,69 @@ BufferView dense_view_over(float* data, const Box& domain) {
 
 }  // namespace
 
+namespace {
+
+// Reuses `b` when it already matches `extents`, else allocates a fresh
+// buffer and moves it in.  The temporary keeps `b` intact if the
+// allocation throws, so a failed prepare() never leaves a buffer in a
+// moved-from or reallocated-but-unzeroed state.
+void ensure_buffer(Buffer& b, const std::vector<std::int64_t>& extents) {
+  bool match = !b.empty() && b.rank() == static_cast<int>(extents.size());
+  for (int d = 0; match && d < b.rank(); ++d)
+    if (b.extent(d) != extents[static_cast<std::size_t>(d)]) match = false;
+  if (match) return;
+  FUSEDP_FAULT_POINT("workspace.prepare");
+  Buffer fresh(extents);
+  b = std::move(fresh);
+}
+
+}  // namespace
+
+// Exception safety: views_ are invalidated up front and only re-published
+// after every allocation has succeeded, so a bad_alloc mid-prepare leaves
+// the workspace with no half-initialized (dangling or stale) views — it
+// stays destructible and a later prepare()/run() starts from a clean slate.
 void Workspace::prepare(const ExecutablePlan& plan) {
   const Pipeline& pl = *plan.pipeline;
-  buffers_.resize(static_cast<std::size_t>(pl.num_stages()));
-  views_.assign(static_cast<std::size_t>(pl.num_stages()), BufferView{});
+  const std::size_t n = static_cast<std::size_t>(pl.num_stages());
+  views_.assign(n, BufferView{});
+  buffers_.resize(n);
   for (int s = 0; s < pl.num_stages(); ++s) {
     if (!plan.materialized[static_cast<std::size_t>(s)]) continue;
-    Buffer& b = buffers_[static_cast<std::size_t>(s)];
-    const auto extents = pl.stage(s).domain.extents();
-    if (b.empty() || b.rank() != static_cast<int>(extents.size()))
-      b.reset(extents);
-    views_[static_cast<std::size_t>(s)] = b.view();
+    ensure_buffer(buffers_[static_cast<std::size_t>(s)],
+                  pl.stage(s).domain.extents());
   }
+  for (int s = 0; s < pl.num_stages(); ++s)
+    if (plan.materialized[static_cast<std::size_t>(s)])
+      views_[static_cast<std::size_t>(s)] =
+          buffers_[static_cast<std::size_t>(s)].view();
 }
 
 void Workspace::prepare(const ExecutablePlan& plan,
                         const StorageAssignment& storage) {
   const Pipeline& pl = *plan.pipeline;
-  buffers_.resize(static_cast<std::size_t>(pl.num_stages()));
-  views_.assign(static_cast<std::size_t>(pl.num_stages()), BufferView{});
+  const std::size_t n = static_cast<std::size_t>(pl.num_stages());
+  views_.assign(n, BufferView{});
+  buffers_.resize(n);
   slots_.resize(storage.slot_floats.size());
   for (std::size_t i = 0; i < slots_.size(); ++i)
-    if (slots_[i].empty() || slots_[i].volume() < storage.slot_floats[i])
-      slots_[i].reset({storage.slot_floats[i]});
+    if (slots_[i].empty() || slots_[i].volume() < storage.slot_floats[i]) {
+      FUSEDP_FAULT_POINT("workspace.prepare");
+      Buffer fresh({storage.slot_floats[i]});
+      slots_[i] = std::move(fresh);
+    }
+  for (int s = 0; s < pl.num_stages(); ++s) {
+    if (!plan.materialized[static_cast<std::size_t>(s)]) continue;
+    if (storage.slot[static_cast<std::size_t>(s)] < 0)
+      ensure_buffer(buffers_[static_cast<std::size_t>(s)],
+                    pl.stage(s).domain.extents());
+  }
   for (int s = 0; s < pl.num_stages(); ++s) {
     if (!plan.materialized[static_cast<std::size_t>(s)]) continue;
     const int slot = storage.slot[static_cast<std::size_t>(s)];
     if (slot < 0) {
-      Buffer& b = buffers_[static_cast<std::size_t>(s)];
-      const auto extents = pl.stage(s).domain.extents();
-      if (b.empty() || b.rank() != static_cast<int>(extents.size()))
-        b.reset(extents);
-      views_[static_cast<std::size_t>(s)] = b.view();
+      views_[static_cast<std::size_t>(s)] =
+          buffers_[static_cast<std::size_t>(s)].view();
     } else {
       views_[static_cast<std::size_t>(s)] = dense_view_over(
           slots_[static_cast<std::size_t>(slot)].data(), pl.stage(s).domain);
@@ -111,17 +148,19 @@ std::int64_t Workspace::allocated_floats() const {
 Executor::Executor(const Pipeline& pl, const Grouping& grouping,
                    ExecOptions opts)
     : pl_(&pl), plan_(lower(pl, grouping)), opts_(opts) {
-  FUSEDP_CHECK(opts_.num_threads >= 1, "need at least one thread");
+  FUSEDP_CHECK_CODE(opts_.num_threads >= 1, ErrorCode::kInvalidArgument,
+                    "need at least one thread");
   if (opts_.pooled_storage) storage_ = assign_storage(plan_);
 }
 
 void Executor::run(const std::vector<Buffer>& inputs, Workspace& ws) const {
-  FUSEDP_CHECK(static_cast<int>(inputs.size()) == pl_->num_inputs(),
-               "input count mismatch");
+  FUSEDP_CHECK_CODE(static_cast<int>(inputs.size()) == pl_->num_inputs(),
+                    ErrorCode::kInvalidArgument, "input count mismatch");
   for (int i = 0; i < pl_->num_inputs(); ++i)
-    FUSEDP_CHECK(inputs[static_cast<std::size_t>(i)].volume() ==
-                     pl_->input(i).domain.volume(),
-                 "input " + pl_->input(i).name + " extent mismatch");
+    FUSEDP_CHECK_CODE(inputs[static_cast<std::size_t>(i)].volume() ==
+                          pl_->input(i).domain.volume(),
+                      ErrorCode::kInvalidArgument,
+                      "input " + pl_->input(i).name + " extent mismatch");
   if (opts_.pooled_storage)
     ws.prepare(plan_, storage_);
   else
@@ -156,123 +195,180 @@ void Executor::run_reduction(const GroupPlan& g,
   st.reduction(ctx);
 }
 
+namespace {
+
+// Translates a captured worker exception into a coded fusedp::Error on the
+// serial side.  fusedp errors pass through unchanged.
+[[noreturn]] void rethrow_tile_error(const std::exception_ptr& ep) {
+  try {
+    std::rethrow_exception(ep);
+  } catch (const Error&) {
+    throw;
+  } catch (const std::bad_alloc&) {
+    throw Error("tile execution failed: allocation failed",
+                ErrorCode::kAllocationFailed);
+  } catch (const std::exception& e) {
+    throw Error(std::string("tile execution failed: ") + e.what(),
+                ErrorCode::kInternal);
+  }
+}
+
+}  // namespace
+
 void Executor::run_group(const GroupPlan& g, const std::vector<Buffer>& inputs,
                          Workspace& ws) const {
   const Pipeline& pl = *pl_;
   const int ncls = g.align.num_classes;
   const std::int64_t total = g.total_tiles;
 
+  // An exception escaping an OpenMP structured block is std::terminate, so
+  // nothing may propagate out of the parallel region or the worksharing
+  // loop body.  Instead: a once-latch captures the first exception, a
+  // cancellation flag makes the remaining tiles no-ops (the loop itself
+  // must still run to completion on every thread), and the serial side
+  // rethrows after the region joins.
+  std::exception_ptr first_error = nullptr;
+  std::mutex error_mu;
+  std::atomic<bool> cancelled{false};
+  auto capture_current_exception = [&]() noexcept {
+    {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (first_error == nullptr) first_error = std::current_exception();
+    }
+    cancelled.store(true, std::memory_order_relaxed);
+  };
+
 #ifdef _OPENMP
 #pragma omp parallel num_threads(opts_.num_threads)
 #endif
   {
-    // Per-thread state: scratch per stage + evaluator.
-    std::vector<std::vector<float>> scratch(
-        static_cast<std::size_t>(pl.num_stages()));
-    std::vector<char> in_global(static_cast<std::size_t>(pl.num_stages()), 0);
-    std::vector<BufferView> tile_view(
-        static_cast<std::size_t>(pl.num_stages()));
+    // Per-thread state: scratch per stage + evaluator.  Construction
+    // allocates, so it is guarded too; a thread whose state failed to
+    // initialize simply skips its tiles.
+    std::vector<std::vector<float>> scratch;
+    std::vector<char> in_global;
+    std::vector<BufferView> tile_view;
     RowEvaluator rowev;
     StageEvalCtx ctx;
+    bool thread_ok = true;
+    try {
+      scratch.resize(static_cast<std::size_t>(pl.num_stages()));
+      in_global.assign(static_cast<std::size_t>(pl.num_stages()), 0);
+      tile_view.resize(static_cast<std::size_t>(pl.num_stages()));
+    } catch (...) {
+      capture_current_exception();
+      thread_ok = false;
+    }
 
 #ifdef _OPENMP
 #pragma omp for schedule(static)
 #endif
     for (std::int64_t t = 0; t < total; ++t) {
-      // Decode tile index into a reference-space box.
-      Box tile;
-      tile.rank = ncls;
-      std::int64_t rem = t;
-      for (int d = ncls - 1; d >= 0; --d) {
-        const std::int64_t nd = g.tiles_per_dim[static_cast<std::size_t>(d)];
-        const std::int64_t idx = rem % nd;
-        rem /= nd;
-        tile.lo[d] = idx * g.tile_sizes[static_cast<std::size_t>(d)];
-        tile.hi[d] = std::min(
-            tile.lo[d] + g.tile_sizes[static_cast<std::size_t>(d)] - 1,
-            g.align.class_extent[static_cast<std::size_t>(d)] - 1);
-      }
-
-      const GroupRegions regions = compute_group_regions(
-          pl, g.stages, g.align, tile, /*clamp=*/true, &g.stage_order);
-
-      for (int s : g.stage_order) {
-        const StageRegions& reg = regions.stages[static_cast<std::size_t>(s)];
-        const Box& req = reg.required;
-        if (req.empty()) continue;
-        const Stage& st = pl.stage(s);
-        const bool materialized = plan_.materialized[static_cast<std::size_t>(s)];
-        // Write directly into the global buffer when the computed region is
-        // exactly the owned slice (no halo): avoids a scratch copy.
-        const bool direct = materialized && req == reg.owned;
-
-        BufferView out_view;
-        if (direct) {
-          out_view = ws.stage_view(s);
-        } else {
-          auto& mem = scratch[static_cast<std::size_t>(s)];
-          const std::size_t need = static_cast<std::size_t>(req.volume());
-          if (mem.size() < need) mem.resize(need);
-          out_view = view_of_region(mem.data(), req);
+      if (!thread_ok || cancelled.load(std::memory_order_relaxed)) continue;
+      try {
+        FUSEDP_FAULT_POINT("executor.tile_eval");
+        // Decode tile index into a reference-space box.
+        Box tile;
+        tile.rank = ncls;
+        std::int64_t rem = t;
+        for (int d = ncls - 1; d >= 0; --d) {
+          const std::int64_t nd = g.tiles_per_dim[static_cast<std::size_t>(d)];
+          const std::int64_t idx = rem % nd;
+          rem /= nd;
+          tile.lo[d] = idx * g.tile_sizes[static_cast<std::size_t>(d)];
+          tile.hi[d] = std::min(
+              tile.lo[d] + g.tile_sizes[static_cast<std::size_t>(d)] - 1,
+              g.align.class_extent[static_cast<std::size_t>(d)] - 1);
         }
-        in_global[static_cast<std::size_t>(s)] = direct ? 1 : 0;
-        tile_view[static_cast<std::size_t>(s)] = out_view;
 
-        // Resolve loads.
-        ctx.stage = &st;
-        ctx.srcs.clear();
-        ctx.srcs.reserve(st.loads.size());
-        for (const Access& a : st.loads) {
-          LoadSrc src;
-          if (a.producer.is_input) {
-            src.view = inputs[static_cast<std::size_t>(a.producer.id)].view();
-            src.domain = pl.input(a.producer.id).domain;
-          } else if (g.stages.contains(a.producer.id) &&
-                     !in_global[static_cast<std::size_t>(a.producer.id)]) {
-            src.view = tile_view[static_cast<std::size_t>(a.producer.id)];
-            src.domain = pl.stage(a.producer.id).domain;
+        const GroupRegions regions = compute_group_regions(
+            pl, g.stages, g.align, tile, /*clamp=*/true, &g.stage_order);
+
+        for (int s : g.stage_order) {
+          const StageRegions& reg = regions.stages[static_cast<std::size_t>(s)];
+          const Box& req = reg.required;
+          if (req.empty()) continue;
+          const Stage& st = pl.stage(s);
+          const bool materialized = plan_.materialized[static_cast<std::size_t>(s)];
+          // Write directly into the global buffer when the computed region is
+          // exactly the owned slice (no halo): avoids a scratch copy.
+          const bool direct = materialized && req == reg.owned;
+
+          BufferView out_view;
+          if (direct) {
+            out_view = ws.stage_view(s);
           } else {
-            FUSEDP_DCHECK(ws.has(a.producer.id),
-                          "producer not materialized");
-            src.view = ws.stage_view(a.producer.id);
-            src.domain = pl.stage(a.producer.id).domain;
-          }
-          ctx.srcs.push_back(std::move(src));
-        }
-
-        // Evaluate over the required box, row by row.
-        const int last = st.rank() - 1;
-        if (opts_.mode == EvalMode::kRow) {
-          for_each_row(req, [&](std::int64_t* c) {
-            float* out = &out_view.at(c);
-            rowev.eval_row(ctx, c, req.lo[last], req.hi[last], out);
-          });
-        } else {
-          for_each_row(req, [&](std::int64_t* c) {
-            float* out = &out_view.at(c);
-            for (std::int64_t y = req.lo[last]; y <= req.hi[last]; ++y) {
-              c[last] = y;
-              out[y - req.lo[last]] = eval_scalar_at(ctx, st.body, c);
+            auto& mem = scratch[static_cast<std::size_t>(s)];
+            const std::size_t need = static_cast<std::size_t>(req.volume());
+            if (mem.size() < need) {
+              FUSEDP_FAULT_POINT("executor.scratch_alloc");
+              mem.resize(need);
             }
-            c[last] = req.lo[last];
-          });
-        }
+            out_view = view_of_region(mem.data(), req);
+          }
+          in_global[static_cast<std::size_t>(s)] = direct ? 1 : 0;
+          tile_view[static_cast<std::size_t>(s)] = out_view;
 
-        // Publish the owned slice of live-outs computed in scratch.
-        if (materialized && !direct) {
-          const Box owned = reg.owned;
-          if (!owned.empty()) {
-            BufferView dst = ws.stage_view(s);
-            for_each_row(owned, [&](std::int64_t* c) {
-              const float* srcp = &out_view.at(c);
-              float* dstp = &dst.at(c);
-              std::copy(srcp, srcp + owned.extent(last), dstp);
+          // Resolve loads.
+          ctx.stage = &st;
+          ctx.srcs.clear();
+          ctx.srcs.reserve(st.loads.size());
+          for (const Access& a : st.loads) {
+            LoadSrc src;
+            if (a.producer.is_input) {
+              src.view = inputs[static_cast<std::size_t>(a.producer.id)].view();
+              src.domain = pl.input(a.producer.id).domain;
+            } else if (g.stages.contains(a.producer.id) &&
+                       !in_global[static_cast<std::size_t>(a.producer.id)]) {
+              src.view = tile_view[static_cast<std::size_t>(a.producer.id)];
+              src.domain = pl.stage(a.producer.id).domain;
+            } else {
+              FUSEDP_DCHECK(ws.has(a.producer.id),
+                            "producer not materialized");
+              src.view = ws.stage_view(a.producer.id);
+              src.domain = pl.stage(a.producer.id).domain;
+            }
+            ctx.srcs.push_back(std::move(src));
+          }
+
+          // Evaluate over the required box, row by row.
+          const int last = st.rank() - 1;
+          if (opts_.mode == EvalMode::kRow) {
+            for_each_row(req, [&](std::int64_t* c) {
+              float* out = &out_view.at(c);
+              rowev.eval_row(ctx, c, req.lo[last], req.hi[last], out);
+            });
+          } else {
+            for_each_row(req, [&](std::int64_t* c) {
+              float* out = &out_view.at(c);
+              for (std::int64_t y = req.lo[last]; y <= req.hi[last]; ++y) {
+                c[last] = y;
+                out[y - req.lo[last]] = eval_scalar_at(ctx, st.body, c);
+              }
+              c[last] = req.lo[last];
             });
           }
+
+          // Publish the owned slice of live-outs computed in scratch.
+          if (materialized && !direct) {
+            const Box owned = reg.owned;
+            if (!owned.empty()) {
+              BufferView dst = ws.stage_view(s);
+              for_each_row(owned, [&](std::int64_t* c) {
+                const float* srcp = &out_view.at(c);
+                float* dstp = &dst.at(c);
+                std::copy(srcp, srcp + owned.extent(last), dstp);
+              });
+            }
+          }
         }
+      } catch (...) {
+        capture_current_exception();
       }
     }
   }
+
+  if (first_error != nullptr) rethrow_tile_error(first_error);
 }
 
 std::vector<Buffer> run_reference(const Pipeline& pl,

@@ -6,8 +6,8 @@ namespace fusedp {
 
 ExecutablePlan lower(const Pipeline& pl, const Grouping& grouping) {
   std::string why;
-  FUSEDP_CHECK(validate_grouping(pl, grouping, &why),
-               "invalid grouping: " + why);
+  FUSEDP_CHECK_CODE(validate_grouping(pl, grouping, &why),
+                    ErrorCode::kInvalidSchedule, "invalid grouping: " + why);
 
   ExecutablePlan plan;
   plan.pipeline = &pl;

@@ -50,8 +50,8 @@ class Buffer {
   explicit Buffer(const std::vector<std::int64_t>& extents) { reset(extents); }
 
   void reset(const std::vector<std::int64_t>& extents) {
-    FUSEDP_CHECK(!extents.empty() && extents.size() <= kMaxRank,
-                 "buffer rank out of range");
+    FUSEDP_CHECK_CODE(!extents.empty() && extents.size() <= kMaxRank,
+                      ErrorCode::kInvalidArgument, "buffer rank out of range");
     rank_ = static_cast<int>(extents.size());
     std::int64_t vol = 1;
     for (int d = 0; d < rank_; ++d) {

@@ -1,0 +1,83 @@
+#include "support/fault.hpp"
+
+#include <cstdlib>
+#include <mutex>
+
+namespace fusedp {
+
+std::atomic<bool> FaultInjector::active_{false};
+
+namespace {
+
+// Armed-point state.  Mutated only under `mu` (and only while tests are
+// single-threaded in arm/disarm); read in hit(), which also locks — fault
+// points are only slow once armed, never in production runs.
+std::mutex mu;
+std::string armed_point;
+ErrorCode armed_code = ErrorCode::kFaultInjected;
+std::int64_t countdown = 0;  // hits to ignore before firing
+std::uint64_t hit_count = 0;
+bool fired = false;
+
+// One-time FUSEDP_FAULT=<point>[:<skip>] pickup at process start.
+const bool env_armed = [] {
+  const char* spec = std::getenv("FUSEDP_FAULT");
+  if (spec == nullptr || *spec == '\0') return false;
+  std::string s(spec);
+  int skip = 0;
+  if (const auto colon = s.find(':'); colon != std::string::npos) {
+    skip = std::atoi(s.c_str() + colon + 1);
+    s.resize(colon);
+  }
+  FaultInjector::arm(s, ErrorCode::kFaultInjected, skip);
+  return true;
+}();
+
+}  // namespace
+
+void FaultInjector::arm(const std::string& point, ErrorCode code, int skip) {
+  std::lock_guard<std::mutex> lock(mu);
+  armed_point = point;
+  armed_code = code;
+  countdown = skip;
+  hit_count = 0;
+  fired = false;
+  active_.store(!point.empty(), std::memory_order_release);
+}
+
+void FaultInjector::disarm() {
+  std::lock_guard<std::mutex> lock(mu);
+  armed_point.clear();
+  fired = false;
+  hit_count = 0;
+  active_.store(false, std::memory_order_release);
+}
+
+bool FaultInjector::armed() {
+  std::lock_guard<std::mutex> lock(mu);
+  return !armed_point.empty() && !fired;
+}
+
+std::uint64_t FaultInjector::hits() {
+  std::lock_guard<std::mutex> lock(mu);
+  return hit_count;
+}
+
+void FaultInjector::hit(const char* point) {
+  ErrorCode code;
+  std::string name;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (fired || armed_point != point) return;
+    ++hit_count;
+    if (countdown-- > 0) return;
+    // Fire exactly once: later hits of this arming (other threads, retries)
+    // pass through untouched.
+    fired = true;
+    code = armed_code;
+    name = armed_point;
+  }
+  throw Error("injected fault at '" + name + "'", code);
+}
+
+}  // namespace fusedp

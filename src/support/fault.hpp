@@ -1,0 +1,57 @@
+// Test-only fault injection.
+//
+// The runtime and schedulers mark interesting failure sites with
+// FUSEDP_FAULT_POINT("name"); tests arm one site (programmatically or via
+// the FUSEDP_FAULT environment variable) and the next hit of that site
+// throws a coded fusedp::Error.  This lets tests prove that every failure
+// path — scratch allocation, workspace preparation, per-tile evaluation,
+// schedule parsing — surfaces as exactly one coded error with the process
+// and workspace left in a destructible, reusable state.
+//
+// Disarmed cost is a single relaxed atomic load per fault point, so the
+// hooks stay compiled into release builds.  Arming is global (one point at
+// a time) and thread-safe: the countdown is decremented atomically, so with
+// `skip = n` exactly one thread fires on the (n+1)-th hit even when the
+// point sits inside an OpenMP parallel loop.
+//
+// Environment arming (picked up at first hit check):
+//   FUSEDP_FAULT=<point>          fire on the first hit of <point>
+//   FUSEDP_FAULT=<point>:<skip>   ignore the first <skip> hits
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "support/status.hpp"
+
+namespace fusedp {
+
+class FaultInjector {
+ public:
+  // Arms `point`: the (skip+1)-th FUSEDP_FAULT_POINT(point) hit throws
+  // Error(code).  Replaces any previously armed point.
+  static void arm(const std::string& point,
+                  ErrorCode code = ErrorCode::kFaultInjected, int skip = 0);
+  static void disarm();
+
+  // True iff some point is armed and has not fired yet.
+  static bool armed();
+  // Total hits of the armed point since arm() (fired or not); 0 if disarmed.
+  static std::uint64_t hits();
+
+  // Internal: used by FUSEDP_FAULT_POINT.  `active()` is the cheap inline
+  // gate; `hit()` does the name match / countdown / throw.
+  static bool active() { return active_.load(std::memory_order_relaxed); }
+  static void hit(const char* point);
+
+ private:
+  static std::atomic<bool> active_;
+};
+
+#define FUSEDP_FAULT_POINT(name)                  \
+  do {                                            \
+    if (::fusedp::FaultInjector::active())        \
+      ::fusedp::FaultInjector::hit(name);         \
+  } while (0)
+
+}  // namespace fusedp

@@ -2,8 +2,28 @@
 
 namespace fusedp {
 
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kInvalidPipeline: return "invalid-pipeline";
+    case ErrorCode::kInvalidSchedule: return "invalid-schedule";
+    case ErrorCode::kInvalidArgument: return "invalid-argument";
+    case ErrorCode::kSearchBudgetExhausted: return "search-budget-exhausted";
+    case ErrorCode::kDeadlineExceeded: return "deadline-exceeded";
+    case ErrorCode::kAllocationFailed: return "allocation-failed";
+    case ErrorCode::kIoError: return "io-error";
+    case ErrorCode::kFaultInjected: return "fault-injected";
+  }
+  return "unknown";
+}
+
 void fail(const std::string& msg, const char* file, int line) {
-  throw Error(std::string(file) + ":" + std::to_string(line) + ": " + msg);
+  fail(ErrorCode::kInternal, msg, file, line);
+}
+
+void fail(ErrorCode code, const std::string& msg, const char* file, int line) {
+  throw Error(std::string(file) + ":" + std::to_string(line) + ": " + msg,
+              code);
 }
 
 }  // namespace fusedp

@@ -1,0 +1,128 @@
+// The deadline/budget-bounded autoschedule driver: under any budget it must
+// return a validate_grouping-passing schedule, report which fallback tier
+// produced it and why the better tiers lost, and the schedule must execute
+// bit-identical to the scalar reference.
+#include <gtest/gtest.h>
+
+#include "fusion/autoschedule.hpp"
+#include "pipelines/pipelines.hpp"
+#include "runtime/executor.hpp"
+#include "test_util.hpp"
+
+namespace fusedp {
+namespace {
+
+void expect_executes_bit_identical(const PipelineSpec& spec,
+                                   const Grouping& g) {
+  const Pipeline& pl = *spec.pipeline;
+  const std::vector<Buffer> inputs = spec.make_inputs();
+  const std::vector<Buffer> ref = run_reference(pl, inputs);
+  ExecOptions opts;
+  opts.num_threads = 2;
+  const std::vector<Buffer> outs = run_pipeline(pl, g, inputs, opts);
+  for (std::size_t o = 0; o < outs.size(); ++o) {
+    const Buffer& expect = ref[static_cast<std::size_t>(pl.outputs()[o])];
+    EXPECT_LT(testing::first_mismatch(outs[o], expect), 0) << "output " << o;
+  }
+}
+
+TEST(AutoScheduleTest, AmpleBudgetUsesFullDp) {
+  const PipelineSpec spec = make_harris(64, 96);
+  const ScheduleResult res =
+      auto_schedule(*spec.pipeline, MachineModel::xeon_haswell());
+  EXPECT_EQ(res.diagnostics.tier, ScheduleTier::kFullDp);
+  ASSERT_EQ(res.diagnostics.attempts.size(), 1u);
+  EXPECT_TRUE(res.diagnostics.attempts[0].succeeded);
+  std::string why;
+  EXPECT_TRUE(validate_grouping(*spec.pipeline, res.grouping, &why)) << why;
+}
+
+TEST(AutoScheduleTest, TinyStateBudgetFallsBackAndStaysCorrect) {
+  const PipelineSpec spec = make_harris(64, 96);
+  AutoScheduleOptions opts;
+  opts.max_states = 40;  // far below what the 11-stage full DP needs
+  const ScheduleResult res =
+      auto_schedule(*spec.pipeline, MachineModel::xeon_haswell(), opts);
+
+  EXPECT_NE(res.diagnostics.tier, ScheduleTier::kFullDp);
+  ASSERT_GE(res.diagnostics.attempts.size(), 2u);
+  EXPECT_FALSE(res.diagnostics.attempts[0].succeeded);
+  EXPECT_EQ(res.diagnostics.attempts[0].code,
+            ErrorCode::kSearchBudgetExhausted);
+
+  std::string why;
+  ASSERT_TRUE(validate_grouping(*spec.pipeline, res.grouping, &why)) << why;
+  expect_executes_bit_identical(spec, res.grouping);
+}
+
+TEST(AutoScheduleTest, ExpiredDeadlineFallsThroughToModelDrivenTier) {
+  const PipelineSpec spec = make_harris(64, 96);
+  AutoScheduleOptions opts;
+  opts.deadline_seconds = 1e-9;  // effectively already expired
+  const ScheduleResult res =
+      auto_schedule(*spec.pipeline, MachineModel::xeon_haswell(), opts);
+
+  // DP tiers must all have been denied (deadline), landing on greedy or —
+  // if greedy ever learned to fail — unfused.  Both are model-driven and
+  // exempt from the deadline gate, so a schedule always comes back.
+  EXPECT_TRUE(res.diagnostics.tier == ScheduleTier::kGreedy ||
+              res.diagnostics.tier == ScheduleTier::kUnfused);
+  for (const TierAttempt& a : res.diagnostics.attempts) {
+    if (!a.succeeded) {
+      EXPECT_TRUE(a.code == ErrorCode::kDeadlineExceeded ||
+                  a.code == ErrorCode::kSearchBudgetExhausted)
+          << a.detail;
+    }
+  }
+
+  std::string why;
+  ASSERT_TRUE(validate_grouping(*spec.pipeline, res.grouping, &why)) << why;
+  expect_executes_bit_identical(spec, res.grouping);
+}
+
+TEST(AutoScheduleTest, UnfusedFloorWhenEvenBoundedDpIsOverBudget) {
+  // A state budget of 1 starves every DP attempt (bounded ones included);
+  // the ladder must still land on a valid schedule.
+  const PipelineSpec spec = make_unsharp(64, 64);
+  AutoScheduleOptions opts;
+  opts.max_states = 1;
+  const ScheduleResult res =
+      auto_schedule(*spec.pipeline, MachineModel::xeon_haswell(), opts);
+  EXPECT_TRUE(res.diagnostics.tier == ScheduleTier::kGreedy ||
+              res.diagnostics.tier == ScheduleTier::kUnfused);
+  std::string why;
+  ASSERT_TRUE(validate_grouping(*spec.pipeline, res.grouping, &why)) << why;
+  expect_executes_bit_identical(spec, res.grouping);
+}
+
+TEST(AutoScheduleTest, DiagnosticsSummaryNamesTierAndFailures) {
+  const PipelineSpec spec = make_harris(64, 96);
+  AutoScheduleOptions opts;
+  opts.max_states = 40;
+  const ScheduleResult res =
+      auto_schedule(*spec.pipeline, MachineModel::xeon_haswell(), opts);
+  const std::string s = res.diagnostics.summary();
+  EXPECT_NE(s.find("tier="), std::string::npos);
+  EXPECT_NE(s.find("full-dp"), std::string::npos);
+  EXPECT_NE(s.find("search-budget-exhausted"), std::string::npos);
+}
+
+TEST(AutoScheduleTest, BoundedTierMatchesFullDpWhenItFits) {
+  // With a budget generous enough for a bounded pass but not the full DP,
+  // the bounded tier should win and record its group limit.
+  const PipelineSpec spec = make_campipe(64, 64);
+  AutoScheduleOptions opts;
+  opts.max_states = 20'000;
+  const ScheduleResult res =
+      auto_schedule(*spec.pipeline, MachineModel::xeon_haswell(), opts);
+  std::string why;
+  ASSERT_TRUE(validate_grouping(*spec.pipeline, res.grouping, &why)) << why;
+  if (res.diagnostics.tier == ScheduleTier::kBoundedDp) {
+    const TierAttempt& winner = res.diagnostics.attempts.back();
+    EXPECT_GE(winner.group_limit, 2);
+  }
+  expect_executes_bit_identical(spec, res.grouping);
+}
+
+}  // namespace
+}  // namespace fusedp

@@ -1,0 +1,148 @@
+// Malformed-schedule hardening: every broken input must surface as a coded
+// fusedp::Error (kInvalidSchedule / kIoError) — never a crash, hang, or
+// silent acceptance.  A table of hand-picked corruptions plus a mutation
+// fuzz over valid schedule text.
+#include <gtest/gtest.h>
+
+#include "fusion/serialize.hpp"
+#include "pipelines/pipelines.hpp"
+#include "support/rng.hpp"
+
+namespace fusedp {
+namespace {
+
+ErrorCode parse_code(const Pipeline& pl, const std::string& text) {
+  try {
+    grouping_from_text(pl, text);
+  } catch (const Error& e) {
+    return e.code();
+  }
+  ADD_FAILURE() << "parse unexpectedly succeeded for:\n" << text;
+  return ErrorCode::kInternal;
+}
+
+TEST(SerializeMalformedTest, TableOfCorruptions) {
+  const PipelineSpec spec = make_unsharp(128, 128);
+  const Pipeline& pl = *spec.pipeline;
+
+  struct Case {
+    const char* name;
+    std::string text;
+    ErrorCode want;
+  };
+  const Case cases[] = {
+      {"empty input", "", ErrorCode::kInvalidSchedule},
+      {"comments only", "# nothing here\n\n", ErrorCode::kInvalidSchedule},
+      {"wrong keyword", "grp blurx :\n", ErrorCode::kInvalidSchedule},
+      {"version mismatch",
+       "# fusedp-schedule v2 for unsharp\n"
+       "group blurx blury :\ngroup sharpen masked :\n",
+       ErrorCode::kInvalidSchedule},
+      {"unknown stage", "group nosuchstage :\n", ErrorCode::kInvalidSchedule},
+      {"duplicate stage across group lines",
+       "group blurx blury :\ngroup blurx :\ngroup sharpen masked :\n",
+       ErrorCode::kInvalidSchedule},
+      {"duplicate stage in one line", "group blurx blurx :\n",
+       ErrorCode::kInvalidSchedule},
+      {"negative tile", "group blurx : -3\n", ErrorCode::kInvalidSchedule},
+      {"zero tile", "group blurx : 0\n", ErrorCode::kInvalidSchedule},
+      {"non-numeric tile", "group blurx : 12x34\n",
+       ErrorCode::kInvalidSchedule},
+      {"overflowing tile",
+       "group blurx : 99999999999999999999999999999\n",
+       ErrorCode::kInvalidSchedule},
+      {"huge but parseable tile", "group blurx : 4611686018427387904\n",
+       ErrorCode::kInvalidSchedule},
+      {"too many tile sizes", "group blurx : 1 2 3 4 5\n",
+       ErrorCode::kInvalidSchedule},
+      {"repeated colon", "group blurx : : 4\n", ErrorCode::kInvalidSchedule},
+      {"empty group", "group :\n", ErrorCode::kInvalidSchedule},
+      {"incomplete coverage", "group blurx blury :\n",
+       ErrorCode::kInvalidSchedule},
+      {"disconnected group",
+       "group blurx masked :\ngroup blury :\ngroup sharpen :\n",
+       ErrorCode::kInvalidSchedule},
+      {"overlong line",
+       "group " + std::string(8192, 'a') + " :\n",
+       ErrorCode::kInvalidSchedule},
+  };
+  for (const Case& c : cases)
+    EXPECT_EQ(parse_code(pl, c.text), c.want) << c.name;
+}
+
+TEST(SerializeMalformedTest, MissingFileIsIoError) {
+  const PipelineSpec spec = make_unsharp(128, 128);
+  try {
+    load_grouping(*spec.pipeline, "/nonexistent/dir/sched.txt");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIoError);
+  }
+}
+
+TEST(SerializeMalformedTest, TryParseReturnsCodedResult) {
+  const PipelineSpec spec = make_unsharp(128, 128);
+  const Pipeline& pl = *spec.pipeline;
+  const Result<Grouping> bad = try_grouping_from_text(pl, "group blurx : 0\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), ErrorCode::kInvalidSchedule);
+  const Result<Grouping> good = try_grouping_from_text(
+      pl, grouping_to_text(pl, singleton_grouping(
+                                   pl, CostModel(pl, MachineModel::host()))));
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value().groups.size(),
+            static_cast<std::size_t>(pl.num_stages()));
+}
+
+TEST(SerializeMalformedTest, MutationFuzzNeverCrashes) {
+  const PipelineSpec spec = make_unsharp(128, 128);
+  const Pipeline& pl = *spec.pipeline;
+  const CostModel model(pl, MachineModel::xeon_haswell());
+  const std::string valid = grouping_to_text(pl, spec.manual_grouping(model));
+
+  Rng rng(20260807);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string s = valid;
+    const int mutations = 1 + static_cast<int>(rng.next_below(4));
+    for (int m = 0; m < mutations; ++m) {
+      switch (rng.next_below(5)) {
+        case 0:  // flip a byte to random printable/garbage
+          if (!s.empty())
+            s[rng.next_below(s.size())] =
+                static_cast<char>(rng.next_below(256));
+          break;
+        case 1:  // truncate
+          s.resize(rng.next_below(s.size() + 1));
+          break;
+        case 2:  // duplicate a chunk
+          if (!s.empty()) {
+            const std::size_t at = rng.next_below(s.size());
+            s.insert(at, s.substr(at, rng.next_below(40)));
+          }
+          break;
+        case 3:  // splice in a random token
+          s.insert(rng.next_below(s.size() + 1),
+                   iter % 2 ? " 184467440737095516199 " : " group ");
+          break;
+        case 4:  // delete a chunk
+          if (!s.empty()) {
+            const std::size_t at = rng.next_below(s.size());
+            s.erase(at, rng.next_below(20));
+          }
+          break;
+      }
+    }
+    // Must either parse cleanly or throw a coded Error — anything else
+    // (crash, uncaught std exception) fails the test run itself.
+    try {
+      const Grouping g = grouping_from_text(pl, s);
+      std::string why;
+      EXPECT_TRUE(validate_grouping(pl, g, &why)) << why;
+    } catch (const Error& e) {
+      EXPECT_NE(error_code_name(e.code()), std::string("unknown"));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fusedp

@@ -5,6 +5,7 @@
 
 #include "support/buffer.hpp"
 #include "support/cli.hpp"
+#include "support/fault.hpp"
 #include "support/image_io.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
@@ -19,7 +20,63 @@ TEST(Status, CheckThrowsWithContext) {
     FAIL() << "should have thrown";
   } catch (const Error& e) {
     EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+    EXPECT_EQ(e.code(), ErrorCode::kInternal);  // default code
   }
+}
+
+TEST(Status, CheckCodeCarriesCode) {
+  try {
+    FUSEDP_CHECK_CODE(false, ErrorCode::kDeadlineExceeded, "too slow");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kDeadlineExceeded);
+    EXPECT_NE(std::string(e.what()).find("too slow"), std::string::npos);
+  }
+}
+
+TEST(Status, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kFaultInjected); ++c)
+    EXPECT_STRNE(error_code_name(static_cast<ErrorCode>(c)), "unknown");
+}
+
+TEST(Status, ResultHoldsValueOrError) {
+  Result<int> ok(42);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_EQ(ok.value_or(-1), 42);
+
+  Result<int> bad =
+      Result<int>::failure(ErrorCode::kAllocationFailed, "no memory");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), ErrorCode::kAllocationFailed);
+  EXPECT_EQ(bad.value_or(-1), -1);
+  EXPECT_THROW(bad.value(), Error);   // wrong-side access is itself an error
+  EXPECT_THROW(ok.error(), Error);
+}
+
+TEST(Fault, ArmedPointFiresOnceWithCodeAndSkip) {
+  FaultInjector::arm("test.point", ErrorCode::kAllocationFailed, /*skip=*/2);
+  auto hit = [] { FUSEDP_FAULT_POINT("test.point"); };
+  hit();  // skipped
+  hit();  // skipped
+  try {
+    hit();
+    FAIL() << "third hit should fire";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kAllocationFailed);
+  }
+  EXPECT_FALSE(FaultInjector::armed());  // latched after firing
+  hit();                                 // spent: no rethrow
+  FaultInjector::disarm();
+}
+
+TEST(Fault, OtherPointsAreUntouched) {
+  FaultInjector::arm("test.armed", ErrorCode::kFaultInjected);
+  FUSEDP_FAULT_POINT("test.other");  // must not fire
+  EXPECT_TRUE(FaultInjector::armed());
+  EXPECT_EQ(FaultInjector::hits(), 0u);
+  FaultInjector::disarm();
+  FUSEDP_FAULT_POINT("test.armed");  // disarmed: no fire
 }
 
 TEST(Buffer, StridesAreRowMajor) {

@@ -33,8 +33,21 @@ Grouping make_schedule(const Cli& cli, const PipelineSpec& spec,
   if (!load.empty()) return load_grouping(*spec.pipeline, load);
   const std::string which = cli.get("scheduler", "dp");
   if (which == "dp") {
-    IncFusion inc(*spec.pipeline, model);
+    IncOptions iopts;
+    iopts.max_states =
+        static_cast<std::uint64_t>(cli.get_int("max-states", 50'000'000));
+    iopts.deadline_seconds = cli.get_double("deadline-ms", 0.0) / 1e3;
+    IncFusion inc(*spec.pipeline, model, iopts);
     return inc.run();
+  }
+  if (which == "auto") {
+    AutoScheduleOptions opts;
+    opts.deadline_seconds = cli.get_double("deadline-ms", 0.0) / 1e3;
+    opts.max_states =
+        static_cast<std::uint64_t>(cli.get_int("max-states", 50'000'000));
+    ScheduleResult res = auto_schedule(*spec.pipeline, model, opts);
+    std::fprintf(stderr, "%s", res.diagnostics.summary().c_str());
+    return std::move(res.grouping);
   }
   if (which == "greedy") {
     const PolyMageGreedy greedy(*spec.pipeline, model);
@@ -49,8 +62,9 @@ Grouping make_schedule(const Cli& cli, const PipelineSpec& spec,
     return h.run();
   }
   if (which == "manual") return spec.manual_grouping(model);
-  FUSEDP_CHECK(false, "unknown scheduler: " + which +
-                          " (want dp|greedy|hauto|manual)");
+  FUSEDP_CHECK_CODE(false, ErrorCode::kInvalidArgument,
+                    "unknown scheduler: " + which +
+                        " (want dp|auto|greedy|hauto|manual)");
   return {};
 }
 
@@ -143,8 +157,32 @@ void usage() {
       "  dot <bench>                  graphviz DAG (clustered if --scheduler)\n"
       "  run <bench>                  execute (and optionally --verify)\n"
       "flags: --scale=N --machine=xeon|opteron|host "
-      "--scheduler=dp|greedy|hauto|manual\n"
-      "       --threads=T --runs=R --verify --pooled --save=F --load=F\n");
+      "--scheduler=dp|auto|greedy|hauto|manual\n"
+      "       --threads=T --runs=R --verify --pooled --save=F --load=F\n"
+      "       --deadline-ms=D --max-states=S   (--scheduler=auto budgets)\n"
+      "exit codes: 0 ok, 2 usage, 3 invalid input, 4 budget/deadline "
+      "exhausted, 5 internal\n");
+}
+
+// Scripted callers dispatch on the exit code, so each error-code family
+// maps to a distinct one: usage=2, invalid input=3, budget/deadline=4,
+// internal (and everything unexpected)=5.
+int exit_code_of(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInvalidPipeline:
+    case ErrorCode::kInvalidSchedule:
+    case ErrorCode::kInvalidArgument:
+    case ErrorCode::kIoError:
+      return 3;
+    case ErrorCode::kSearchBudgetExhausted:
+    case ErrorCode::kDeadlineExceeded:
+      return 4;
+    case ErrorCode::kInternal:
+    case ErrorCode::kAllocationFailed:
+    case ErrorCode::kFaultInjected:
+      return 5;
+  }
+  return 5;
 }
 
 }  // namespace
@@ -170,7 +208,11 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   } catch (const Error& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    std::fprintf(stderr, "error [%s]: %s\n", error_code_name(e.code()),
+                 e.what());
+    return exit_code_of(e.code());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "internal error: %s\n", e.what());
+    return 5;
   }
 }
