@@ -1,0 +1,153 @@
+// Smoke benchmark for the executor: times all seven registered pipelines
+// under the PolyMageDP schedule and writes a machine-readable
+// BENCH_smoke.json (ns/pixel per pipeline + machine parameters).  CI runs
+// this in Release and uploads the JSON as an artifact; no gating.
+//
+// A/B levers for the compiled-executor work:
+//   --compiled=0            interpreted per-tile path (pre-compilation
+//                           executor)
+//   --schedule=static       schedule(static) tile worksharing
+//   --mode=scalar           per-point interpreter instead of row kernels
+//
+// The ≥1.5x kRow geomean claim in docs/performance.md is
+//   bench_smoke --compiled=1 --schedule=dynamic   vs
+//   bench_smoke --compiled=0 --schedule=static
+// at the same scale/threads.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fusion/incremental.hpp"
+#include "model/cost.hpp"
+#include "pipelines/pipelines.hpp"
+#include "runtime/executor.hpp"
+#include "support/cli.hpp"
+#include "support/stats.hpp"
+
+using namespace fusedp;
+
+namespace {
+
+struct PipelineResult {
+  std::string name;
+  double ms = 0.0;
+  std::int64_t output_pixels = 0;
+  double ns_per_pixel = 0.0;
+};
+
+std::int64_t output_pixels_of(const Pipeline& pl) {
+  std::int64_t px = 0;
+  for (int s : pl.outputs()) px += pl.stage(s).domain.volume();
+  return px;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::int64_t scale = cli.get_int_env("scale", 2);
+  const int samples = static_cast<int>(cli.get_int_env("samples", 3));
+  const int runs = static_cast<int>(cli.get_int_env("runs", 3));
+  const MachineModel machine = MachineModel::host();
+  const int threads =
+      static_cast<int>(cli.get_int_env("threads", machine.cores));
+  const std::string out_path = cli.get("out", "BENCH_smoke.json");
+  const std::string mode_str = cli.get_env("mode", "row");
+  const std::string only = cli.get_env("only", "");
+  const bool compiled = cli.get_int_env("compiled", 1) != 0;
+  const std::string sched_str = cli.get_env("schedule", "dynamic");
+
+  ExecOptions opts;
+  opts.num_threads = threads;
+  opts.mode = mode_str == "scalar" ? EvalMode::kScalar : EvalMode::kRow;
+  opts.compiled = compiled;
+  opts.tile_schedule =
+      sched_str == "static" ? TileSchedule::kStatic : TileSchedule::kDynamic;
+
+  std::fprintf(stderr,
+               "bench_smoke: scale=%lld threads=%d samples=%d runs=%d "
+               "mode=%s compiled=%d schedule=%s\n",
+               static_cast<long long>(scale), threads, samples, runs,
+               mode_str.c_str(), compiled ? 1 : 0, sched_str.c_str());
+
+  const char* keys[] = {"blur",        "unsharp", "harris", "bilateral",
+                        "interpolate", "campipe", "pyramid"};
+  std::vector<PipelineResult> results;
+  double log_sum = 0.0;
+  for (const char* key : keys) {
+    if (!only.empty() && only != key) continue;
+    const PipelineSpec spec = make_benchmark(key, scale);
+    const Pipeline& pl = *spec.pipeline;
+    const CostModel model(pl, machine);
+    IncFusion inc(pl, model);
+    const Grouping g = inc.run();
+    const std::vector<Buffer> inputs = spec.make_inputs();
+    Executor ex(pl, g, opts);
+    Workspace ws;
+    ex.run(inputs, ws);  // warm-up (allocations, page faults)
+    const RunStats stats = measure_min_of_averages(
+        [&] { ex.run(inputs, ws); }, samples, runs);
+
+    PipelineResult r;
+    r.name = key;
+    r.ms = stats.min_avg_ms;
+    r.output_pixels = output_pixels_of(pl);
+    r.ns_per_pixel =
+        r.ms * 1e6 / static_cast<double>(std::max<std::int64_t>(r.output_pixels, 1));
+    log_sum += std::log(r.ns_per_pixel);
+    results.push_back(r);
+    std::fprintf(stderr, "  %-12s %10.3f ms  %8.3f ns/px\n", key, r.ms,
+                 r.ns_per_pixel);
+  }
+  if (results.empty()) {
+    std::fprintf(stderr, "bench_smoke: no pipeline matched --only=%s\n",
+                 only.c_str());
+    return 1;
+  }
+  const double geomean =
+      std::exp(log_sum / static_cast<double>(results.size()));
+  std::fprintf(stderr, "  geomean: %.3f ns/px\n", geomean);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "bench_smoke: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n"
+      << "  \"bench\": \"smoke\",\n"
+      << "  \"schedule_source\": \"PolyMageDP\",\n"
+      << "  \"eval_mode\": \"" << (opts.mode == EvalMode::kRow ? "row" : "scalar")
+      << "\",\n"
+      << "  \"compiled\": " << (compiled ? "true" : "false") << ",\n"
+      << "  \"tile_schedule\": \""
+      << (opts.tile_schedule == TileSchedule::kDynamic ? "dynamic" : "static")
+      << "\",\n"
+      << "  \"threads\": " << threads << ",\n"
+      << "  \"scale\": " << scale << ",\n"
+      << "  \"samples\": " << samples << ",\n"
+      << "  \"runs\": " << runs << ",\n"
+      << "  \"machine\": {\n"
+      << "    \"name\": \"" << machine.name << "\",\n"
+      << "    \"cores\": " << machine.cores << ",\n"
+      << "    \"l1_bytes\": " << machine.l1_bytes << ",\n"
+      << "    \"l2_bytes\": " << machine.l2_bytes << ",\n"
+      << "    \"vector_width_floats\": " << machine.vector_width_floats
+      << ",\n"
+      << "    \"innermost_tile\": " << machine.innermost_tile << "\n"
+      << "  },\n"
+      << "  \"pipelines\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const PipelineResult& r = results[i];
+    out << "    {\"name\": \"" << r.name << "\", \"ms\": " << r.ms
+        << ", \"output_pixels\": " << r.output_pixels
+        << ", \"ns_per_pixel\": " << r.ns_per_pixel << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"geomean_ns_per_pixel\": " << geomean << "\n"
+      << "}\n";
+  std::fprintf(stderr, "bench_smoke: wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -126,19 +126,13 @@ bool is_liveout_of(const Pipeline& pl, NodeSet group, int stage_id) {
   return !(consumers - group).empty();
 }
 
-GroupRegions compute_group_regions(const Pipeline& pl, NodeSet group,
-                                   const AlignResult& align, const Box& tile,
-                                   bool clamp_to_domain,
-                                   const std::vector<int>* order_in) {
-  GroupRegions out;
-  out.stages.assign(static_cast<std::size_t>(pl.num_stages()), StageRegions{});
-
-  const std::vector<int> order =
-      order_in ? *order_in : pl.graph().topo_order_of(group);
-
+void compute_region_boxes(const Pipeline& pl, NodeSet group,
+                          const AlignResult& align, const Box& tile,
+                          bool clamp_to_domain, const std::vector<int>& order,
+                          StageRegions* out) {
   // Seed with owned boxes.
   for (int s : order) {
-    StageRegions& r = out.stages[static_cast<std::size_t>(s)];
+    StageRegions& r = out[static_cast<std::size_t>(s)];
     r.owned = owned_box(pl.stage(s), align, tile);
     if (clamp_to_domain) r.owned = r.owned.intersect(pl.stage(s).domain);
     r.required = r.owned;
@@ -149,17 +143,30 @@ GroupRegions compute_group_regions(const Pipeline& pl, NodeSet group,
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const int c = *it;
     const Stage& cs = pl.stage(c);
-    const Box& creq = out.stages[static_cast<std::size_t>(c)].required;
+    const Box& creq = out[static_cast<std::size_t>(c)].required;
     if (creq.empty()) continue;
     for (const Access& a : cs.loads) {
       if (a.producer.is_input || !group.contains(a.producer.id)) continue;
       Box need = map_access_box(pl, a, creq);
       if (clamp_to_domain)
         need = fold_box(need, pl.stage(a.producer.id).domain, a.border);
-      StageRegions& pr = out.stages[static_cast<std::size_t>(a.producer.id)];
+      StageRegions& pr = out[static_cast<std::size_t>(a.producer.id)];
       pr.required = pr.required.hull(need);
     }
   }
+}
+
+GroupRegions compute_group_regions(const Pipeline& pl, NodeSet group,
+                                   const AlignResult& align, const Box& tile,
+                                   bool clamp_to_domain,
+                                   const std::vector<int>* order_in) {
+  GroupRegions out;
+  out.stages.assign(static_cast<std::size_t>(pl.num_stages()), StageRegions{});
+
+  const std::vector<int> order =
+      order_in ? *order_in : pl.graph().topo_order_of(group);
+  compute_region_boxes(pl, group, align, tile, clamp_to_domain, order,
+                       out.stages.data());
 
   // Volumes.  The live-in volume counts, per (consumer stage, external
   // producer), the hull of everything read — i.e. the distinct data a tile

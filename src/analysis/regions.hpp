@@ -51,6 +51,15 @@ GroupRegions compute_group_regions(const Pipeline& pl, NodeSet group,
                                    bool clamp_to_domain,
                                    const std::vector<int>* order = nullptr);
 
+// Box-only variant for the executor's per-tile hot path: fills
+// `out[stage_id]` (the caller provides an array of at least pl.num_stages()
+// entries) for group members, skips all volume accounting, and performs no
+// allocation.  Entries of non-member stages are left untouched.
+void compute_region_boxes(const Pipeline& pl, NodeSet group,
+                          const AlignResult& align, const Box& tile,
+                          bool clamp_to_domain, const std::vector<int>& order,
+                          StageRegions* out);
+
 // Owned box of stage `s` for `tile`, before clamping: per stage dim d with
 // alignment (cls, sn, sd), x is owned iff floor(x*sn/sd) is inside the
 // tile's class-cls range.

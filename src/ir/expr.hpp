@@ -6,6 +6,8 @@
 // 0.0f / 1.0f.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -48,6 +50,75 @@ struct ExprNode {
   std::int32_t dim = -1;      // kCoord: dimension index
   std::int32_t load_id = -1;  // kLoad: index into the stage's load table
 };
+
+// Arity / semantics helpers shared by every evaluator (scalar interpreter,
+// row evaluator, compiled stage programs) so all implementations perform
+// bit-identical float operations.  The compiler inlines apply_* with a
+// constant Op down to the single operation, so per-op loops still
+// auto-vectorize.
+inline bool op_is_unary(Op op) {
+  switch (op) {
+    case Op::kNeg:
+    case Op::kAbs:
+    case Op::kSqrt:
+    case Op::kExp:
+    case Op::kLog:
+    case Op::kFloor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+inline bool op_is_binary(Op op) {
+  switch (op) {
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kDiv:
+    case Op::kMin:
+    case Op::kMax:
+    case Op::kPow:
+    case Op::kLt:
+    case Op::kLe:
+    case Op::kEq:
+    case Op::kAnd:
+    case Op::kOr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+inline float apply_unary(Op op, float a) {
+  switch (op) {
+    case Op::kNeg:   return -a;
+    case Op::kAbs:   return std::fabs(a);
+    case Op::kSqrt:  return std::sqrt(a);
+    case Op::kExp:   return std::exp(a);
+    case Op::kLog:   return std::log(a);
+    case Op::kFloor: return std::floor(a);
+    default:         return a;
+  }
+}
+
+inline float apply_binary(Op op, float a, float b) {
+  switch (op) {
+    case Op::kAdd: return a + b;
+    case Op::kSub: return a - b;
+    case Op::kMul: return a * b;
+    case Op::kDiv: return a / b;
+    case Op::kMin: return std::min(a, b);
+    case Op::kMax: return std::max(a, b);
+    case Op::kPow: return std::pow(a, b);
+    case Op::kLt:  return a < b ? 1.0f : 0.0f;
+    case Op::kLe:  return a <= b ? 1.0f : 0.0f;
+    case Op::kEq:  return a == b ? 1.0f : 0.0f;
+    case Op::kAnd: return (a != 0.0f && b != 0.0f) ? 1.0f : 0.0f;
+    case Op::kOr:  return (a != 0.0f || b != 0.0f) ? 1.0f : 0.0f;
+    default:       return a;
+  }
+}
 
 // How one producer dimension's index is computed from consumer coordinates:
 //   Affine:   idx = floor_div(x[src_dim] * num + pre, den) + offset

@@ -1,0 +1,719 @@
+#include "runtime/compile.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <tuple>
+
+#include "ir/box.hpp"
+
+namespace fusedp {
+
+namespace {
+
+std::int64_t clamp_i64(std::int64_t v, std::int64_t lo, std::int64_t hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+// Incremental floor_div(y * num + pre, den) + offset for y = y0, y0+1, ...
+// Each step is one add plus a carry test instead of an integer division;
+// the running value is exactly the closed form at every step (den > 0, any
+// sign of num), so scaled gathers stay bit-identical to the direct formula.
+class AffineStepper {
+ public:
+  AffineStepper(std::int64_t y0, std::int64_t num, std::int64_t den,
+                std::int64_t pre, std::int64_t offset)
+      : den_(den), dq_(floor_div(num, den)), dr_(num - dq_ * den) {
+    const std::int64_t nmr = y0 * num + pre;
+    const std::int64_t q = floor_div(nmr, den);
+    r_ = nmr - q * den;  // in [0, den)
+    q_ = q + offset;
+  }
+  std::int64_t value() const { return q_; }
+  void step() {
+    q_ += dq_;
+    r_ += dr_;  // dr_ in [0, den): at most one carry
+    if (r_ >= den_) {
+      r_ -= den_;
+      ++q_;
+    }
+  }
+
+ private:
+  std::int64_t den_, dq_, dr_, q_ = 0, r_ = 0;
+};
+
+// Value-numbering key: op + operand slots + the op-specific payload.  Two
+// ops with equal keys compute identical rows, so the second one is
+// eliminated.  Constants key on their bit pattern (so +0.0f and -0.0f stay
+// distinct and bit-identity is preserved).
+using VnKey = std::tuple<int, std::int32_t, std::int32_t, std::int32_t,
+                         std::int32_t, std::int32_t, std::uint32_t>;
+
+class StageCompiler {
+ public:
+  explicit StageCompiler(const Stage& s) : s_(s) {
+    cs_.stage_id = s.id;
+    cs_.source_nodes = static_cast<std::int32_t>(s.nodes.size());
+    cs_.loads.resize(s.loads.size());
+    slot_.assign(s.nodes.size(), -1);
+  }
+
+  CompiledStage run() {
+    if (s_.kind != StageKind::kMap || s_.body == kNoExpr) return std::move(cs_);
+    lower(s_.body);
+    cs_.root = slot_[static_cast<std::size_t>(s_.body)];
+    compact();
+    return std::move(cs_);
+  }
+
+ private:
+  // Children of `n` in evaluation order (dynamic axis exprs for loads).
+  int children(const ExprNode& n, ExprRef* out) const {
+    switch (n.op) {
+      case Op::kConst:
+      case Op::kCoord:
+        return 0;
+      case Op::kLoad: {
+        int cnt = 0;
+        const Access& a = s_.loads[static_cast<std::size_t>(n.load_id)];
+        for (const AxisMap& m : a.axes)
+          if (m.kind == AxisMap::Kind::kDynamic && m.dyn != kNoExpr)
+            out[cnt++] = m.dyn;
+        return cnt;
+      }
+      case Op::kSelect:
+        out[0] = n.a;
+        out[1] = n.b;
+        out[2] = n.c;
+        return 3;
+      default:
+        out[0] = n.a;
+        if (op_is_unary(n.op)) return 1;
+        out[1] = n.b;
+        return 2;
+    }
+  }
+
+  // Iterative post-order DFS: children lowered before their parent.
+  void lower(ExprRef root) {
+    struct Frame {
+      ExprRef r;
+      int next = 0;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({root});
+    ExprRef kids[kMaxDims];
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (slot_[static_cast<std::size_t>(f.r)] >= 0) {
+        stack.pop_back();
+        continue;
+      }
+      const ExprNode& n = s_.nodes[static_cast<std::size_t>(f.r)];
+      const int nkids = children(n, kids);
+      if (f.next < nkids) {
+        const ExprRef child = kids[f.next++];
+        if (slot_[static_cast<std::size_t>(child)] < 0)
+          stack.push_back({child});
+        continue;
+      }
+      slot_[static_cast<std::size_t>(f.r)] = emit(n);
+      stack.pop_back();
+    }
+  }
+
+  std::int32_t intern(const VnKey& key, const CompiledOp& op) {
+    auto [it, inserted] = vn_.try_emplace(key, -1);
+    if (!inserted) {
+      ++cs_.cse_hits;
+      return it->second;
+    }
+    cs_.ops.push_back(op);
+    it->second = static_cast<std::int32_t>(cs_.ops.size()) - 1;
+    return it->second;
+  }
+
+  std::int32_t emit_const(float v) {
+    CompiledOp op;
+    op.op = Op::kConst;
+    op.imm = v;
+    return intern({static_cast<int>(Op::kConst), -1, -1, -1, -1, -1,
+                   std::bit_cast<std::uint32_t>(v)},
+                  op);
+  }
+
+  bool is_const(std::int32_t slot) const {
+    return cs_.ops[static_cast<std::size_t>(slot)].op == Op::kConst;
+  }
+  float const_of(std::int32_t slot) const {
+    return cs_.ops[static_cast<std::size_t>(slot)].imm;
+  }
+
+  std::int32_t emit(const ExprNode& n) {
+    switch (n.op) {
+      case Op::kConst:
+        return emit_const(n.imm);
+      case Op::kCoord: {
+        CompiledOp op;
+        op.op = Op::kCoord;
+        op.dim = n.dim;
+        return intern(
+            {static_cast<int>(Op::kCoord), -1, -1, -1, n.dim, -1, 0}, op);
+      }
+      case Op::kLoad: {
+        CompiledOp op;
+        op.op = Op::kLoad;
+        op.load_id = n.load_id;
+        const std::int32_t slot = intern(
+            {static_cast<int>(Op::kLoad), -1, -1, -1, -1, n.load_id, 0}, op);
+        fill_load(n.load_id);
+        return slot;
+      }
+      case Op::kSelect: {
+        const std::int32_t a = slot_[static_cast<std::size_t>(n.a)];
+        const std::int32_t b = slot_[static_cast<std::size_t>(n.b)];
+        const std::int32_t c = slot_[static_cast<std::size_t>(n.c)];
+        // A constant condition picks one arm; both arms are pure, so
+        // skipping the dead one is unobservable.
+        if (is_const(a)) {
+          ++cs_.folded;
+          return const_of(a) != 0.0f ? b : c;
+        }
+        CompiledOp op;
+        op.op = Op::kSelect;
+        op.a = a;
+        op.b = b;
+        op.c = c;
+        return intern({static_cast<int>(Op::kSelect), a, b, c, -1, -1, 0}, op);
+      }
+      default: {
+        const std::int32_t a = slot_[static_cast<std::size_t>(n.a)];
+        if (op_is_unary(n.op)) {
+          if (is_const(a)) {
+            ++cs_.folded;
+            return emit_const(apply_unary(n.op, const_of(a)));
+          }
+          CompiledOp op;
+          op.op = n.op;
+          op.a = a;
+          return intern({static_cast<int>(n.op), a, -1, -1, -1, -1, 0}, op);
+        }
+        const std::int32_t b = slot_[static_cast<std::size_t>(n.b)];
+        if (is_const(a) && is_const(b)) {
+          ++cs_.folded;
+          return emit_const(apply_binary(n.op, const_of(a), const_of(b)));
+        }
+        CompiledOp op;
+        op.op = n.op;
+        if (is_const(b)) {  // dst = a op imm
+          op.a = a;
+          op.imm = const_of(b);
+          op.imm_side = 1;
+          return intern({static_cast<int>(n.op), a, -1, -1, 1, -1,
+                         std::bit_cast<std::uint32_t>(op.imm)},
+                        op);
+        }
+        if (is_const(a)) {  // dst = imm op b
+          op.a = b;
+          op.imm = const_of(a);
+          op.imm_side = 2;
+          return intern({static_cast<int>(n.op), b, -1, -1, 2, -1,
+                         std::bit_cast<std::uint32_t>(op.imm)},
+                        op);
+        }
+        op.a = a;
+        op.b = b;
+        return intern({static_cast<int>(n.op), a, b, -1, -1, -1, 0}, op);
+      }
+    }
+  }
+
+  // Drops ops unreachable from the root (folding interns operand slots
+  // before the parent collapses, leaving dead constants behind) and
+  // renumbers the survivors.  Ops only reference smaller slots, so one
+  // decreasing marking pass suffices.
+  void compact() {
+    const std::size_t n = cs_.ops.size();
+    std::vector<char> live(n, 0);
+    live[static_cast<std::size_t>(cs_.root)] = 1;
+    for (std::int32_t i = static_cast<std::int32_t>(n) - 1; i >= 0; --i) {
+      if (!live[static_cast<std::size_t>(i)]) continue;
+      const CompiledOp& op = cs_.ops[static_cast<std::size_t>(i)];
+      if (op.a >= 0) live[static_cast<std::size_t>(op.a)] = 1;
+      if (op.b >= 0) live[static_cast<std::size_t>(op.b)] = 1;
+      if (op.c >= 0) live[static_cast<std::size_t>(op.c)] = 1;
+      if (op.op == Op::kLoad) {
+        const CompiledLoad& cl = cs_.loads[static_cast<std::size_t>(op.load_id)];
+        for (std::int32_t k = 0; k < cl.prank; ++k)
+          if (cl.axes[static_cast<std::size_t>(k)].dyn_slot >= 0)
+            live[static_cast<std::size_t>(
+                cl.axes[static_cast<std::size_t>(k)].dyn_slot)] = 1;
+      }
+    }
+    std::vector<std::int32_t> remap(n, -1);
+    std::vector<CompiledOp> kept;
+    kept.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!live[i]) continue;
+      remap[i] = static_cast<std::int32_t>(kept.size());
+      kept.push_back(cs_.ops[i]);
+    }
+    if (kept.size() == n) return;
+    for (CompiledOp& op : kept) {
+      if (op.a >= 0) op.a = remap[static_cast<std::size_t>(op.a)];
+      if (op.b >= 0) op.b = remap[static_cast<std::size_t>(op.b)];
+      if (op.c >= 0) op.c = remap[static_cast<std::size_t>(op.c)];
+    }
+    for (CompiledLoad& cl : cs_.loads)
+      for (std::int32_t k = 0; k < cl.prank; ++k) {
+        std::int32_t& ds = cl.axes[static_cast<std::size_t>(k)].dyn_slot;
+        if (ds >= 0) ds = remap[static_cast<std::size_t>(ds)];
+      }
+    cs_.ops = std::move(kept);
+    cs_.root = remap[static_cast<std::size_t>(cs_.root)];
+  }
+
+  void fill_load(std::int32_t load_id) {
+    CompiledLoad& cl = cs_.loads[static_cast<std::size_t>(load_id)];
+    if (cl.prank > 0) return;  // a CSE'd duplicate already filled it
+    const Access& a = s_.loads[static_cast<std::size_t>(load_id)];
+    const int last = s_.rank() - 1;
+    cl.prank = static_cast<std::int32_t>(a.axes.size());
+    cl.border = a.border;
+    for (int k = 0; k < cl.prank; ++k) {
+      const AxisMap& m = a.axes[static_cast<std::size_t>(k)];
+      CompiledAxis& ca = cl.axes[static_cast<std::size_t>(k)];
+      ca.kind = m.kind;
+      ca.src_dim = m.src_dim;
+      ca.num = m.num;
+      ca.den = m.den;
+      ca.pre = m.pre;
+      ca.offset = m.offset;
+      if (m.kind == AxisMap::Kind::kDynamic) {
+        ca.dyn_slot = slot_[static_cast<std::size_t>(m.dyn)];
+        cl.any_dynamic = true;
+      } else if (m.kind == AxisMap::Kind::kAffine && m.num != 0 &&
+                 m.src_dim == last) {
+        ca.varies_row = true;
+        cl.vary_axis = k;  // last one wins, matching RowEvaluator
+      }
+    }
+    if (cl.vary_axis >= 0) {
+      const CompiledAxis& vm = cl.axes[static_cast<std::size_t>(cl.vary_axis)];
+      cl.vary_identity = vm.num == 1 && vm.den == 1 && vm.pre == 0;
+    }
+  }
+
+  const Stage& s_;
+  CompiledStage cs_;
+  std::vector<std::int32_t> slot_;
+  std::map<VnKey, std::int32_t> vn_;
+};
+
+}  // namespace
+
+CompiledStage compile_stage(const Stage& s) { return StageCompiler(s).run(); }
+
+namespace {
+
+// Stage-coordinate step of (stage, dim) for one grid step `step[cls]`;
+// false when the step does not land on an integer coordinate (the group is
+// then not translatable).
+bool delta_of(const AlignResult& align, const std::int64_t* step, int ncls,
+              int stage_id, int d, std::int64_t* out) {
+  const DimAlign& da =
+      align.stages[static_cast<std::size_t>(stage_id)].dim[static_cast<std::size_t>(d)];
+  if (da.cls < 0 || da.cls >= ncls || step[da.cls] == 0) {
+    *out = 0;
+    return true;
+  }
+  const std::int64_t scaled = step[da.cls] * da.sd;
+  if (scaled % da.sn != 0) return false;
+  *out = scaled / da.sn;
+  return true;
+}
+
+}  // namespace
+
+RegionTemplate build_region_template(
+    const Pipeline& pl, NodeSet stages, const AlignResult& align,
+    const std::vector<int>& order, const std::vector<std::int64_t>& tile_sizes,
+    const std::vector<std::int64_t>& tiles_per_dim) {
+  RegionTemplate t;
+  t.stages.assign(static_cast<std::size_t>(pl.num_stages()), StageRegions{});
+  const int ncls = align.num_classes;
+  if (order.empty() || ncls <= 0 || ncls > kMaxDims) return t;
+
+  // Template regions of the nominal full tile at the grid origin,
+  // unclamped: boundary effects are the executor's per-tile concern.
+  Box t0;
+  t0.rank = ncls;
+  for (int d = 0; d < ncls; ++d) {
+    t0.lo[d] = 0;
+    t0.hi[d] = tile_sizes[static_cast<std::size_t>(d)] - 1;
+  }
+  compute_region_boxes(pl, stages, align, t0, /*clamp_to_domain=*/false, order,
+                       t.stages.data());
+
+  // Classes the grid never steps along (a single tile) translate by zero.
+  std::int64_t step[kMaxDims] = {0, 0, 0, 0};
+  for (int d = 0; d < ncls; ++d)
+    if (tiles_per_dim[static_cast<std::size_t>(d)] > 1)
+      step[d] = tile_sizes[static_cast<std::size_t>(d)];
+
+  // Every member dimension must advance by an integral stage-coordinate
+  // step per grid step...
+  for (int s : order) {
+    const Stage& st = pl.stage(s);
+    for (int d = 0; d < st.rank(); ++d) {
+      std::int64_t delta;
+      if (!delta_of(align, step, ncls, s, d, &delta)) return t;
+    }
+  }
+
+  // ...and every in-group access map must commute with that translation:
+  // consumer step maps exactly onto the producer step (affine axes), and
+  // axes whose footprint does not follow the tile (broadcast planes,
+  // constant indices, data-dependent gathers spanning the full extent) may
+  // only read producer dimensions that do not move.
+  for (int c : order) {
+    const Stage& cs = pl.stage(c);
+    for (const Access& a : cs.loads) {
+      if (a.producer.is_input || !stages.contains(a.producer.id)) continue;
+      for (int k = 0; k < static_cast<int>(a.axes.size()); ++k) {
+        const AxisMap& m = a.axes[static_cast<std::size_t>(k)];
+        std::int64_t dp;
+        if (!delta_of(align, step, ncls, a.producer.id, k, &dp)) return t;
+        if (m.kind == AxisMap::Kind::kAffine && m.num != 0) {
+          std::int64_t dc;
+          if (!delta_of(align, step, ncls, c, m.src_dim, &dc)) return t;
+          if ((dc * m.num) % m.den != 0 || dc * m.num / m.den != dp) return t;
+        } else if (dp != 0) {
+          return t;
+        }
+      }
+    }
+  }
+
+  t.translatable = true;
+  return t;
+}
+
+void CompiledRowEvaluator::eval_load(const CompiledLoad& cl,
+                                     const LoadSrc& src, bool clamped,
+                                     float* out) {
+  const int prank = cl.prank;
+
+  if (!clamped) {
+    // Interior kernel: every coordinate is provably inside src.domain and
+    // the backing view, so border folding is skipped entirely.
+    std::int64_t c[kMaxDims] = {0, 0, 0, 0};
+    for (int k = 0; k < prank; ++k) {
+      const CompiledAxis& m = cl.axes[static_cast<std::size_t>(k)];
+      if (m.varies_row) continue;
+      c[k] = (m.kind == AxisMap::Kind::kConstant || m.num == 0)
+                 ? m.offset
+                 : floor_div(base_[m.src_dim] * m.num + m.pre, m.den) +
+                       m.offset;
+    }
+    if (cl.vary_axis < 0) {
+      const float v = src.view.at(c);
+      for (std::size_t i = 0; i < n_; ++i) out[i] = v;
+      return;
+    }
+    const CompiledAxis& vm = cl.axes[static_cast<std::size_t>(cl.vary_axis)];
+    const std::int64_t stride = src.view.stride[cl.vary_axis];
+    if (cl.vary_identity) {
+      c[cl.vary_axis] = y0_ + vm.offset;
+      const float* p = src.view.data + src.view.offset_of(c);
+      if (stride == 1) {
+        std::memcpy(out, p, n_ * sizeof(float));
+      } else {
+        for (std::size_t i = 0; i < n_; ++i)
+          out[i] = p[static_cast<std::int64_t>(i) * stride];
+      }
+      return;
+    }
+    // Scaled gather: the varying coordinate is factored out of the flat
+    // offset and advanced without per-element division.
+    c[cl.vary_axis] = 0;
+    const float* p0 = src.view.data + src.view.offset_of(c);
+    AffineStepper coord(y0_, vm.num, vm.den, vm.pre, vm.offset);
+    for (std::size_t i = 0; i < n_; ++i, coord.step())
+      out[i] = p0[coord.value() * stride];
+    return;
+  }
+
+  if (cl.border != Border::kClamp) {
+    // Non-clamp borders take a fully general gather (they are rare and only
+    // differ near domain edges).
+    const float* dyn[kMaxDims] = {nullptr, nullptr, nullptr, nullptr};
+    for (int k = 0; k < prank; ++k)
+      if (cl.axes[static_cast<std::size_t>(k)].kind == AxisMap::Kind::kDynamic)
+        dyn[k] = slot_row(cl.axes[static_cast<std::size_t>(k)].dyn_slot);
+    std::int64_t c[kMaxDims];
+    for (std::size_t i = 0; i < n_; ++i) {
+      const std::int64_t y = y0_ + static_cast<std::int64_t>(i);
+      bool zero = false;
+      for (int k = 0; k < prank && !zero; ++k) {
+        const CompiledAxis& m = cl.axes[static_cast<std::size_t>(k)];
+        std::int64_t v;
+        if (m.kind == AxisMap::Kind::kConstant || m.num == 0)
+          v = m.offset;
+        else if (m.kind == AxisMap::Kind::kDynamic)
+          v = static_cast<std::int64_t>(std::floor(dyn[k][i]));
+        else
+          v = floor_div((m.varies_row ? y : base_[m.src_dim]) * m.num + m.pre,
+                        m.den) +
+              m.offset;
+        if (cl.border == Border::kZero &&
+            (v < src.domain.lo[k] || v > src.domain.hi[k])) {
+          zero = true;
+          break;
+        }
+        c[k] = fold_coord(v, src.domain.lo[k], src.domain.hi[k], cl.border);
+      }
+      out[i] = zero ? 0.0f : src.view.at(c);
+    }
+    return;
+  }
+
+  // Clamp-to-edge: fixed coordinates once per row, then the varying /
+  // dynamic axes per element (mirrors RowEvaluator::eval_load).
+  std::int64_t fixed[kMaxDims] = {0, 0, 0, 0};
+  const float* dyn_rows[kMaxDims] = {nullptr, nullptr, nullptr, nullptr};
+  for (int k = 0; k < prank; ++k) {
+    const CompiledAxis& m = cl.axes[static_cast<std::size_t>(k)];
+    switch (m.kind) {
+      case AxisMap::Kind::kConstant:
+        fixed[k] = clamp_i64(m.offset, src.domain.lo[k], src.domain.hi[k]);
+        break;
+      case AxisMap::Kind::kDynamic:
+        dyn_rows[k] = slot_row(m.dyn_slot);
+        break;
+      case AxisMap::Kind::kAffine:
+        if (!m.varies_row) {
+          const std::int64_t v =
+              m.num == 0
+                  ? m.offset
+                  : floor_div(base_[m.src_dim] * m.num + m.pre, m.den) +
+                        m.offset;
+          fixed[k] = clamp_i64(v, src.domain.lo[k], src.domain.hi[k]);
+        }
+        break;
+    }
+  }
+
+  if (!cl.any_dynamic && cl.vary_axis >= 0) {
+    const CompiledAxis& vm = cl.axes[static_cast<std::size_t>(cl.vary_axis)];
+    if (cl.vary_identity) {
+      // Contiguous-in-producer along the row, clamped at the edges.
+      std::int64_t c[kMaxDims];
+      for (int k = 0; k < prank; ++k) c[k] = fixed[k];
+      const std::int64_t plo = src.domain.lo[cl.vary_axis];
+      const std::int64_t phi = src.domain.hi[cl.vary_axis];
+      const std::int64_t stride = src.view.stride[cl.vary_axis];
+      const std::int64_t first = y0_ + vm.offset;
+      const std::int64_t pre = std::clamp<std::int64_t>(
+          plo - first, 0, static_cast<std::int64_t>(n_));
+      const std::int64_t post_start = std::clamp<std::int64_t>(
+          phi - first + 1, 0, static_cast<std::int64_t>(n_));
+      if (pre > 0) {
+        c[cl.vary_axis] = plo;
+        const float lo_val = src.view.at(c);
+        for (std::int64_t i = 0; i < pre; ++i) out[i] = lo_val;
+      }
+      if (post_start > pre) {
+        c[cl.vary_axis] = first + pre;
+        const float* p = src.view.data + src.view.offset_of(c);
+        const std::size_t body = static_cast<std::size_t>(post_start - pre);
+        if (stride == 1) {
+          std::memcpy(out + pre, p, body * sizeof(float));
+        } else {
+          for (std::size_t i = 0; i < body; ++i)
+            out[static_cast<std::size_t>(pre) + i] =
+                p[static_cast<std::int64_t>(i) * stride];
+        }
+      }
+      if (post_start < static_cast<std::int64_t>(n_)) {
+        c[cl.vary_axis] = phi;
+        const float hi_val = src.view.at(c);
+        for (std::int64_t i = post_start; i < static_cast<std::int64_t>(n_);
+             ++i)
+          out[i] = hi_val;
+      }
+      return;
+    }
+    // Scaled gather along the row (up/down-sampling): factor the varying
+    // coordinate out of the flat offset and advance it division-free.
+    std::int64_t c[kMaxDims];
+    for (int k = 0; k < prank; ++k) c[k] = fixed[k];
+    const std::int64_t plo = src.domain.lo[cl.vary_axis];
+    const std::int64_t phi = src.domain.hi[cl.vary_axis];
+    const std::int64_t stride = src.view.stride[cl.vary_axis];
+    c[cl.vary_axis] = 0;
+    const float* p0 = src.view.data + src.view.offset_of(c);
+    AffineStepper coord(y0_, vm.num, vm.den, vm.pre, vm.offset);
+    for (std::size_t i = 0; i < n_; ++i, coord.step())
+      out[i] = p0[clamp_i64(coord.value(), plo, phi) * stride];
+    return;
+  }
+
+  if (!cl.any_dynamic) {
+    // Every axis fixed: broadcast one element.
+    const float v = src.view.at(fixed);
+    for (std::size_t i = 0; i < n_; ++i) out[i] = v;
+    return;
+  }
+
+  // General gather with dynamic axes.  The fixed axes are folded into one
+  // base pointer; only dynamic and row-varying axes contribute per element.
+  struct ActiveAxis {
+    const float* dyn;  // null for an affine row-varying axis
+    std::int64_t num, den, pre, offset;
+    std::int64_t stride, lo, hi;
+  };
+  ActiveAxis act[kMaxDims];
+  int nact = 0;
+  std::int64_t c[kMaxDims] = {0, 0, 0, 0};
+  for (int k = 0; k < prank; ++k) {
+    const CompiledAxis& m = cl.axes[static_cast<std::size_t>(k)];
+    if (m.kind == AxisMap::Kind::kDynamic || m.varies_row) {
+      ActiveAxis& a = act[nact++];
+      a.dyn = m.kind == AxisMap::Kind::kDynamic ? dyn_rows[k] : nullptr;
+      a.num = m.num;
+      a.den = m.den;
+      a.pre = m.pre;
+      a.offset = m.offset;
+      a.stride = src.view.stride[k];
+      a.lo = src.domain.lo[k];
+      a.hi = src.domain.hi[k];
+      c[k] = 0;
+    } else {
+      c[k] = fixed[k];
+    }
+  }
+  const float* p0 = src.view.data + src.view.offset_of(c);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::int64_t y = y0_ + static_cast<std::int64_t>(i);
+    std::int64_t off = 0;
+    for (int t = 0; t < nact; ++t) {
+      const ActiveAxis& a = act[t];
+      const std::int64_t v =
+          a.dyn ? static_cast<std::int64_t>(std::floor(a.dyn[i]))
+                : floor_div(y * a.num + a.pre, a.den) + a.offset;
+      off += clamp_i64(v, a.lo, a.hi) * a.stride;
+    }
+    out[i] = p0[off];
+  }
+}
+
+void CompiledRowEvaluator::eval_row(const CompiledStage& cs,
+                                    const StageEvalCtx& ctx,
+                                    const unsigned char* load_clamped,
+                                    const std::int64_t* base, std::int64_t y0,
+                                    std::int64_t y1, float* out) {
+  n_ = static_cast<std::size_t>(y1 - y0 + 1);
+  base_ = base;
+  y0_ = y0;
+  stride_ = n_;
+  rows_ = arena_.ensure(cs.ops.size() * n_);
+
+  // Constant rows and the innermost coordinate ramp only depend on (stage,
+  // n, y0): within one tile they are identical for every row, so fill them
+  // once on the tile's first row and skip them afterwards.
+  const bool reuse = &cs == last_cs_ && rows_ == last_rows_ &&
+                     n_ == last_n_ && y0 == last_y0_;
+  last_cs_ = &cs;
+  last_rows_ = rows_;
+  last_n_ = n_;
+  last_y0_ = y0;
+
+  const int nops = cs.num_slots();
+  const std::int32_t root = cs.root;
+  const int last = ctx.stage->rank() - 1;
+  for (std::int32_t i = 0; i < nops; ++i) {
+    const CompiledOp& o = cs.ops[static_cast<std::size_t>(i)];
+    // The root writes straight into the caller's row; no reachable op
+    // consumes the root's value (it would have to be its own ancestor).
+    float* dst = i == root ? out
+                           : rows_ + static_cast<std::size_t>(i) * stride_;
+    switch (o.op) {
+      case Op::kConst:
+        if (reuse && i != root) break;
+        for (std::size_t j = 0; j < n_; ++j) dst[j] = o.imm;
+        break;
+      case Op::kCoord:
+        if (o.dim == last) {
+          if (reuse && i != root) break;
+          for (std::size_t j = 0; j < n_; ++j)
+            dst[j] = static_cast<float>(y0 + static_cast<std::int64_t>(j));
+        } else {
+          const float v = static_cast<float>(base[o.dim]);
+          for (std::size_t j = 0; j < n_; ++j) dst[j] = v;
+        }
+        break;
+      case Op::kLoad:
+        eval_load(cs.loads[static_cast<std::size_t>(o.load_id)],
+                  ctx.srcs[static_cast<std::size_t>(o.load_id)],
+                  load_clamped[o.load_id] != 0, dst);
+        break;
+      case Op::kSelect: {
+        const float* a = slot_row(o.a);
+        const float* b = slot_row(o.b);
+        const float* c = slot_row(o.c);
+        for (std::size_t j = 0; j < n_; ++j)
+          dst[j] = a[j] != 0.0f ? b[j] : c[j];
+        break;
+      }
+#define FUSEDP_UNARY_CASE(OP)                                              \
+  case Op::OP: {                                                           \
+    const float* a = slot_row(o.a);                                        \
+    for (std::size_t j = 0; j < n_; ++j)                                   \
+      dst[j] = apply_unary(Op::OP, a[j]);                                  \
+  } break;
+      FUSEDP_UNARY_CASE(kNeg)
+      FUSEDP_UNARY_CASE(kAbs)
+      FUSEDP_UNARY_CASE(kSqrt)
+      FUSEDP_UNARY_CASE(kExp)
+      FUSEDP_UNARY_CASE(kLog)
+      FUSEDP_UNARY_CASE(kFloor)
+#undef FUSEDP_UNARY_CASE
+#define FUSEDP_BINARY_CASE(OP)                                             \
+  case Op::OP: {                                                           \
+    const float* a = slot_row(o.a);                                        \
+    if (o.imm_side == 0) {                                                 \
+      const float* b = slot_row(o.b);                                      \
+      for (std::size_t j = 0; j < n_; ++j)                                 \
+        dst[j] = apply_binary(Op::OP, a[j], b[j]);                         \
+    } else if (o.imm_side == 1) {                                          \
+      const float im = o.imm;                                              \
+      for (std::size_t j = 0; j < n_; ++j)                                 \
+        dst[j] = apply_binary(Op::OP, a[j], im);                           \
+    } else {                                                               \
+      const float im = o.imm;                                              \
+      for (std::size_t j = 0; j < n_; ++j)                                 \
+        dst[j] = apply_binary(Op::OP, im, a[j]);                           \
+    }                                                                      \
+  } break;
+      FUSEDP_BINARY_CASE(kAdd)
+      FUSEDP_BINARY_CASE(kSub)
+      FUSEDP_BINARY_CASE(kMul)
+      FUSEDP_BINARY_CASE(kDiv)
+      FUSEDP_BINARY_CASE(kMin)
+      FUSEDP_BINARY_CASE(kMax)
+      FUSEDP_BINARY_CASE(kPow)
+      FUSEDP_BINARY_CASE(kLt)
+      FUSEDP_BINARY_CASE(kLe)
+      FUSEDP_BINARY_CASE(kEq)
+      FUSEDP_BINARY_CASE(kAnd)
+      FUSEDP_BINARY_CASE(kOr)
+#undef FUSEDP_BINARY_CASE
+    }
+  }
+}
+
+}  // namespace fusedp

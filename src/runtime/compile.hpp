@@ -1,0 +1,180 @@
+// Plan-time stage compilation for the overlapped-tiling executor.
+//
+// The per-tile interpreter cost the executor used to pay — re-walking the
+// raw expression DAG with memoization stamps, re-classifying every load's
+// axes per row, and clamp-to-edge bounds checks on every load even for
+// tiles that never touch a border — is paid once per ExecutablePlan here
+// instead:
+//
+//  * compile_stage() lowers a stage body into a CompiledStage: a
+//    topologically linearized op program with constant folding,
+//    common-subexpression elimination and dead-node elimination, plus a
+//    load table whose per-axis structure (fixed / row-varying / dynamic,
+//    scale, offsets) is classified up front.
+//  * build_region_template() precomputes a group's per-tile regions once:
+//    all full (non-cleanup) tiles of a group have identical owned/required
+//    shapes up to translation whenever every member dimension's tile step
+//    maps to an integral stage-coordinate step.  The executor translates
+//    the template per tile and falls back to the exact clamped computation
+//    only for boundary and cleanup tiles.
+//  * CompiledRowEvaluator executes the linear program one innermost-dim row
+//    at a time.  Each load dispatches on a per-tile mask to either the
+//    exact border-folding kernel or an unclamped interior kernel with no
+//    per-element min/max.
+//
+// Everything here is bit-identical to eval_scalar_at by construction
+// (folding uses the same apply_unary/apply_binary the interpreter uses);
+// tests/test_compile.cpp asserts this on every registered pipeline.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "analysis/regions.hpp"
+#include "runtime/eval.hpp"
+
+namespace fusedp {
+
+// One op of a linearized stage program.  Operand fields `a`/`b`/`c` are op
+// slots (indices into CompiledStage::ops), not ExprRefs.
+//
+// Binary ops with one constant operand are emitted in immediate form: the
+// row operand sits in `a`, the constant in `imm`, and `imm_side` records
+// which side of the operator the constant occupies (operand order is
+// preserved exactly — float ops are not bit-commutative for NaN payloads).
+// This skips materializing a whole row per constant and halves the row
+// reads of such ops.
+struct CompiledOp {
+  Op op = Op::kConst;
+  float imm = 0.0f;
+  std::int32_t a = -1;
+  std::int32_t b = -1;
+  std::int32_t c = -1;
+  std::int32_t dim = -1;      // kCoord: dimension index
+  std::int32_t load_id = -1;  // kLoad: index into CompiledStage::loads
+  std::uint8_t imm_side = 0;  // 0: none, 1: dst = a op imm, 2: dst = imm op a
+};
+
+// Compile-time classification of one producer axis of a load.
+struct CompiledAxis {
+  AxisMap::Kind kind = AxisMap::Kind::kAffine;
+  std::int32_t src_dim = 0;
+  std::int32_t num = 1;
+  std::int32_t den = 1;
+  std::int64_t pre = 0;
+  std::int64_t offset = 0;
+  std::int32_t dyn_slot = -1;  // kDynamic: op slot holding the index row
+  bool varies_row = false;     // affine on the innermost consumer dim
+};
+
+// A load with its axes pre-classified so the row kernel does no per-row
+// axis dispatch.
+struct CompiledLoad {
+  std::int32_t prank = 0;
+  Border border = Border::kClamp;
+  bool any_dynamic = false;   // has a data-dependent axis: never unclamped
+  std::int32_t vary_axis = -1;  // unique affine axis varying along the row
+  bool vary_identity = false;   // vary axis is num==1, den==1, pre==0
+  std::array<CompiledAxis, kMaxDims> axes;
+};
+
+struct CompiledStage {
+  std::int32_t stage_id = -1;
+  std::vector<CompiledOp> ops;  // topological: evaluate in order
+  std::int32_t root = -1;       // slot producing the stage value
+  // Indexed like Stage::loads; entries for loads unreachable from the body
+  // stay default-initialized and are never evaluated.
+  std::vector<CompiledLoad> loads;
+
+  // Compilation statistics (tests + plan printing).
+  std::int32_t source_nodes = 0;  // arena nodes before lowering
+  std::int32_t folded = 0;        // ops removed by constant folding
+  std::int32_t cse_hits = 0;      // ops removed as common subexpressions
+
+  int num_slots() const { return static_cast<int>(ops.size()); }
+  bool valid() const { return root >= 0; }
+};
+
+// Lowers `s` (kMap only; reductions have no body and yield an invalid
+// CompiledStage).
+CompiledStage compile_stage(const Stage& s);
+
+// Per-group template of the overlapped-tiling regions, computed once at
+// plan time for the nominal full tile at the grid origin (unclamped).
+struct RegionTemplate {
+  // True when every full tile's owned/required boxes are exact translates
+  // of `stages`: every member stage dimension advances by the integral step
+  // (tile_size * sd / sn) per tile, and every in-group access map commutes
+  // with that translation.
+  bool translatable = false;
+  // Indexed by stage id; valid only for group members.
+  std::vector<StageRegions> stages;
+};
+
+RegionTemplate build_region_template(const Pipeline& pl, NodeSet stages,
+                                     const AlignResult& align,
+                                     const std::vector<int>& order,
+                                     const std::vector<std::int64_t>& tile_sizes,
+                                     const std::vector<std::int64_t>& tiles_per_dim);
+
+// Growth-only scratch: reallocation never copies or zero-fills.  Safe for
+// the executor because every element of a tile's required region is written
+// by the evaluator before anything reads it.
+class ScratchArena {
+ public:
+  float* ensure(std::size_t n) {
+    if (n > cap_) {
+      data_.reset();  // free before allocating the replacement
+      data_ = std::make_unique_for_overwrite<float[]>(n);
+      cap_ = n;
+    }
+    return data_.get();
+  }
+  float* data() { return data_.get(); }
+  std::size_t capacity() const { return cap_; }
+
+ private:
+  std::unique_ptr<float[]> data_;
+  std::size_t cap_ = 0;
+};
+
+// Executes a CompiledStage one innermost-dimension row at a time.
+// `load_clamped[i]` selects, per load, the exact border-folding kernel (1)
+// or the unclamped interior kernel (0); the executor passes 0 only when the
+// load's access box over the evaluated region provably stays inside the
+// producer's domain, so both kernels read identical data.
+class CompiledRowEvaluator {
+ public:
+  // Evaluates over {base[0..rank-2] fixed, last dim in [y0, y1]} (inclusive)
+  // and writes the y1-y0+1 results to `out`.  `ctx.srcs` must be resolved
+  // exactly as for RowEvaluator.
+  void eval_row(const CompiledStage& cs, const StageEvalCtx& ctx,
+                const unsigned char* load_clamped, const std::int64_t* base,
+                std::int64_t y0, std::int64_t y1, float* out);
+
+ private:
+  void eval_load(const CompiledLoad& cl, const LoadSrc& src, bool clamped,
+                 float* out);
+  const float* slot_row(std::int32_t slot) const {
+    return rows_ + static_cast<std::size_t>(slot) * stride_;
+  }
+
+  ScratchArena arena_;  // num_slots x row-length op results
+  float* rows_ = nullptr;
+  std::size_t stride_ = 0;
+  const std::int64_t* base_ = nullptr;
+  std::int64_t y0_ = 0;
+  std::size_t n_ = 0;
+
+  // Row-reuse key: consecutive eval_row calls for the same stage, arena,
+  // span and innermost range (every row of one tile) can skip refilling
+  // slots whose contents do not depend on the outer coordinates — constant
+  // rows and the innermost-dim coordinate ramp.
+  const CompiledStage* last_cs_ = nullptr;
+  float* last_rows_ = nullptr;
+  std::int64_t last_y0_ = 0;
+  std::size_t last_n_ = 0;
+};
+
+}  // namespace fusedp

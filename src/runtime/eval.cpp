@@ -53,39 +53,6 @@ float eval_scalar_at(const StageEvalCtx& ctx, ExprRef r,
       }
       return src.view.at(pc);
     }
-    case Op::kAdd:
-      return eval_scalar_at(ctx, n.a, c) + eval_scalar_at(ctx, n.b, c);
-    case Op::kSub:
-      return eval_scalar_at(ctx, n.a, c) - eval_scalar_at(ctx, n.b, c);
-    case Op::kMul:
-      return eval_scalar_at(ctx, n.a, c) * eval_scalar_at(ctx, n.b, c);
-    case Op::kDiv:
-      return eval_scalar_at(ctx, n.a, c) / eval_scalar_at(ctx, n.b, c);
-    case Op::kMin:
-      return std::min(eval_scalar_at(ctx, n.a, c), eval_scalar_at(ctx, n.b, c));
-    case Op::kMax:
-      return std::max(eval_scalar_at(ctx, n.a, c), eval_scalar_at(ctx, n.b, c));
-    case Op::kPow:
-      return std::pow(eval_scalar_at(ctx, n.a, c), eval_scalar_at(ctx, n.b, c));
-    case Op::kLt:
-      return eval_scalar_at(ctx, n.a, c) < eval_scalar_at(ctx, n.b, c) ? 1.0f
-                                                                       : 0.0f;
-    case Op::kLe:
-      return eval_scalar_at(ctx, n.a, c) <= eval_scalar_at(ctx, n.b, c) ? 1.0f
-                                                                        : 0.0f;
-    case Op::kEq:
-      return eval_scalar_at(ctx, n.a, c) == eval_scalar_at(ctx, n.b, c) ? 1.0f
-                                                                        : 0.0f;
-    case Op::kAnd:
-      return (eval_scalar_at(ctx, n.a, c) != 0.0f &&
-              eval_scalar_at(ctx, n.b, c) != 0.0f)
-                 ? 1.0f
-                 : 0.0f;
-    case Op::kOr:
-      return (eval_scalar_at(ctx, n.a, c) != 0.0f ||
-              eval_scalar_at(ctx, n.b, c) != 0.0f)
-                 ? 1.0f
-                 : 0.0f;
     case Op::kSelect:
       // Both arms are evaluated (no short-circuit) to match RowEvaluator.
       {
@@ -94,18 +61,15 @@ float eval_scalar_at(const StageEvalCtx& ctx, ExprRef r,
         const float f = eval_scalar_at(ctx, n.c, c);
         return cond != 0.0f ? t : f;
       }
-    case Op::kNeg:
-      return -eval_scalar_at(ctx, n.a, c);
-    case Op::kAbs:
-      return std::fabs(eval_scalar_at(ctx, n.a, c));
-    case Op::kSqrt:
-      return std::sqrt(eval_scalar_at(ctx, n.a, c));
-    case Op::kExp:
-      return std::exp(eval_scalar_at(ctx, n.a, c));
-    case Op::kLog:
-      return std::log(eval_scalar_at(ctx, n.a, c));
-    case Op::kFloor:
-      return std::floor(eval_scalar_at(ctx, n.a, c));
+    default:
+      if (op_is_unary(n.op))
+        return apply_unary(n.op, eval_scalar_at(ctx, n.a, c));
+      if (op_is_binary(n.op)) {
+        const float a = eval_scalar_at(ctx, n.a, c);
+        const float b = eval_scalar_at(ctx, n.b, c);
+        return apply_binary(n.op, a, b);
+      }
+      break;
   }
   FUSEDP_CHECK(false, "unhandled op");
   return 0.0f;
@@ -305,85 +269,39 @@ const float* RowEvaluator::eval_node(const StageEvalCtx& ctx, ExprRef r) {
       for (std::size_t i = 0; i < n_; ++i) out[i] = c[i] != 0.0f ? t[i] : f[i];
       break;
     }
-    case Op::kNeg:
-    case Op::kAbs:
-    case Op::kSqrt:
-    case Op::kExp:
-    case Op::kLog:
-    case Op::kFloor: {
-      const float* a = eval_node(ctx, n.a);
-      switch (n.op) {
-        case Op::kNeg:
-          for (std::size_t i = 0; i < n_; ++i) out[i] = -a[i];
-          break;
-        case Op::kAbs:
-          for (std::size_t i = 0; i < n_; ++i) out[i] = std::fabs(a[i]);
-          break;
-        case Op::kSqrt:
-          for (std::size_t i = 0; i < n_; ++i) out[i] = std::sqrt(a[i]);
-          break;
-        case Op::kExp:
-          for (std::size_t i = 0; i < n_; ++i) out[i] = std::exp(a[i]);
-          break;
-        case Op::kLog:
-          for (std::size_t i = 0; i < n_; ++i) out[i] = std::log(a[i]);
-          break;
-        default:
-          for (std::size_t i = 0; i < n_; ++i) out[i] = std::floor(a[i]);
-          break;
-      }
-      break;
-    }
-    default: {
-      const float* a = eval_node(ctx, n.a);
-      const float* b = eval_node(ctx, n.b);
-      switch (n.op) {
-        case Op::kAdd:
-          for (std::size_t i = 0; i < n_; ++i) out[i] = a[i] + b[i];
-          break;
-        case Op::kSub:
-          for (std::size_t i = 0; i < n_; ++i) out[i] = a[i] - b[i];
-          break;
-        case Op::kMul:
-          for (std::size_t i = 0; i < n_; ++i) out[i] = a[i] * b[i];
-          break;
-        case Op::kDiv:
-          for (std::size_t i = 0; i < n_; ++i) out[i] = a[i] / b[i];
-          break;
-        case Op::kMin:
-          for (std::size_t i = 0; i < n_; ++i) out[i] = std::min(a[i], b[i]);
-          break;
-        case Op::kMax:
-          for (std::size_t i = 0; i < n_; ++i) out[i] = std::max(a[i], b[i]);
-          break;
-        case Op::kPow:
-          for (std::size_t i = 0; i < n_; ++i) out[i] = std::pow(a[i], b[i]);
-          break;
-        case Op::kLt:
-          for (std::size_t i = 0; i < n_; ++i)
-            out[i] = a[i] < b[i] ? 1.0f : 0.0f;
-          break;
-        case Op::kLe:
-          for (std::size_t i = 0; i < n_; ++i)
-            out[i] = a[i] <= b[i] ? 1.0f : 0.0f;
-          break;
-        case Op::kEq:
-          for (std::size_t i = 0; i < n_; ++i)
-            out[i] = a[i] == b[i] ? 1.0f : 0.0f;
-          break;
-        case Op::kAnd:
-          for (std::size_t i = 0; i < n_; ++i)
-            out[i] = (a[i] != 0.0f && b[i] != 0.0f) ? 1.0f : 0.0f;
-          break;
-        case Op::kOr:
-          for (std::size_t i = 0; i < n_; ++i)
-            out[i] = (a[i] != 0.0f || b[i] != 0.0f) ? 1.0f : 0.0f;
-          break;
-        default:
-          FUSEDP_CHECK(false, "unhandled binary op");
-      }
-      break;
-    }
+#define FUSEDP_UNARY_CASE(OP)                                              \
+  case Op::OP: {                                                           \
+    const float* a = eval_node(ctx, n.a);                                  \
+    for (std::size_t i = 0; i < n_; ++i)                                   \
+      out[i] = apply_unary(Op::OP, a[i]);                                  \
+  } break;
+    FUSEDP_UNARY_CASE(kNeg)
+    FUSEDP_UNARY_CASE(kAbs)
+    FUSEDP_UNARY_CASE(kSqrt)
+    FUSEDP_UNARY_CASE(kExp)
+    FUSEDP_UNARY_CASE(kLog)
+    FUSEDP_UNARY_CASE(kFloor)
+#undef FUSEDP_UNARY_CASE
+#define FUSEDP_BINARY_CASE(OP)                                             \
+  case Op::OP: {                                                           \
+    const float* a = eval_node(ctx, n.a);                                  \
+    const float* b = eval_node(ctx, n.b);                                  \
+    for (std::size_t i = 0; i < n_; ++i)                                   \
+      out[i] = apply_binary(Op::OP, a[i], b[i]);                           \
+  } break;
+    FUSEDP_BINARY_CASE(kAdd)
+    FUSEDP_BINARY_CASE(kSub)
+    FUSEDP_BINARY_CASE(kMul)
+    FUSEDP_BINARY_CASE(kDiv)
+    FUSEDP_BINARY_CASE(kMin)
+    FUSEDP_BINARY_CASE(kMax)
+    FUSEDP_BINARY_CASE(kPow)
+    FUSEDP_BINARY_CASE(kLt)
+    FUSEDP_BINARY_CASE(kLe)
+    FUSEDP_BINARY_CASE(kEq)
+    FUSEDP_BINARY_CASE(kAnd)
+    FUSEDP_BINARY_CASE(kOr)
+#undef FUSEDP_BINARY_CASE
   }
   return out;
 }

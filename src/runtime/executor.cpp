@@ -238,58 +238,115 @@ void Executor::run_group(const GroupPlan& g, const std::vector<Buffer>& inputs,
     cancelled.store(true, std::memory_order_relaxed);
   };
 
+  std::size_t max_loads = 0;
+  for (int s : g.stage_order)
+    max_loads = std::max(max_loads, pl.stage(s).loads.size());
+
 #ifdef _OPENMP
 #pragma omp parallel num_threads(opts_.num_threads)
 #endif
   {
-    // Per-thread state: scratch per stage + evaluator.  Construction
-    // allocates, so it is guarded too; a thread whose state failed to
-    // initialize simply skips its tiles.
-    std::vector<std::vector<float>> scratch;
+    // Per-thread state: scratch per stage + evaluators + reused region
+    // storage.  Construction allocates, so it is guarded too; a thread
+    // whose state failed to initialize simply skips its tiles.
+    std::vector<ScratchArena> scratch;
     std::vector<char> in_global;
     std::vector<BufferView> tile_view;
+    std::vector<StageRegions> regions;
+    std::vector<unsigned char> load_clamped;
     RowEvaluator rowev;
+    CompiledRowEvaluator crowev;
     StageEvalCtx ctx;
     bool thread_ok = true;
     try {
       scratch.resize(static_cast<std::size_t>(pl.num_stages()));
       in_global.assign(static_cast<std::size_t>(pl.num_stages()), 0);
       tile_view.resize(static_cast<std::size_t>(pl.num_stages()));
+      regions.resize(static_cast<std::size_t>(pl.num_stages()));
+      load_clamped.assign(max_loads, 1);
     } catch (...) {
       capture_current_exception();
       thread_ok = false;
     }
 
-#ifdef _OPENMP
-#pragma omp for schedule(static)
-#endif
-    for (std::int64_t t = 0; t < total; ++t) {
-      if (!thread_ok || cancelled.load(std::memory_order_relaxed)) continue;
+    auto run_tile = [&](std::int64_t t) {
+      if (!thread_ok || cancelled.load(std::memory_order_relaxed)) return;
       try {
         FUSEDP_FAULT_POINT("executor.tile_eval");
         // Decode tile index into a reference-space box.
         Box tile;
         tile.rank = ncls;
+        bool full = true;
         std::int64_t rem = t;
         for (int d = ncls - 1; d >= 0; --d) {
           const std::int64_t nd = g.tiles_per_dim[static_cast<std::size_t>(d)];
           const std::int64_t idx = rem % nd;
           rem /= nd;
-          tile.lo[d] = idx * g.tile_sizes[static_cast<std::size_t>(d)];
-          tile.hi[d] = std::min(
-              tile.lo[d] + g.tile_sizes[static_cast<std::size_t>(d)] - 1,
-              g.align.class_extent[static_cast<std::size_t>(d)] - 1);
+          const std::int64_t ts = g.tile_sizes[static_cast<std::size_t>(d)];
+          tile.lo[d] = idx * ts;
+          const std::int64_t nominal_hi = tile.lo[d] + ts - 1;
+          const std::int64_t edge =
+              g.align.class_extent[static_cast<std::size_t>(d)] - 1;
+          tile.hi[d] = std::min(nominal_hi, edge);
+          if (nominal_hi > edge) full = false;  // cleanup tile
         }
 
-        const GroupRegions regions = compute_group_regions(
-            pl, g.stages, g.align, tile, /*clamp=*/true, &g.stage_order);
+        // Interior fast path: full tiles of a translatable group shift the
+        // plan-time region template instead of re-deriving the regions —
+        // unless the shifted footprint pokes past a stage domain (boundary
+        // tile), which falls back to the exact clamped computation.
+        bool interior = false;
+        if (opts_.compiled && full && g.region_template.translatable) {
+          interior = true;
+          for (int s : g.stage_order) {
+            const Stage& st = pl.stage(s);
+            const StageAlign& sa =
+                g.align.stages[static_cast<std::size_t>(s)];
+            const StageRegions& tr =
+                g.region_template.stages[static_cast<std::size_t>(s)];
+            StageRegions& r = regions[static_cast<std::size_t>(s)];
+            r.owned.rank = r.required.rank = st.rank();
+            for (int d = 0; d < st.rank(); ++d) {
+              const DimAlign& da = sa.dim[static_cast<std::size_t>(d)];
+              // Exactly divisible: translatability proved it at plan time.
+              const std::int64_t delta =
+                  (da.cls >= 0 && da.cls < ncls)
+                      ? tile.lo[da.cls] * da.sd / da.sn
+                      : 0;
+              r.owned.lo[d] = tr.owned.lo[d] + delta;
+              r.owned.hi[d] = tr.owned.hi[d] + delta;
+              r.required.lo[d] = tr.required.lo[d] + delta;
+              r.required.hi[d] = tr.required.hi[d] + delta;
+            }
+            if (!st.domain.contains(r.required)) {
+              interior = false;
+              break;
+            }
+          }
+        }
+        if (!interior) {
+          if (opts_.compiled) {
+            compute_region_boxes(pl, g.stages, g.align, tile, /*clamp=*/true,
+                                 g.stage_order, regions.data());
+          } else {
+            // Legacy interpreted path keeps the original per-tile region
+            // derivation (allocating, with volume accounting) so the A/B
+            // baseline pays the true pre-compilation cost.
+            const GroupRegions gr = compute_group_regions(
+                pl, g.stages, g.align, tile, /*clamp=*/true, &g.stage_order);
+            for (int s : g.stage_order)
+              regions[static_cast<std::size_t>(s)] =
+                  gr.stages[static_cast<std::size_t>(s)];
+          }
+        }
 
         for (int s : g.stage_order) {
-          const StageRegions& reg = regions.stages[static_cast<std::size_t>(s)];
+          const StageRegions& reg = regions[static_cast<std::size_t>(s)];
           const Box& req = reg.required;
           if (req.empty()) continue;
           const Stage& st = pl.stage(s);
-          const bool materialized = plan_.materialized[static_cast<std::size_t>(s)];
+          const bool materialized =
+              plan_.materialized[static_cast<std::size_t>(s)];
           // Write directly into the global buffer when the computed region is
           // exactly the owned slice (no halo): avoids a scratch copy.
           const bool direct = materialized && req == reg.owned;
@@ -300,11 +357,10 @@ void Executor::run_group(const GroupPlan& g, const std::vector<Buffer>& inputs,
           } else {
             auto& mem = scratch[static_cast<std::size_t>(s)];
             const std::size_t need = static_cast<std::size_t>(req.volume());
-            if (mem.size() < need) {
+            if (need > mem.capacity()) {
               FUSEDP_FAULT_POINT("executor.scratch_alloc");
-              mem.resize(need);
             }
-            out_view = view_of_region(mem.data(), req);
+            out_view = view_of_region(mem.ensure(need), req);
           }
           in_global[static_cast<std::size_t>(s)] = direct ? 1 : 0;
           tile_view[static_cast<std::size_t>(s)] = out_view;
@@ -333,7 +389,41 @@ void Executor::run_group(const GroupPlan& g, const std::vector<Buffer>& inputs,
 
           // Evaluate over the required box, row by row.
           const int last = st.rank() - 1;
-          if (opts_.mode == EvalMode::kRow) {
+          if (opts_.mode == EvalMode::kRow && opts_.compiled) {
+            const CompiledStage& cs =
+                plan_.compiled[static_cast<std::size_t>(s)];
+            // Per-load border mask: a load skips all border handling when
+            // its unclamped access box over `req` provably stays inside the
+            // producer's domain and inside the data this tile actually has
+            // (an in-group producer's scratch only covers its required
+            // region).  Boundary and cleanup tiles keep every load exact.
+            const std::size_t nloads = st.loads.size();
+            if (interior) {
+              for (std::size_t li = 0; li < nloads; ++li) {
+                const Access& a = st.loads[li];
+                bool clamped = cs.loads[li].any_dynamic;
+                if (!clamped) {
+                  const Box need = map_access_box(pl, a, req);
+                  clamped = !pl.producer_domain(a.producer).contains(need);
+                  if (!clamped && !a.producer.is_input &&
+                      g.stages.contains(a.producer.id) &&
+                      !in_global[static_cast<std::size_t>(a.producer.id)])
+                    clamped =
+                        !regions[static_cast<std::size_t>(a.producer.id)]
+                             .required.contains(need);
+                }
+                load_clamped[li] = clamped ? 1 : 0;
+              }
+            } else {
+              std::fill_n(load_clamped.begin(), nloads,
+                          static_cast<unsigned char>(1));
+            }
+            for_each_row(req, [&](std::int64_t* c) {
+              float* out = &out_view.at(c);
+              crowev.eval_row(cs, ctx, load_clamped.data(), c, req.lo[last],
+                              req.hi[last], out);
+            });
+          } else if (opts_.mode == EvalMode::kRow) {
             for_each_row(req, [&](std::int64_t* c) {
               float* out = &out_view.at(c);
               rowev.eval_row(ctx, c, req.lo[last], req.hi[last], out);
@@ -365,7 +455,21 @@ void Executor::run_group(const GroupPlan& g, const std::vector<Buffer>& inputs,
       } catch (...) {
         capture_current_exception();
       }
+    };
+
+    // Two complete worksharing constructs: the branch condition is uniform
+    // across the team, so every thread picks the same one.
+#ifdef _OPENMP
+    if (opts_.tile_schedule == TileSchedule::kDynamic) {
+#pragma omp for schedule(dynamic)
+      for (std::int64_t t = 0; t < total; ++t) run_tile(t);
+    } else {
+#pragma omp for schedule(static)
+      for (std::int64_t t = 0; t < total; ++t) run_tile(t);
     }
+#else
+    for (std::int64_t t = 0; t < total; ++t) run_tile(t);
+#endif
   }
 
   if (first_error != nullptr) rethrow_tile_error(first_error);
@@ -382,6 +486,8 @@ std::vector<Buffer> run_reference(const Pipeline& pl,
   ExecOptions opts;
   opts.num_threads = 1;
   opts.mode = EvalMode::kScalar;
+  // Golden purity: the reference never takes the compiled/template path.
+  opts.compiled = false;
   Executor ex(pl, g, opts);
   Workspace ws;
   ex.run(inputs, ws);

@@ -20,9 +20,22 @@ enum class EvalMode : std::uint8_t {
   kScalar,  // per-point interpreter (golden reference)
 };
 
+// OpenMP worksharing policy for the tile loop.
+enum class TileSchedule : std::uint8_t {
+  kDynamic,  // schedule(dynamic): absorbs boundary/cleanup-tile imbalance
+  kStatic,   // schedule(static): the historical default
+};
+
 struct ExecOptions {
   int num_threads = 1;
   EvalMode mode = EvalMode::kRow;
+  // Use the plan-time CompiledStage programs plus the interior-tile fast
+  // path (translated region template, unclamped row kernels).  Off falls
+  // back to the per-tile interpreted path — the pre-compilation executor —
+  // which the smoke bench uses as its A/B baseline and run_reference uses
+  // for golden purity.  Outputs are bit-identical either way.
+  bool compiled = true;
+  TileSchedule tile_schedule = TileSchedule::kDynamic;
   // Share allocations between materialized intermediates with disjoint live
   // intervals (PolyMage-style storage optimization; see storage/liveness).
   bool pooled_storage = false;

@@ -59,12 +59,23 @@ ExecutablePlan lower(const Pipeline& pl, const Grouping& grouping) {
       gp.total_tiles *= gp.tiles_per_dim[static_cast<std::size_t>(d)];
     }
 
+    if (!gp.is_reduction)
+      gp.region_template =
+          build_region_template(pl, gp.stages, gp.align, gp.stage_order,
+                                gp.tile_sizes, gp.tiles_per_dim);
+
     gs.stages.for_each([&](int s) {
       if (is_liveout_of(pl, gs.stages, s))
         plan.materialized[static_cast<std::size_t>(s)] = true;
     });
     plan.groups.push_back(std::move(gp));
   }
+
+  // Lower each map stage's body once per plan.
+  plan.compiled.resize(static_cast<std::size_t>(pl.num_stages()));
+  for (int s = 0; s < pl.num_stages(); ++s)
+    if (pl.stage(s).kind == StageKind::kMap)
+      plan.compiled[static_cast<std::size_t>(s)] = compile_stage(pl.stage(s));
 
   // Order groups topologically (producers before consumers).
   std::vector<NodeSet> sets;

@@ -11,6 +11,7 @@
 
 #include "analysis/regions.hpp"
 #include "fusion/grouping.hpp"
+#include "runtime/compile.hpp"
 
 namespace fusedp {
 
@@ -22,6 +23,9 @@ struct GroupPlan {
   std::vector<std::int64_t> tiles_per_dim;
   std::int64_t total_tiles = 1;
   bool is_reduction = false;  // single reduction stage, runs untiled
+  // Plan-time regions of the nominal full tile; when translatable, the
+  // executor shifts these per tile instead of re-deriving them.
+  RegionTemplate region_template;
 };
 
 struct ExecutablePlan {
@@ -30,6 +34,9 @@ struct ExecutablePlan {
   // liveout[stage] — stage output is materialized in a full-size buffer
   // (live-out of its group or consumed by a later group).
   std::vector<bool> materialized;
+  // Indexed by stage id; invalid() for reductions.  Lowered once here so
+  // every tile executes the optimized linear program.
+  std::vector<CompiledStage> compiled;
 };
 
 // Validates the grouping (throws on invalid) and lowers it.

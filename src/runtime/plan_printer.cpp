@@ -20,8 +20,11 @@ std::string plan_to_string(const ExecutablePlan& plan) {
           << "  // native, per-cell parallel\n";
       continue;
     }
-    out << "#pragma omp parallel for  // " << g.total_tiles
-        << " independent overlapped tiles\n";
+    out << "#pragma omp parallel for schedule(dynamic)  // " << g.total_tiles
+        << " independent overlapped tiles"
+        << (g.region_template.translatable ? ", translatable region template"
+                                           : "")
+        << "\n";
     out << "for tile (";
     for (int d = 0; d < g.align.num_classes; ++d) {
       if (d) out << ", ";
@@ -45,6 +48,11 @@ std::string plan_to_string(const ExecutablePlan& plan) {
           out << " " << da.sn << "/" << da.sd;
         }
       }
+      const CompiledStage& cs = plan.compiled[static_cast<std::size_t>(s)];
+      if (cs.valid())
+        out << "  // compiled: " << cs.num_slots() << " ops (from "
+            << cs.source_nodes << " nodes, " << cs.folded << " folded, "
+            << cs.cse_hits << " cse)";
       out << "\n";
       out << "  for (required region of " << st.name << ")  "
           << (mat ? "compute -> buffer (via scratch + owned-slice publish "

@@ -1,0 +1,297 @@
+// Tests for the plan-time stage compiler and the interior-tile fast path.
+//
+// The load-bearing invariant: the compiled executor (CompiledStage programs
+// + translated region templates + unclamped interior kernels) is
+// bit-identical to the unfused scalar reference on every registered
+// pipeline, for arbitrary tile sizes — including degenerate size-1 tiles
+// and tiles larger than the domain.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fusion/incremental.hpp"
+#include "ir/builder.hpp"
+#include "pipelines/pipelines.hpp"
+#include "runtime/compile.hpp"
+#include "runtime/executor.hpp"
+#include "support/rng.hpp"
+#include "test_util.hpp"
+
+namespace fusedp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// compile_stage unit tests (via the builder DSL).
+
+TEST(CompileStageTest, FoldsConstantSubtrees) {
+  Pipeline pl("fold");
+  const int img = pl.add_input("img", {16, 16});
+  StageBuilder b(pl, pl.add_stage("s", {16, 16}));
+  // (2 + 3) * load: the constant add folds to 5.0f, which is then absorbed
+  // as the immediate operand of the multiply (imm_side 2: dst = 5 * load).
+  b.define((b.cst(2.0f) + b.cst(3.0f)) * b.in(img, {0, 0}));
+  b.mark_output();
+  pl.finalize();
+
+  const CompiledStage cs = compile_stage(pl.stage(0));
+  ASSERT_TRUE(cs.valid());
+  EXPECT_GE(cs.folded, 1);
+  EXPECT_LT(cs.num_slots(), cs.source_nodes);
+  bool has_five = false;
+  for (const CompiledOp& op : cs.ops) {
+    if (op.op == Op::kConst && op.imm == 5.0f) has_five = true;
+    if (op.op == Op::kMul && op.imm_side == 2 && op.imm == 5.0f)
+      has_five = true;
+  }
+  EXPECT_TRUE(has_five);
+  // No dead constant slot survives: the program is load + imm-multiply.
+  EXPECT_EQ(cs.num_slots(), 2);
+}
+
+TEST(CompileStageTest, EliminatesCommonSubexpressions) {
+  Pipeline pl("cse");
+  const int img = pl.add_input("img", {16, 16});
+  StageBuilder b(pl, pl.add_stage("s", {16, 16}));
+  // x+y built twice as distinct arena nodes: the second is a CSE hit.
+  const Eh x = b.coord(0);
+  const Eh y = b.coord(1);
+  const Eh e1 = x + y;
+  const Eh e2 = x + y;
+  b.define(e1 * e2 + b.in(img, {0, 0}));
+  b.mark_output();
+  pl.finalize();
+
+  const CompiledStage cs = compile_stage(pl.stage(0));
+  ASSERT_TRUE(cs.valid());
+  EXPECT_GE(cs.cse_hits, 1);
+  EXPECT_LT(cs.num_slots(), cs.source_nodes);
+}
+
+TEST(CompileStageTest, FoldsSelectWithConstantCondition) {
+  Pipeline pl("sel");
+  const int img = pl.add_input("img", {16, 16});
+  StageBuilder b(pl, pl.add_stage("s", {16, 16}));
+  const Eh t = b.in(img, {0, 1});
+  const Eh f = b.in(img, {1, 0});
+  b.define(select(b.cst(1.0f), t, f));
+  b.mark_output();
+  pl.finalize();
+
+  const CompiledStage cs = compile_stage(pl.stage(0));
+  ASSERT_TRUE(cs.valid());
+  EXPECT_GE(cs.folded, 1);
+  // The root is the taken arm's load, not a select.
+  EXPECT_EQ(cs.ops[static_cast<std::size_t>(cs.root)].op, Op::kLoad);
+  for (const CompiledOp& op : cs.ops) EXPECT_NE(op.op, Op::kSelect);
+}
+
+TEST(CompileStageTest, ClassifiesLoadAxes) {
+  Pipeline pl("axes");
+  const int img = pl.add_input("img", {8, 32, 32});
+  StageBuilder b(pl, pl.add_stage("s", {32, 32}));
+  // Constant plane, fixed-row affine, row-varying affine.
+  b.define(b.load({true, img},
+                  {AxisMap::constant(3), AxisMap::affine(0, -1),
+                   AxisMap::affine(1, 2)}));
+  b.mark_output();
+  pl.finalize();
+
+  const CompiledStage cs = compile_stage(pl.stage(0));
+  ASSERT_TRUE(cs.valid());
+  const CompiledLoad& cl = cs.loads[0];
+  EXPECT_EQ(cl.prank, 3);
+  EXPECT_FALSE(cl.any_dynamic);
+  EXPECT_EQ(cl.vary_axis, 2);
+  EXPECT_TRUE(cl.vary_identity);
+  EXPECT_EQ(cl.axes[0].kind, AxisMap::Kind::kConstant);
+  EXPECT_FALSE(cl.axes[1].varies_row);
+  EXPECT_TRUE(cl.axes[2].varies_row);
+}
+
+TEST(CompileStageTest, ReductionsAreInvalid) {
+  const PipelineSpec spec = make_bilateral(32, 32);
+  const Pipeline& pl = *spec.pipeline;
+  bool saw_reduction = false;
+  for (int s = 0; s < pl.num_stages(); ++s) {
+    const CompiledStage cs = compile_stage(pl.stage(s));
+    if (pl.stage(s).kind == StageKind::kReduction) {
+      saw_reduction = true;
+      EXPECT_FALSE(cs.valid());
+    } else {
+      EXPECT_TRUE(cs.valid());
+    }
+  }
+  EXPECT_TRUE(saw_reduction);
+}
+
+// ---------------------------------------------------------------------------
+// Region template.
+
+TEST(RegionTemplateTest, BlurGroupIsTranslatable) {
+  const PipelineSpec spec = make_blur(64, 64);
+  const Pipeline& pl = *spec.pipeline;
+  Grouping g;
+  GroupSchedule gs;
+  for (int i = 0; i < pl.num_stages(); ++i) gs.stages = gs.stages.with(i);
+  gs.tile_sizes = {8, 8, 16};
+  g.groups.push_back(gs);
+  const ExecutablePlan plan = lower(pl, g);
+  ASSERT_EQ(plan.groups.size(), 1u);
+  EXPECT_TRUE(plan.groups[0].region_template.translatable);
+  EXPECT_GT(plan.groups[0].total_tiles, 1);
+}
+
+// For every translatable group in a DP plan, the translated template must
+// equal the exact (unclamped) region computation on every full tile.
+class TemplateExactnessTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TemplateExactnessTest, TranslatedTemplateMatchesExactRegions) {
+  const PipelineSpec spec = make_benchmark(GetParam(), 16);
+  const Pipeline& pl = *spec.pipeline;
+  const CostModel model(pl, MachineModel::xeon_haswell());
+  IncFusion inc(pl, model);
+  const ExecutablePlan plan = lower(pl, inc.run());
+
+  for (const GroupPlan& g : plan.groups) {
+    if (g.is_reduction || !g.region_template.translatable) continue;
+    const int ncls = g.align.num_classes;
+    for (std::int64_t t = 0; t < g.total_tiles; ++t) {
+      Box tile;
+      tile.rank = ncls;
+      bool full = true;
+      std::int64_t rem = t;
+      for (int d = ncls - 1; d >= 0; --d) {
+        const std::int64_t nd = g.tiles_per_dim[static_cast<std::size_t>(d)];
+        const std::int64_t idx = rem % nd;
+        rem /= nd;
+        const std::int64_t ts = g.tile_sizes[static_cast<std::size_t>(d)];
+        tile.lo[d] = idx * ts;
+        tile.hi[d] = tile.lo[d] + ts - 1;
+        if (tile.hi[d] > g.align.class_extent[static_cast<std::size_t>(d)] - 1)
+          full = false;
+      }
+      if (!full) continue;
+      const GroupRegions exact = compute_group_regions(
+          pl, g.stages, g.align, tile, /*clamp=*/false, &g.stage_order);
+      for (int s : g.stage_order) {
+        const Stage& st = pl.stage(s);
+        const StageAlign& sa = g.align.stages[static_cast<std::size_t>(s)];
+        const StageRegions& tr =
+            g.region_template.stages[static_cast<std::size_t>(s)];
+        const StageRegions& ex = exact.stages[static_cast<std::size_t>(s)];
+        for (int d = 0; d < st.rank(); ++d) {
+          const DimAlign& da = sa.dim[static_cast<std::size_t>(d)];
+          const std::int64_t delta =
+              (da.cls >= 0 && da.cls < ncls)
+                  ? tile.lo[da.cls] * da.sd / da.sn
+                  : 0;
+          ASSERT_EQ(tr.owned.lo[d] + delta, ex.owned.lo[d])
+              << GetParam() << " stage " << st.name << " tile " << t;
+          ASSERT_EQ(tr.owned.hi[d] + delta, ex.owned.hi[d]);
+          ASSERT_EQ(tr.required.lo[d] + delta, ex.required.lo[d]);
+          ASSERT_EQ(tr.required.hi[d] + delta, ex.required.hi[d]);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, TemplateExactnessTest,
+                         ::testing::Values("unsharp", "harris", "bilateral",
+                                           "interpolate", "campipe",
+                                           "pyramid", "blur"));
+
+// ---------------------------------------------------------------------------
+// Bit-equality sweep: compiled executor vs the golden reference.
+
+void expect_outputs_match(const Pipeline& pl, const Grouping& g,
+                          const std::vector<Buffer>& inputs,
+                          const std::vector<Buffer>& ref,
+                          const ExecOptions& opts, const std::string& label) {
+  const std::vector<Buffer> outs = run_pipeline(pl, g, inputs, opts);
+  ASSERT_EQ(outs.size(), pl.outputs().size());
+  for (std::size_t o = 0; o < outs.size(); ++o) {
+    const Buffer& expect = ref[static_cast<std::size_t>(pl.outputs()[o])];
+    const std::int64_t bad = testing::first_mismatch(outs[o], expect);
+    ASSERT_LT(bad, 0) << label << ": output " << o << " differs at " << bad
+                      << " (got " << outs[o].data()[bad] << ", want "
+                      << expect.data()[bad] << ")";
+  }
+}
+
+class CompiledSweepTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CompiledSweepTest, BitIdenticalUnderRandomizedTileSizes) {
+  const std::string key = GetParam();
+  const PipelineSpec spec = make_benchmark(key, 24);
+  const Pipeline& pl = *spec.pipeline;
+  const CostModel model(pl, MachineModel::xeon_haswell());
+  const std::vector<Buffer> inputs = spec.make_inputs();
+  const std::vector<Buffer> ref = run_reference(pl, inputs);
+  IncFusion inc(pl, model);
+  const Grouping dp = inc.run();
+
+  Rng rng(std::hash<std::string>{}(key));
+  for (int round = 0; round < 3; ++round) {
+    Grouping g = dp;
+    for (GroupSchedule& gs : g.groups)
+      for (std::int64_t& t : gs.tile_sizes) {
+        switch (rng.next_below(4)) {
+          case 0: t = 1; break;  // degenerate: every tile is boundary-ish
+          case 1: t = 1 + static_cast<std::int64_t>(rng.next_below(7)); break;
+          case 2: t = 8 + static_cast<std::int64_t>(rng.next_below(56)); break;
+          default: t = 4096; break;  // larger than any domain: single tile
+        }
+      }
+    const std::string label = key + " round " + std::to_string(round);
+
+    ExecOptions compiled_row;
+    compiled_row.num_threads = 3;
+    compiled_row.mode = EvalMode::kRow;
+    compiled_row.compiled = true;
+    expect_outputs_match(pl, g, inputs, ref, compiled_row,
+                         label + " compiled/kRow");
+
+    ExecOptions compiled_scalar = compiled_row;
+    compiled_scalar.mode = EvalMode::kScalar;
+    expect_outputs_match(pl, g, inputs, ref, compiled_scalar,
+                         label + " compiled/kScalar");
+
+    ExecOptions interpreted = compiled_row;
+    interpreted.compiled = false;
+    interpreted.tile_schedule = TileSchedule::kStatic;
+    expect_outputs_match(pl, g, inputs, ref, interpreted,
+                         label + " interpreted/kRow");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, CompiledSweepTest,
+                         ::testing::Values("unsharp", "harris", "bilateral",
+                                           "interpolate", "campipe",
+                                           "pyramid", "blur"));
+
+// Random DAGs (including 2x up/down-scaling accesses) through the compiled
+// path, against the reference.
+class CompiledRandomPipelineTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompiledRandomPipelineTest, CompiledMatchesReference) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const auto pl = testing::random_pipeline(7, 44 + GetParam(), 52, seed,
+                                           /*scaling=*/GetParam() % 2 == 0);
+  const CostModel model(*pl, MachineModel::xeon_haswell());
+  IncFusion inc(*pl, model);
+  const Grouping g = inc.run();
+  std::vector<Buffer> inputs;
+  inputs.push_back(make_synthetic_image(pl->input(0).domain.extents(), seed));
+  const std::vector<Buffer> ref = run_reference(*pl, inputs);
+  ExecOptions opts;
+  opts.num_threads = 2;
+  opts.compiled = true;
+  expect_outputs_match(*pl, g, inputs, ref, opts, "random compiled");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompiledRandomPipelineTest,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace fusedp

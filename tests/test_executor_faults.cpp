@@ -150,6 +150,43 @@ TEST(ExecutorFaultTest, PooledWorkspacePrepareFailureIsRecoverable) {
   expect_matches_reference(pl, ws, ref);
 }
 
+TEST(ExecutorFaultTest, DynamicScheduleCancelsAndMatchesStatic) {
+  const PipelineSpec spec = make_unsharp(64, 96);
+  const Pipeline& pl = *spec.pipeline;
+  const std::vector<Buffer> inputs = spec.make_inputs();
+  const std::vector<Buffer> ref = run_reference(pl, inputs);
+
+  // The cancellation latch must hold under dynamic worksharing too: with
+  // schedule(dynamic) the tile->thread assignment is nondeterministic, but
+  // a mid-run fault still surfaces as exactly one coded error.
+  ExecOptions dyn;
+  dyn.num_threads = 4;
+  dyn.tile_schedule = TileSchedule::kDynamic;
+  Executor ex_dyn(pl, tiny_tile_grouping(pl), dyn);
+  Workspace ws_dyn;
+  {
+    FaultGuard guard("executor.tile_eval", ErrorCode::kFaultInjected, 7);
+    EXPECT_EQ(run_and_capture_code(ex_dyn, inputs, ws_dyn),
+              ErrorCode::kFaultInjected);
+    EXPECT_FALSE(FaultInjector::armed());
+  }
+
+  // A clean re-run after the cancelled one is bit-correct...
+  ex_dyn.run(inputs, ws_dyn);
+  expect_matches_reference(pl, ws_dyn, ref);
+
+  // ...and identical to a static-schedule run of the same plan: the
+  // worksharing policy must never change the bits.
+  ExecOptions sta = dyn;
+  sta.tile_schedule = TileSchedule::kStatic;
+  Executor ex_sta(pl, tiny_tile_grouping(pl), sta);
+  Workspace ws_sta;
+  ex_sta.run(inputs, ws_sta);
+  for (int out : pl.outputs())
+    EXPECT_TRUE(testing::buffers_equal(ws_dyn.stage_buffer(out),
+                                       ws_sta.stage_buffer(out)));
+}
+
 TEST(ExecutorFaultTest, FaultFiresExactlyOnceAcrossThreads) {
   const PipelineSpec spec = make_unsharp(64, 96);
   const Pipeline& pl = *spec.pipeline;
