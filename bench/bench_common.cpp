@@ -18,6 +18,15 @@ BenchConfig BenchConfig::from_cli(const Cli& cli, MachineModel machine) {
   cfg.threads = static_cast<int>(cli.get_int_env("threads", 16));
   cfg.tune = cli.get_env("tune", "small");
   cfg.machine = std::move(machine);
+  cfg.exec.num_threads = cfg.threads;
+  cfg.exec.mode = cli.get_env("mode", "row") == "scalar" ? EvalMode::kScalar
+                                                         : EvalMode::kRow;
+  cfg.exec.compiled = cli.get_int_env("compiled", 1) != 0;
+  cfg.exec.vector_backend = cli.get_int_env("vector", 1) != 0;
+  cfg.exec.allow_fma = cli.get_int_env("fma", 0) != 0;
+  cfg.exec.tile_schedule = cli.get_env("schedule", "dynamic") == "static"
+                               ? TileSchedule::kStatic
+                               : TileSchedule::kDynamic;
   return cfg;
 }
 
@@ -34,7 +43,15 @@ void BenchConfig::print_header(const char* what) const {
       "# images: paper sizes / %lld; timing: min of %d sample averages, %d "
       "runs each (paper: 5 x 500 at full size)\n",
       static_cast<long long>(scale), samples, runs);
-  std::printf("# PolyMage-A tuner grid: %s\n\n", tune.c_str());
+  std::printf("# PolyMage-A tuner grid: %s\n", tune.c_str());
+  std::printf("# executor: %s %s backend, %s tiles%s\n\n",
+              exec.compiled ? "compiled" : "interpreted",
+              !exec.compiled ? "row"
+                             : (exec.vector_backend ? "vector"
+                                                    : "scalar-compiled"),
+              exec.tile_schedule == TileSchedule::kDynamic ? "dynamic"
+                                                           : "static",
+              exec.allow_fma ? ", fma" : "");
 }
 
 const char* scheduler_name(Scheduler s) {
@@ -49,15 +66,46 @@ const char* scheduler_name(Scheduler s) {
 
 double time_grouping_ms(const Pipeline& pl, const Grouping& g,
                         const std::vector<Buffer>& inputs, int threads,
-                        int samples, int runs) {
-  ExecOptions opts;
-  opts.num_threads = threads;
-  Executor ex(pl, g, opts);
+                        int samples, int runs, ExecOptions base) {
+  base.num_threads = threads;
+  Executor ex(pl, g, base);
   Workspace ws;
   ex.run(inputs, ws);  // warm-up (allocations, page faults)
   const RunStats st =
       measure_min_of_averages([&] { ex.run(inputs, ws); }, samples, runs);
   return st.min_avg_ms;
+}
+
+std::string bench_out_path(const Cli& cli, const char* default_filename) {
+#ifdef FUSEDP_REPO_ROOT
+  const std::string def = std::string(FUSEDP_REPO_ROOT) + "/" + default_filename;
+#else
+  const std::string def = default_filename;
+#endif
+  return cli.get_env("out", def);
+}
+
+std::string exec_options_json(const ExecOptions& opts, const char* indent) {
+  std::string s;
+  auto field = [&](const char* key, const std::string& val) {
+    s += indent;
+    s += "\"";
+    s += key;
+    s += "\": ";
+    s += val;
+    s += ",\n";
+  };
+  field("threads", std::to_string(opts.num_threads));
+  field("eval_mode",
+        opts.mode == EvalMode::kRow ? "\"row\"" : "\"scalar\"");
+  field("compiled", opts.compiled ? "true" : "false");
+  field("vector_backend", opts.vector_backend ? "true" : "false");
+  field("allow_fma", opts.allow_fma ? "true" : "false");
+  field("tile_schedule", opts.tile_schedule == TileSchedule::kDynamic
+                             ? "\"dynamic\""
+                             : "\"static\"");
+  field("pooled_storage", opts.pooled_storage ? "true" : "false");
+  return s;
 }
 
 Grouping schedule(Scheduler which, const PipelineSpec& spec,
@@ -81,7 +129,7 @@ Grouping schedule(Scheduler which, const PipelineSpec& spec,
       const PolyMageGreedy greedy(pl, model, opts);
       const std::vector<Buffer> inputs = spec.make_inputs();
       return greedy.tune([&](const Grouping& g) {
-        return time_grouping_ms(pl, g, inputs, tune_threads, 1, 1);
+        return time_grouping_ms(pl, g, inputs, tune_threads, 1, 1, cfg.exec);
       });
     }
     case Scheduler::kHAuto: {

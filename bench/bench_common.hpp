@@ -13,6 +13,7 @@
 
 #include "fusion/grouping.hpp"
 #include "pipelines/pipelines.hpp"
+#include "runtime/executor.hpp"
 #include "support/cli.hpp"
 
 namespace fusedp::bench {
@@ -24,6 +25,11 @@ struct BenchConfig {
   int threads = 16;
   std::string tune = "small";
   MachineModel machine;
+  // The executor configuration every timed run uses, set explicitly (and
+  // recorded in each bench's JSON artifact) so table numbers are never at
+  // the mercy of drifting ExecOptions defaults.  --mode/--compiled/
+  // --vector/--fma/--schedule override the defaults.
+  ExecOptions exec;
 
   static BenchConfig from_cli(const Cli& cli, MachineModel machine);
   void print_header(const char* what) const;
@@ -40,9 +46,22 @@ Grouping schedule(Scheduler which, const PipelineSpec& spec,
                   const CostModel& model, const BenchConfig& cfg,
                   int tune_threads);
 
-// min-of-averages execution time (ms) of `g` at `threads`.
+// min-of-averages execution time (ms) of `g` at `threads`.  `base` fixes
+// the executor configuration being measured (mode, compiled, backend, ...);
+// `threads` overrides base.num_threads.
 double time_grouping_ms(const Pipeline& pl, const Grouping& g,
                         const std::vector<Buffer>& inputs, int threads,
-                        int samples, int runs);
+                        int samples, int runs, ExecOptions base = {});
+
+// Resolves the `--out` flag (FUSEDP_OUT env fallback).  Unset, BENCH_*.json
+// artifacts land in the repository root — the canonical home of trajectory
+// files — rather than wherever the binary happens to run.
+std::string bench_out_path(const Cli& cli, const char* default_filename);
+
+// The ExecOptions fields as JSON members (no surrounding braces), one
+// per line prefixed with `indent`, trailing comma included — ready to
+// splice into a bench's result object so every artifact records exactly
+// which executor configuration produced its numbers.
+std::string exec_options_json(const ExecOptions& opts, const char* indent);
 
 }  // namespace fusedp::bench

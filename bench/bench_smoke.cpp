@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "fusion/incremental.hpp"
 #include "model/cost.hpp"
 #include "pipelines/pipelines.hpp"
@@ -53,24 +54,30 @@ int main(int argc, char** argv) {
   const MachineModel machine = MachineModel::host();
   const int threads =
       static_cast<int>(cli.get_int_env("threads", machine.cores));
-  const std::string out_path = cli.get("out", "BENCH_smoke.json");
+  const std::string out_path =
+      bench::bench_out_path(cli, "BENCH_smoke.json");
   const std::string mode_str = cli.get_env("mode", "row");
   const std::string only = cli.get_env("only", "");
   const bool compiled = cli.get_int_env("compiled", 1) != 0;
+  const bool vector_backend = cli.get_int_env("vector", 1) != 0;
+  const bool allow_fma = cli.get_int_env("fma", 0) != 0;
   const std::string sched_str = cli.get_env("schedule", "dynamic");
 
   ExecOptions opts;
   opts.num_threads = threads;
   opts.mode = mode_str == "scalar" ? EvalMode::kScalar : EvalMode::kRow;
   opts.compiled = compiled;
+  opts.vector_backend = vector_backend;
+  opts.allow_fma = allow_fma;
   opts.tile_schedule =
       sched_str == "static" ? TileSchedule::kStatic : TileSchedule::kDynamic;
 
   std::fprintf(stderr,
                "bench_smoke: scale=%lld threads=%d samples=%d runs=%d "
-               "mode=%s compiled=%d schedule=%s\n",
+               "mode=%s compiled=%d vector=%d fma=%d schedule=%s\n",
                static_cast<long long>(scale), threads, samples, runs,
-               mode_str.c_str(), compiled ? 1 : 0, sched_str.c_str());
+               mode_str.c_str(), compiled ? 1 : 0, vector_backend ? 1 : 0,
+               allow_fma ? 1 : 0, sched_str.c_str());
 
   const char* keys[] = {"blur",        "unsharp", "harris", "bilateral",
                         "interpolate", "campipe", "pyramid"};
@@ -118,13 +125,11 @@ int main(int argc, char** argv) {
   out << "{\n"
       << "  \"bench\": \"smoke\",\n"
       << "  \"schedule_source\": \"PolyMageDP\",\n"
-      << "  \"eval_mode\": \"" << (opts.mode == EvalMode::kRow ? "row" : "scalar")
+      << "  \"backend\": \""
+      << (!compiled ? "interpreted"
+                    : (vector_backend ? "vector" : "scalar-compiled"))
       << "\",\n"
-      << "  \"compiled\": " << (compiled ? "true" : "false") << ",\n"
-      << "  \"tile_schedule\": \""
-      << (opts.tile_schedule == TileSchedule::kDynamic ? "dynamic" : "static")
-      << "\",\n"
-      << "  \"threads\": " << threads << ",\n"
+      << bench::exec_options_json(opts, "  ")
       << "  \"scale\": " << scale << ",\n"
       << "  \"samples\": " << samples << ",\n"
       << "  \"runs\": " << runs << ",\n"

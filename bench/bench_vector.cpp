@@ -1,0 +1,156 @@
+// A/B benchmark for the vectorized row-kernel backend: times all seven
+// registered pipelines under the PolyMageDP schedule with the compiled
+// executor, once with ExecOptions::vector_backend off (the plain
+// one-row-per-op program — the prior executor's shape) and once with it on
+// (superop fusion + row-register allocation + SIMD kernels + zero-copy load
+// forwarding).  Writes BENCH_vector.json with per-pipeline ns/pixel for
+// both variants and the geomean speedup.  Outputs of the two variants are
+// bit-identical (asserted continuously by tests/test_compile.cpp); this
+// bench only measures the execution-strategy difference.
+//
+//   --scale/--samples/--runs/--threads   as bench_smoke
+//   --fma=1          additionally contract fused mul-adds into real FMA
+//                    (changes rounding; pair with -DFUSEDP_NATIVE=ON)
+//   --out=PATH       artifact path (default: <repo root>/BENCH_vector.json)
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "fusion/incremental.hpp"
+#include "model/cost.hpp"
+#include "pipelines/pipelines.hpp"
+#include "runtime/executor.hpp"
+#include "support/cli.hpp"
+#include "support/stats.hpp"
+
+using namespace fusedp;
+
+namespace {
+
+struct Row {
+  std::string name;
+  std::int64_t output_pixels = 0;
+  double scalar_ns = 0.0;  // vector_backend = false
+  double vector_ns = 0.0;  // vector_backend = true
+  double speedup() const { return scalar_ns / vector_ns; }
+};
+
+std::int64_t output_pixels_of(const Pipeline& pl) {
+  std::int64_t px = 0;
+  for (int s : pl.outputs()) px += pl.stage(s).domain.volume();
+  return px;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::int64_t scale = cli.get_int_env("scale", 2);
+  const int samples = static_cast<int>(cli.get_int_env("samples", 3));
+  const int runs = static_cast<int>(cli.get_int_env("runs", 3));
+  const MachineModel machine = MachineModel::host();
+  const int threads =
+      static_cast<int>(cli.get_int_env("threads", machine.cores));
+  const bool allow_fma = cli.get_int_env("fma", 0) != 0;
+  const std::string only = cli.get_env("only", "");
+  const std::string out_path =
+      bench::bench_out_path(cli, "BENCH_vector.json");
+
+  ExecOptions base;
+  base.num_threads = threads;
+  base.mode = EvalMode::kRow;
+  base.compiled = true;
+  base.tile_schedule = TileSchedule::kDynamic;
+
+  ExecOptions scalar_opts = base;
+  scalar_opts.vector_backend = false;
+  ExecOptions vector_opts = base;
+  vector_opts.vector_backend = true;
+  vector_opts.allow_fma = allow_fma;
+
+  std::fprintf(stderr,
+               "bench_vector: scale=%lld threads=%d samples=%d runs=%d "
+               "fma=%d\n",
+               static_cast<long long>(scale), threads, samples, runs,
+               allow_fma ? 1 : 0);
+
+  const char* keys[] = {"blur",        "unsharp", "harris", "bilateral",
+                        "interpolate", "campipe", "pyramid"};
+  std::vector<Row> rows;
+  double log_speedup = 0.0;
+  for (const char* key : keys) {
+    if (!only.empty() && only != key) continue;
+    const PipelineSpec spec = make_benchmark(key, scale);
+    const Pipeline& pl = *spec.pipeline;
+    const CostModel model(pl, machine);
+    IncFusion inc(pl, model);
+    const Grouping g = inc.run();
+    const std::vector<Buffer> inputs = spec.make_inputs();
+
+    Row r;
+    r.name = key;
+    r.output_pixels = output_pixels_of(pl);
+    const double px = static_cast<double>(
+        std::max<std::int64_t>(r.output_pixels, 1));
+    r.scalar_ns = bench::time_grouping_ms(pl, g, inputs, threads, samples,
+                                          runs, scalar_opts) *
+                  1e6 / px;
+    r.vector_ns = bench::time_grouping_ms(pl, g, inputs, threads, samples,
+                                          runs, vector_opts) *
+                  1e6 / px;
+    log_speedup += std::log(r.speedup());
+    rows.push_back(r);
+    std::fprintf(stderr,
+                 "  %-12s scalar-compiled %8.3f ns/px   vector %8.3f ns/px "
+                 "  %.2fx\n",
+                 key, r.scalar_ns, r.vector_ns, r.speedup());
+  }
+  if (rows.empty()) {
+    std::fprintf(stderr, "bench_vector: no pipeline matched --only=%s\n",
+                 only.c_str());
+    return 1;
+  }
+  const double geo_speedup =
+      std::exp(log_speedup / static_cast<double>(rows.size()));
+  std::fprintf(stderr, "  geomean speedup: %.2fx\n", geo_speedup);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "bench_vector: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n"
+      << "  \"bench\": \"vector\",\n"
+      << "  \"schedule_source\": \"PolyMageDP\",\n"
+      << "  \"baseline\": \"scalar-compiled\",\n"
+      << "  \"variant\": \"" << (allow_fma ? "vector+fma" : "vector")
+      << "\",\n"
+      << bench::exec_options_json(vector_opts, "  ")
+      << "  \"scale\": " << scale << ",\n"
+      << "  \"samples\": " << samples << ",\n"
+      << "  \"runs\": " << runs << ",\n"
+      << "  \"machine\": {\n"
+      << "    \"name\": \"" << machine.name << "\",\n"
+      << "    \"cores\": " << machine.cores << ",\n"
+      << "    \"vector_width_floats\": " << machine.vector_width_floats
+      << "\n"
+      << "  },\n"
+      << "  \"pipelines\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"name\": \"" << r.name
+        << "\", \"output_pixels\": " << r.output_pixels
+        << ", \"scalar_compiled_ns_per_pixel\": " << r.scalar_ns
+        << ", \"vector_ns_per_pixel\": " << r.vector_ns
+        << ", \"speedup\": " << r.speedup() << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"geomean_speedup\": " << geo_speedup << "\n"
+      << "}\n";
+  std::fprintf(stderr, "bench_vector: wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -32,5 +32,8 @@ int main(int argc, char** argv) {
       "\n# values are speedups over the PolyMageDP 1-thread run (bars of\n"
       "# paper Figure 7); N-thread scaling is oversubscribed on this\n"
       "# single-core container.\n");
+  write_benchmark_results_json(
+      bench_out_path(cli, "BENCH_figure7_scaling.json"), "figure7_scaling",
+      results, cfg);
   return 0;
 }

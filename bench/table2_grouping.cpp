@@ -9,6 +9,7 @@
 // reported through the bounded *incremental* driver (Algorithm 3), which is
 // also what the paper prescribes for large graphs.
 #include <cstdio>
+#include <fstream>
 
 #include "bench_common.hpp"
 #include "fusion/dp.hpp"
@@ -31,6 +32,14 @@ int main(int argc, char** argv) {
               "", "", "", "l=inf", "l=32", "l=16", "l=8", "l=inf", "l=32",
               "l=16", "l=8");
 
+  struct JsonRow {
+    std::string name;
+    int stages = 0, max_succ = 0;
+    std::uint64_t counts[4];
+    double secs[4];
+    bool blown[4];
+  };
+  std::vector<JsonRow> json_rows;
   for (const auto& info : benchmark_list()) {
     const PipelineSpec spec = make_benchmark(info.key, cfg.scale);
     const Pipeline& pl = *spec.pipeline;
@@ -75,9 +84,51 @@ int main(int argc, char** argv) {
     std::printf(" |");
     for (int i = 0; i < 4; ++i) std::printf(" %7.3f", secs[i]);
     std::printf("\n");
+    JsonRow jr;
+    jr.name = info.title;
+    jr.stages = pl.num_stages();
+    jr.max_succ = max_succ;
+    for (int i = 0; i < 4; ++i) {
+      jr.counts[i] = counts[i];
+      jr.secs[i] = secs[i];
+      jr.blown[i] = blown[i];
+    }
+    json_rows.push_back(std::move(jr));
   }
   std::printf(
       "\n(*) raw DP exceeded the state budget; value is from the bounded\n"
       "    incremental driver (paper Algorithm 3) instead.\n");
+
+  // Scheduling-only bench: no executor runs, so the artifact records
+  // "executor": null instead of an ExecOptions block.
+  const std::string out_path =
+      bench_out_path(cli, "BENCH_table2_grouping.json");
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "table2_grouping: cannot write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  const char* limit_keys[4] = {"inf", "32", "16", "8"};
+  out << "{\n"
+      << "  \"bench\": \"table2_grouping\",\n"
+      << "  \"executor\": null,\n"
+      << "  \"scale\": " << cfg.scale << ",\n"
+      << "  \"machine\": \"" << cfg.machine.name << "\",\n"
+      << "  \"dp_budget\": " << budget << ",\n"
+      << "  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < json_rows.size(); ++i) {
+    const JsonRow& r = json_rows[i];
+    out << "    {\"name\": \"" << r.name << "\", \"stages\": " << r.stages
+        << ", \"max_succ\": " << r.max_succ;
+    for (int k = 0; k < 4; ++k)
+      out << ", \"groupings_l" << limit_keys[k] << "\": " << r.counts[k]
+          << ", \"seconds_l" << limit_keys[k] << "\": " << r.secs[k]
+          << ", \"fallback_l" << limit_keys[k]
+          << "\": " << (r.blown[k] ? "true" : "false");
+    out << "}" << (i + 1 < json_rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::fprintf(stderr, "table2_grouping: wrote %s\n", out_path.c_str());
   return 0;
 }

@@ -15,5 +15,8 @@ int main(int argc, char** argv) {
       "Table 3: execution times on the Intel Xeon Haswell machine model");
   const std::vector<BenchmarkResult> results = run_all_benchmarks(cfg);
   print_execution_table(results, cfg);
+  write_benchmark_results_json(
+      bench_out_path(cli, "BENCH_table3_xeon.json"), "table3_xeon", results,
+      cfg);
   return 0;
 }

@@ -14,5 +14,8 @@ int main(int argc, char** argv) {
       "Table 4: execution times on the AMD Opteron machine model");
   const std::vector<BenchmarkResult> results = run_all_benchmarks(cfg);
   print_execution_table(results, cfg);
+  write_benchmark_results_json(
+      bench_out_path(cli, "BENCH_table4_opteron.json"), "table4_opteron",
+      results, cfg);
   return 0;
 }

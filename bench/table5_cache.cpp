@@ -7,6 +7,7 @@
 // a simulated Haswell-like hierarchy (32 KB 8-way L1, 256 KB 8-way L2) —
 // see DESIGN.md "Hardware substitution".
 #include <cstdio>
+#include <fstream>
 
 #include "bench_common.hpp"
 #include "cachesim/trace.hpp"
@@ -39,6 +40,11 @@ int main(int argc, char** argv) {
       {"5x256   (L1, model)", 5, 256},
   };
 
+  struct Measured {
+    const Row* row;
+    double l1_hit, l2_hit, l2_miss, ms;
+  };
+  std::vector<Measured> measured;
   std::printf("%-22s %8s %8s %8s %12s\n", "Tile size", "L1 HIT%", "L2 HIT%",
               "L2 MISS%", "runtime(ms)");
   for (const Row& row : rows) {
@@ -54,10 +60,13 @@ int main(int argc, char** argv) {
     topts.max_tiles_per_group = 8;
     const HierarchyStats st = simulate_grouping(pl, g, hier, topts);
     const double ms = time_grouping_ms(pl, g, inputs, 1, cfg.samples,
-                                       cfg.runs);
+                                       cfg.runs, cfg.exec);
     std::printf("%-22s %8.2f %8.2f %8.2f %12.2f\n", row.label,
                 100.0 * st.l1_hit_frac(), 100.0 * st.l2_hit_frac(),
                 100.0 * st.l2_miss_frac(), ms);
+    measured.push_back({&row, 100.0 * st.l1_hit_frac(),
+                        100.0 * st.l2_hit_frac(), 100.0 * st.l2_miss_frac(),
+                        ms});
   }
 
   // What the model actually picks for the fused group.
@@ -69,5 +78,30 @@ int main(int argc, char** argv) {
     std::printf("%s%lld", i ? "x" : "",
                 static_cast<long long>(gc.tile_sizes[i]));
   std::printf("] (%s-sized)\n", gc.used_l2 ? "L2" : "L1");
+
+  const std::string out_path =
+      bench_out_path(cli, "BENCH_table5_cache.json");
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "table5_cache: cannot write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  out << "{\n"
+      << "  \"bench\": \"table5_cache\",\n"
+      << exec_options_json(cfg.exec, "  ")
+      << "  \"scale\": " << cfg.scale << ",\n"
+      << "  \"machine\": \"" << cfg.machine.name << "\",\n"
+      << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    const Measured& m = measured[i];
+    out << "    {\"tile\": \"" << m.row->t1 << "x" << m.row->t2
+        << "\", \"l1_hit_pct\": " << m.l1_hit
+        << ", \"l2_hit_pct\": " << m.l2_hit
+        << ", \"l2_miss_pct\": " << m.l2_miss << ", \"ms\": " << m.ms << "}"
+        << (i + 1 < measured.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::fprintf(stderr, "table5_cache: wrote %s\n", out_path.c_str());
   return 0;
 }

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <map>
 
 #include "bench_common.hpp"
@@ -31,9 +32,10 @@ inline std::vector<BenchmarkResult> run_all_benchmarks(const BenchConfig& cfg) {
     r.title = info.title;
     for (Scheduler s : schedulers) {
       const Grouping g = schedule(s, spec, model, cfg, cfg.threads);
-      r.t1[s] = time_grouping_ms(pl, g, inputs, 1, cfg.samples, cfg.runs);
+      r.t1[s] = time_grouping_ms(pl, g, inputs, 1, cfg.samples, cfg.runs,
+                                 cfg.exec);
       r.tn[s] = time_grouping_ms(pl, g, inputs, cfg.threads, cfg.samples,
-                                 cfg.runs);
+                                 cfg.runs, cfg.exec);
       std::fprintf(stderr, "  %-18s %-12s 1T %8.2f ms   %dT %8.2f ms\n",
                    info.title.c_str(), scheduler_name(s), r.t1[s],
                    cfg.threads, r.tn[s]);
@@ -66,6 +68,40 @@ inline void print_execution_table(const std::vector<BenchmarkResult>& results,
       "# hardware core, so N-thread rows measure oversubscribed execution\n"
       "# (see EXPERIMENTS.md for interpretation).\n",
       cfg.threads);
+}
+
+// JSON artifact for a scheduler-comparison bench: per pipeline, the 1- and
+// N-thread times of every scheduler, plus the machine model and the exact
+// ExecOptions the runs used.
+inline void write_benchmark_results_json(
+    const std::string& path, const char* bench_name,
+    const std::vector<BenchmarkResult>& results, const BenchConfig& cfg) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "%s: cannot write %s\n", bench_name, path.c_str());
+    return;
+  }
+  const Scheduler schedulers[] = {Scheduler::kHManual, Scheduler::kHAuto,
+                                  Scheduler::kPolyMageA,
+                                  Scheduler::kPolyMageDp};
+  out << "{\n"
+      << "  \"bench\": \"" << bench_name << "\",\n"
+      << exec_options_json(cfg.exec, "  ")
+      << "  \"scale\": " << cfg.scale << ",\n"
+      << "  \"samples\": " << cfg.samples << ",\n"
+      << "  \"runs\": " << cfg.runs << ",\n"
+      << "  \"machine\": \"" << cfg.machine.name << "\",\n"
+      << "  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BenchmarkResult& r = results[i];
+    out << "    {\"name\": \"" << r.title << "\"";
+    for (Scheduler s : schedulers)
+      out << ", \"" << scheduler_name(s) << "_ms_1t\": " << r.t1.at(s)
+          << ", \"" << scheduler_name(s) << "_ms_nt\": " << r.tn.at(s);
+    out << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::fprintf(stderr, "%s: wrote %s\n", bench_name, path.c_str());
 }
 
 }  // namespace fusedp::bench

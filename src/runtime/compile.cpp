@@ -1,11 +1,13 @@
 #include "runtime/compile.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cmath>
 #include <cstring>
 #include <map>
 #include <tuple>
+#include <utility>
 
 #include "ir/box.hpp"
 
@@ -54,7 +56,8 @@ using VnKey = std::tuple<int, std::int32_t, std::int32_t, std::int32_t,
 
 class StageCompiler {
  public:
-  explicit StageCompiler(const Stage& s) : s_(s) {
+  StageCompiler(const Stage& s, const CompileOptions& opts)
+      : s_(s), opts_(opts) {
     cs_.stage_id = s.id;
     cs_.source_nodes = static_cast<std::int32_t>(s.nodes.size());
     cs_.loads.resize(s.loads.size());
@@ -66,6 +69,14 @@ class StageCompiler {
     lower(s_.body);
     cs_.root = slot_[static_cast<std::size_t>(s_.body)];
     compact();
+    if (opts_.fuse_superops) {
+      fuse_superops();
+      compact();  // the fused-away inner ops are now dead
+      fuse_pairs();
+      compact();
+    }
+    allocate_registers();
+    cs_.vector_loads = opts_.vector_loads;
     return std::move(cs_);
   }
 
@@ -231,9 +242,163 @@ class StageCompiler {
     }
   }
 
+  // Reference counts per slot, counting every operand field, load dynamic
+  // axes, and the root (the caller reads it).
+  std::vector<std::int32_t> count_uses() const {
+    std::vector<std::int32_t> uses(cs_.ops.size(), 0);
+    auto touch = [&](std::int32_t s) {
+      if (s >= 0) ++uses[static_cast<std::size_t>(s)];
+    };
+    for (const CompiledOp& op : cs_.ops) {
+      touch(op.a);
+      touch(op.b);
+      touch(op.c);
+      touch(op.d);
+      if (op.op == Op::kLoad) {
+        const CompiledLoad& cl =
+            cs_.loads[static_cast<std::size_t>(op.load_id)];
+        for (std::int32_t k = 0; k < cl.prank; ++k)
+          touch(cl.axes[static_cast<std::size_t>(k)].dyn_slot);
+      }
+    }
+    if (cs_.root >= 0) ++uses[static_cast<std::size_t>(cs_.root)];
+    return uses;
+  }
+
+  // Peephole fusion over the linear program.  A single-use binary op from
+  // {add, sub, mul, min, max} feeding another collapses into one fused
+  // chain op (kBinChain — mul feeding add is the classic
+  // multiply-accumulate; pure add chains are the bread and butter of box
+  // stencils); a single-use comparison feeding a kSelect condition
+  // collapses into one compare-and-blend.  Fused ops perform the same
+  // rounded float operations in the same order as the pair they replace
+  // (contraction into a real FMA only happens at execution time under
+  // allow_fma, and only for mul→add/sub), so default-mode results are
+  // bit-identical.  The fused-away inner op loses its only reference; the
+  // compact() that follows removes it.
+  void fuse_superops() {
+    const std::vector<std::int32_t> uses = count_uses();
+    const std::int32_t n = cs_.num_slots();
+    auto chainable = [](Op op) {
+      return op == Op::kAdd || op == Op::kSub || op == Op::kMul ||
+             op == Op::kMin || op == Op::kMax;
+    };
+    auto fusable_as = [&](std::int32_t s, bool chain) -> bool {
+      if (s < 0) return false;
+      const CompiledOp& m = cs_.ops[static_cast<std::size_t>(s)];
+      if (m.super != SuperOp::kNone ||
+          uses[static_cast<std::size_t>(s)] != 1)
+        return false;
+      return chain ? chainable(m.op)
+                   : m.op == Op::kLt || m.op == Op::kLe || m.op == Op::kEq;
+    };
+    auto is_mul = [&](std::int32_t s) {
+      return cs_.ops[static_cast<std::size_t>(s)].op == Op::kMul;
+    };
+    for (std::int32_t i = 0; i < n; ++i) {
+      CompiledOp& o = cs_.ops[static_cast<std::size_t>(i)];
+      if (o.super != SuperOp::kNone) continue;
+      if (chainable(o.op)) {
+        // Which operand becomes the fused inner op, and what is the other
+        // operand z?  super_side records the inner op's side so operand
+        // order (and with it NaN-payload propagation) is preserved exactly.
+        // When both operands qualify, prefer a multiply so allow_fma can
+        // contract the result.
+        std::int32_t mslot = -1, zslot = -1;
+        float zimm = 0.0f;
+        std::uint8_t side = 0;
+        if (o.imm_side == 0) {
+          const bool fa = fusable_as(o.a, /*chain=*/true);
+          const bool fb = fusable_as(o.b, /*chain=*/true);
+          if (fa && (!fb || is_mul(o.a) || !is_mul(o.b))) {
+            mslot = o.a;
+            zslot = o.b;
+            side = 1;  // dst = m op b
+          } else if (fb) {
+            mslot = o.b;
+            zslot = o.a;
+            side = 2;  // dst = a op m
+          }
+        } else if (fusable_as(o.a, /*chain=*/true)) {
+          zimm = o.imm;
+          mslot = o.a;
+          side = o.imm_side == 1 ? 1 : 2;  // dst = m op imm / imm op m
+        }
+        if (mslot < 0) continue;
+        const CompiledOp m = cs_.ops[static_cast<std::size_t>(mslot)];
+        o.super = SuperOp::kBinChain;
+        o.super_side = side;
+        o.op2 = m.op;
+        o.a = m.a;
+        o.b = m.b;
+        o.imm = m.imm;
+        o.imm_side = m.imm_side;
+        o.c = zslot;
+        o.imm2 = zimm;
+        ++cs_.fused;
+      } else if (o.op == Op::kSelect && fusable_as(o.a, /*chain=*/false)) {
+        const CompiledOp m = cs_.ops[static_cast<std::size_t>(o.a)];
+        const std::int32_t t_arm = o.b;
+        const std::int32_t f_arm = o.c;
+        o.super = SuperOp::kCmpBlend;
+        o.op2 = m.op;
+        o.a = m.a;
+        o.b = m.b;
+        o.imm = m.imm;
+        o.imm_side = m.imm_side;
+        o.c = t_arm;
+        o.d = f_arm;
+        ++cs_.fused;
+      }
+    }
+  }
+
+  // Second fusion round: widens kBinChain ops whose remaining row operand z
+  // is itself a single-use binary, folding a third op into the pass.  Two
+  // shapes (both preserve every rounded operation and its operand order):
+  //   * row-row chain + row-row z      -> kChainPair  (m op (c op3 d))
+  //   * imm-mul chain + imm-mul z      -> kWeighted   ((a*i1) op (b*i2))
+  // Runs on the compacted program so count_uses reflects the first round's
+  // rewiring.
+  void fuse_pairs() {
+    const std::vector<std::int32_t> uses = count_uses();
+    const std::int32_t n = cs_.num_slots();
+    for (std::int32_t i = 0; i < n; ++i) {
+      CompiledOp& o = cs_.ops[static_cast<std::size_t>(i)];
+      if (o.super != SuperOp::kBinChain || o.c < 0) continue;
+      const std::int32_t zs = o.c;
+      if (uses[static_cast<std::size_t>(zs)] != 1) continue;
+      const CompiledOp& z = cs_.ops[static_cast<std::size_t>(zs)];
+      if (z.super != SuperOp::kNone) continue;
+      if (o.imm_side == 0 && o.b >= 0) {
+        // Row-row inner pair; z must be a row-row fusable binary.
+        if (z.op != Op::kAdd && z.op != Op::kSub && z.op != Op::kMul &&
+            z.op != Op::kMin && z.op != Op::kMax)
+          continue;
+        if (z.imm_side != 0 || z.b < 0) continue;
+        o.super = SuperOp::kChainPair;
+        o.op3 = z.op;
+        o.c = z.a;
+        o.d = z.b;
+        ++cs_.fused;
+      } else if (o.op2 == Op::kMul && o.imm_side != 0 && o.b < 0) {
+        // Immediate-multiply inner; z must be an immediate multiply too.
+        if (z.op != Op::kMul || z.imm_side == 0) continue;
+        o.super = SuperOp::kWeighted;
+        o.b = z.a;
+        o.imm2 = z.imm;
+        o.imm2_side = z.imm_side;
+        o.c = -1;
+        ++cs_.fused;
+      }
+    }
+  }
+
   // Drops ops unreachable from the root (folding interns operand slots
-  // before the parent collapses, leaving dead constants behind) and
-  // renumbers the survivors.  Ops only reference smaller slots, so one
+  // before the parent collapses, leaving dead constants behind; superop
+  // fusion orphans the inner op it absorbed) and renumbers the survivors.
+  // Ops only reference smaller slots — fusion preserves this, since a fused
+  // op inherits the inner op's operands, which are smaller still — so one
   // decreasing marking pass suffices.
   void compact() {
     const std::size_t n = cs_.ops.size();
@@ -245,6 +410,7 @@ class StageCompiler {
       if (op.a >= 0) live[static_cast<std::size_t>(op.a)] = 1;
       if (op.b >= 0) live[static_cast<std::size_t>(op.b)] = 1;
       if (op.c >= 0) live[static_cast<std::size_t>(op.c)] = 1;
+      if (op.d >= 0) live[static_cast<std::size_t>(op.d)] = 1;
       if (op.op == Op::kLoad) {
         const CompiledLoad& cl = cs_.loads[static_cast<std::size_t>(op.load_id)];
         for (std::int32_t k = 0; k < cl.prank; ++k)
@@ -266,6 +432,7 @@ class StageCompiler {
       if (op.a >= 0) op.a = remap[static_cast<std::size_t>(op.a)];
       if (op.b >= 0) op.b = remap[static_cast<std::size_t>(op.b)];
       if (op.c >= 0) op.c = remap[static_cast<std::size_t>(op.c)];
+      if (op.d >= 0) op.d = remap[static_cast<std::size_t>(op.d)];
     }
     for (CompiledLoad& cl : cs_.loads)
       for (std::int32_t k = 0; k < cl.prank; ++k) {
@@ -274,6 +441,88 @@ class StageCompiler {
       }
     cs_.ops = std::move(kept);
     cs_.root = remap[static_cast<std::size_t>(cs_.root)];
+  }
+
+  // Maps op results onto a reusable pool of row registers via linear scan
+  // over the (topological) program order.  The destination register is
+  // allocated before the op's dying operands are released, so an op's
+  // output never aliases any of its inputs — kernels stay safe to annotate
+  // with `omp simd`.
+  //
+  // Constant rows and the innermost coordinate ramp are pinned: they always
+  // take a fresh register and are never released, because the row-reuse
+  // skip in eval_row leaves them unwritten after a tile's first row — any
+  // other op recycling their register would clobber them mid-tile.
+  void allocate_registers() {
+    const std::int32_t n = cs_.num_slots();
+    cs_.reg.assign(static_cast<std::size_t>(n), -1);
+    if (!opts_.reg_alloc) {
+      // Identity assignment: one row per op, the PR-baseline program shape
+      // (the root still writes the caller's row; its slot stays unused so
+      // the arena footprint matches the unallocated layout exactly).
+      for (std::int32_t i = 0; i < n; ++i)
+        if (i != cs_.root) cs_.reg[static_cast<std::size_t>(i)] = i;
+      cs_.num_regs = n;
+      return;
+    }
+    const std::int32_t last_dim = s_.rank() - 1;
+    std::vector<std::int32_t> last_use(static_cast<std::size_t>(n), -1);
+    std::vector<char> pinned(static_cast<std::size_t>(n), 0);
+    for (std::int32_t i = 0; i < n; ++i) {
+      const CompiledOp& o = cs_.ops[static_cast<std::size_t>(i)];
+      pinned[static_cast<std::size_t>(i)] =
+          o.op == Op::kConst || (o.op == Op::kCoord && o.dim == last_dim);
+    }
+    // Operands of op i, deduplicated (a slot used twice dies once).
+    std::int32_t opnd[2 + kMaxDims];
+    auto operands_of = [&](const CompiledOp& o) {
+      int cnt = 0;
+      auto add = [&](std::int32_t s) {
+        if (s < 0) return;
+        for (int k = 0; k < cnt; ++k)
+          if (opnd[k] == s) return;
+        opnd[cnt++] = s;
+      };
+      add(o.a);
+      add(o.b);
+      add(o.c);
+      add(o.d);
+      if (o.op == Op::kLoad) {
+        const CompiledLoad& cl =
+            cs_.loads[static_cast<std::size_t>(o.load_id)];
+        for (std::int32_t k = 0; k < cl.prank; ++k)
+          add(cl.axes[static_cast<std::size_t>(k)].dyn_slot);
+      }
+      return cnt;
+    };
+    for (std::int32_t i = 0; i < n; ++i) {
+      const int cnt = operands_of(cs_.ops[static_cast<std::size_t>(i)]);
+      for (int k = 0; k < cnt; ++k)
+        last_use[static_cast<std::size_t>(opnd[k])] = i;
+    }
+    std::vector<std::int32_t> free_regs;
+    std::int32_t next = 0;
+    for (std::int32_t i = 0; i < n; ++i) {
+      if (i != cs_.root) {
+        std::int32_t r;
+        if (!pinned[static_cast<std::size_t>(i)] && !free_regs.empty()) {
+          r = free_regs.back();
+          free_regs.pop_back();
+        } else {
+          r = next++;
+        }
+        cs_.reg[static_cast<std::size_t>(i)] = r;
+      }
+      const int cnt = operands_of(cs_.ops[static_cast<std::size_t>(i)]);
+      for (int k = 0; k < cnt; ++k) {
+        const std::int32_t s = opnd[k];
+        if (last_use[static_cast<std::size_t>(s)] == i &&
+            !pinned[static_cast<std::size_t>(s)] && s != cs_.root &&
+            cs_.reg[static_cast<std::size_t>(s)] >= 0)
+          free_regs.push_back(cs_.reg[static_cast<std::size_t>(s)]);
+      }
+    }
+    cs_.num_regs = next;
   }
 
   void fill_load(std::int32_t load_id) {
@@ -308,6 +557,7 @@ class StageCompiler {
   }
 
   const Stage& s_;
+  const CompileOptions opts_;
   CompiledStage cs_;
   std::vector<std::int32_t> slot_;
   std::map<VnKey, std::int32_t> vn_;
@@ -315,7 +565,9 @@ class StageCompiler {
 
 }  // namespace
 
-CompiledStage compile_stage(const Stage& s) { return StageCompiler(s).run(); }
+CompiledStage compile_stage(const Stage& s, const CompileOptions& opts) {
+  return StageCompiler(s, opts).run();
+}
 
 namespace {
 
@@ -402,9 +654,205 @@ RegionTemplate build_region_template(
   return t;
 }
 
-void CompiledRowEvaluator::eval_load(const CompiledLoad& cl,
-                                     const LoadSrc& src, bool clamped,
-                                     float* out) {
+namespace {
+
+// ---- SIMD superop kernels --------------------------------------------------
+//
+// One instantiation per operand shape, selected through a function-pointer
+// table so the hot loop contains no per-element dispatch.  All shape flags
+// are template parameters: the compiler sees straight-line loops it can
+// vectorize.  Default mode performs exactly the two rounded operations of
+// the unfused pair, in the same operand order; FMA instantiations contract
+// to one rounding and exist only behind ExecOptions::allow_fma.
+
+// Element operation of a fusable binary: exactly apply_binary's expression
+// for that op (std::min/std::max included), so a fused chain produces the
+// same bits as the two ops it replaced.
+template <Op O>
+inline float chain_bin(float a, float b) {
+  if constexpr (O == Op::kAdd)
+    return a + b;
+  else if constexpr (O == Op::kSub)
+    return a - b;
+  else if constexpr (O == Op::kMul)
+    return a * b;
+  else if constexpr (O == Op::kMin)
+    return std::min(a, b);
+  else
+    return std::max(a, b);
+}
+
+// dst = m op z (side 1) or z op m (side 2), m = inner OP2 of x with y/yimm.
+// YI: y is the immediate `yimm` (the inner op was in immediate form); YS2
+// mirrors the inner imm_side (imm OP2 x vs x OP2 imm — operand order
+// matters for NaN-payload propagation and for kSub).  ZI: z is the
+// immediate `zimm`; ZS2 mirrors super_side.  Each instantiation is one
+// straight-line loop with no per-element dispatch.
+template <Op OP2, bool YI, bool YS2, Op OP, bool ZI, bool ZS2>
+void chain_kernel(float* dst, const float* x, const float* y, float yimm,
+                  const float* z, float zimm, std::size_t n) {
+  FUSEDP_SIMD
+  for (std::size_t j = 0; j < n; ++j) {
+    const float xv = x[j];
+    const float yv = YI ? yimm : y[j];
+    const float m = YS2 ? chain_bin<OP2>(yv, xv) : chain_bin<OP2>(xv, yv);
+    const float zv = ZI ? zimm : z[j];
+    dst[j] = ZS2 ? chain_bin<OP>(zv, m) : chain_bin<OP>(m, zv);
+  }
+}
+
+using ChainFn = void (*)(float*, const float*, const float*, float,
+                         const float*, float, std::size_t);
+
+// Fusable chain ops; chain_op_index must agree with this order.
+constexpr Op kChainOps[5] = {Op::kAdd, Op::kSub, Op::kMul, Op::kMin,
+                             Op::kMax};
+
+inline int chain_op_index(Op op) {
+  switch (op) {
+    case Op::kAdd: return 0;
+    case Op::kSub: return 1;
+    case Op::kMul: return 2;
+    case Op::kMin: return 3;
+    default:       return 4;  // kMax
+  }
+}
+
+// Index layout: ((inner * 5) + outer) * 16 + bits, bits = YI | YS2<<1 |
+// ZI<<2 | ZS2<<3.
+template <std::size_t... I>
+constexpr std::array<ChainFn, sizeof...(I)> make_chain_table(
+    std::index_sequence<I...>) {
+  return {{&chain_kernel<kChainOps[I / 80], (I & 1) != 0, (I & 2) != 0,
+                         kChainOps[(I / 16) % 5], (I & 4) != 0,
+                         (I & 8) != 0>...}};
+}
+
+constexpr std::array<ChainFn, 400> kChainKernels =
+    make_chain_table(std::make_index_sequence<400>{});
+
+// dst = (x OP2 y) OP (z OP3 w), outer operands swapped under ZS2 — the
+// pair-pair superop, all row operands.
+template <Op OP2, Op OP, bool ZS2, Op OP3>
+void chainpair_kernel(float* dst, const float* x, const float* y,
+                      const float* z, const float* w, std::size_t n) {
+  FUSEDP_SIMD
+  for (std::size_t j = 0; j < n; ++j) {
+    const float m = chain_bin<OP2>(x[j], y[j]);
+    const float p = chain_bin<OP3>(z[j], w[j]);
+    dst[j] = ZS2 ? chain_bin<OP>(p, m) : chain_bin<OP>(m, p);
+  }
+}
+
+using ChainPairFn = void (*)(float*, const float*, const float*,
+                             const float*, const float*, std::size_t);
+
+// Index layout: ((inner * 5 + outer) * 5 + second) * 2 + ZS2.
+template <std::size_t... I>
+constexpr std::array<ChainPairFn, sizeof...(I)> make_chainpair_table(
+    std::index_sequence<I...>) {
+  return {{&chainpair_kernel<kChainOps[I / 50], kChainOps[(I / 10) % 5],
+                             (I & 1) != 0, kChainOps[(I / 2) % 5]>...}};
+}
+
+constexpr std::array<ChainPairFn, 250> kChainPairKernels =
+    make_chainpair_table(std::make_index_sequence<250>{});
+
+// dst = (x*i1) OP (y*i2) with each multiply's immediate side (MS1/MS2: imm
+// on the left) preserved for NaN-payload order; S2 swaps the outer
+// operands.
+template <Op OP, bool MS1, bool MS2, bool S2>
+void weighted_kernel(float* dst, const float* x, float i1, const float* y,
+                     float i2, std::size_t n) {
+  FUSEDP_SIMD
+  for (std::size_t j = 0; j < n; ++j) {
+    const float m = MS1 ? i1 * x[j] : x[j] * i1;
+    const float w = MS2 ? i2 * y[j] : y[j] * i2;
+    dst[j] = S2 ? chain_bin<OP>(w, m) : chain_bin<OP>(m, w);
+  }
+}
+
+using WeightedFn = void (*)(float*, const float*, float, const float*, float,
+                            std::size_t);
+
+// Index layout: outer * 8 + (MS1 | MS2<<1 | S2<<2).
+template <std::size_t... I>
+constexpr std::array<WeightedFn, sizeof...(I)> make_weighted_table(
+    std::index_sequence<I...>) {
+  return {{&weighted_kernel<kChainOps[I / 8], (I & 1) != 0, (I & 2) != 0,
+                            (I & 4) != 0>...}};
+}
+
+constexpr std::array<WeightedFn, 40> kWeightedKernels =
+    make_weighted_table(std::make_index_sequence<40>{});
+
+// allow_fma contraction of a mul→add/sub chain: one rounding instead of
+// two.  The inner operand order (YS2) cannot affect the fma value, so only
+// YI/ZI/ZS2/SUB instantiate.
+template <bool YI, bool ZI, bool ZS2, bool SUB>
+void fma_kernel(float* dst, const float* x, const float* y, float yimm,
+                const float* z, float zimm, std::size_t n) {
+  FUSEDP_SIMD
+  for (std::size_t j = 0; j < n; ++j) {
+    const float xv = x[j];
+    const float yv = YI ? yimm : y[j];
+    const float zv = ZI ? zimm : z[j];
+    if constexpr (!SUB)
+      dst[j] = std::fma(xv, yv, zv);
+    else if constexpr (!ZS2)
+      dst[j] = std::fma(xv, yv, -zv);  // m - z
+    else
+      dst[j] = std::fma(-xv, yv, zv);  // z - m
+  }
+}
+
+template <std::size_t... I>
+constexpr std::array<ChainFn, sizeof...(I)> make_fma_table(
+    std::index_sequence<I...>) {
+  return {{&fma_kernel<(I & 1) != 0, (I & 2) != 0, (I & 4) != 0,
+                       (I & 8) != 0>...}};
+}
+
+constexpr std::array<ChainFn, 16> kFmaKernels =
+    make_fma_table(std::make_index_sequence<16>{});
+
+// dst = cmp(l, r) ? t : f.  IS mirrors imm_side of the fused comparison:
+// 0 row-row, 1 row-imm, 2 imm-row.  Selecting on the comparison directly is
+// bit-identical to materializing the 0/1 row and testing != 0.
+template <Op CMP, int IS>
+void blend_kernel(float* dst, const float* a, const float* b, float imm,
+                  const float* t, const float* f, std::size_t n) {
+  FUSEDP_SIMD
+  for (std::size_t j = 0; j < n; ++j) {
+    const float l = IS == 2 ? imm : a[j];
+    const float r = IS == 1 ? imm : (IS == 2 ? a[j] : b[j]);
+    bool c;
+    if constexpr (CMP == Op::kLt)
+      c = l < r;
+    else if constexpr (CMP == Op::kLe)
+      c = l <= r;
+    else
+      c = l == r;
+    dst[j] = c ? t[j] : f[j];
+  }
+}
+
+template <Op CMP>
+void blend_dispatch(int is, float* dst, const float* a, const float* b,
+                    float imm, const float* t, const float* f, std::size_t n) {
+  if (is == 0)
+    blend_kernel<CMP, 0>(dst, a, b, imm, t, f, n);
+  else if (is == 1)
+    blend_kernel<CMP, 1>(dst, a, b, imm, t, f, n);
+  else
+    blend_kernel<CMP, 2>(dst, a, b, imm, t, f, n);
+}
+
+}  // namespace
+
+const float* CompiledRowEvaluator::eval_load(const CompiledLoad& cl,
+                                             const LoadSrc& src, bool clamped,
+                                             float* out, bool may_forward) {
   const int prank = cl.prank;
 
   if (!clamped) {
@@ -421,8 +869,9 @@ void CompiledRowEvaluator::eval_load(const CompiledLoad& cl,
     }
     if (cl.vary_axis < 0) {
       const float v = src.view.at(c);
+      FUSEDP_SIMD
       for (std::size_t i = 0; i < n_; ++i) out[i] = v;
-      return;
+      return out;
     }
     const CompiledAxis& vm = cl.axes[static_cast<std::size_t>(cl.vary_axis)];
     const std::int64_t stride = src.view.stride[cl.vary_axis];
@@ -430,21 +879,52 @@ void CompiledRowEvaluator::eval_load(const CompiledLoad& cl,
       c[cl.vary_axis] = y0_ + vm.offset;
       const float* p = src.view.data + src.view.offset_of(c);
       if (stride == 1) {
+        // Contiguous interior row: forward the producer's storage directly
+        // — consumers read through the per-slot row pointer, so no copy is
+        // needed at all (the root still copies: it must write `out`).
+        if (may_forward) return p;
         std::memcpy(out, p, n_ * sizeof(float));
       } else {
+        FUSEDP_SIMD
         for (std::size_t i = 0; i < n_; ++i)
           out[i] = p[static_cast<std::int64_t>(i) * stride];
       }
-      return;
+      return out;
     }
     // Scaled gather: the varying coordinate is factored out of the flat
     // offset and advanced without per-element division.
     c[cl.vary_axis] = 0;
     const float* p0 = src.view.data + src.view.offset_of(c);
+    if (vec_) {
+      // Closed-form index kernels for the dominant scalings: the element
+      // index is a direct function of i, so the loop has no carried state
+      // and vectorizes.  The integer indices are exactly the stepper's.
+      if (vm.den == 1) {
+        // Pure stride: index = y*num + pre + offset.
+        const float* p = p0 + (y0_ * vm.num + vm.pre + vm.offset) * stride;
+        const std::int64_t st = vm.num * stride;
+        FUSEDP_SIMD
+        for (std::size_t i = 0; i < n_; ++i)
+          out[i] = p[static_cast<std::int64_t>(i) * st];
+        return out;
+      }
+      if (vm.num == 1 && vm.den == 2) {
+        // Halving (pyramid downscale taps): index = floor((y+pre)/2)+offset
+        // = q0 + (i + r0)/2 with r0 in {0, 1}.
+        const std::int64_t t0 = y0_ + vm.pre;
+        const std::int64_t q0 = floor_div(t0, 2);
+        const std::size_t r0 = static_cast<std::size_t>(t0 - 2 * q0);
+        const float* p = p0 + (q0 + vm.offset) * stride;
+        FUSEDP_SIMD
+        for (std::size_t i = 0; i < n_; ++i)
+          out[i] = p[static_cast<std::int64_t>((i + r0) >> 1) * stride];
+        return out;
+      }
+    }
     AffineStepper coord(y0_, vm.num, vm.den, vm.pre, vm.offset);
     for (std::size_t i = 0; i < n_; ++i, coord.step())
       out[i] = p0[coord.value() * stride];
-    return;
+    return out;
   }
 
   if (cl.border != Border::kClamp) {
@@ -453,7 +933,7 @@ void CompiledRowEvaluator::eval_load(const CompiledLoad& cl,
     const float* dyn[kMaxDims] = {nullptr, nullptr, nullptr, nullptr};
     for (int k = 0; k < prank; ++k)
       if (cl.axes[static_cast<std::size_t>(k)].kind == AxisMap::Kind::kDynamic)
-        dyn[k] = slot_row(cl.axes[static_cast<std::size_t>(k)].dyn_slot);
+        dyn[k] = row(cl.axes[static_cast<std::size_t>(k)].dyn_slot);
     std::int64_t c[kMaxDims];
     for (std::size_t i = 0; i < n_; ++i) {
       const std::int64_t y = y0_ + static_cast<std::int64_t>(i);
@@ -478,7 +958,7 @@ void CompiledRowEvaluator::eval_load(const CompiledLoad& cl,
       }
       out[i] = zero ? 0.0f : src.view.at(c);
     }
-    return;
+    return out;
   }
 
   // Clamp-to-edge: fixed coordinates once per row, then the varying /
@@ -492,7 +972,7 @@ void CompiledRowEvaluator::eval_load(const CompiledLoad& cl,
         fixed[k] = clamp_i64(m.offset, src.domain.lo[k], src.domain.hi[k]);
         break;
       case AxisMap::Kind::kDynamic:
-        dyn_rows[k] = slot_row(m.dyn_slot);
+        dyn_rows[k] = row(m.dyn_slot);
         break;
       case AxisMap::Kind::kAffine:
         if (!m.varies_row) {
@@ -533,6 +1013,7 @@ void CompiledRowEvaluator::eval_load(const CompiledLoad& cl,
         if (stride == 1) {
           std::memcpy(out + pre, p, body * sizeof(float));
         } else {
+          FUSEDP_SIMD
           for (std::size_t i = 0; i < body; ++i)
             out[static_cast<std::size_t>(pre) + i] =
                 p[static_cast<std::int64_t>(i) * stride];
@@ -545,7 +1026,7 @@ void CompiledRowEvaluator::eval_load(const CompiledLoad& cl,
              ++i)
           out[i] = hi_val;
       }
-      return;
+      return out;
     }
     // Scaled gather along the row (up/down-sampling): factor the varying
     // coordinate out of the flat offset and advance it division-free.
@@ -556,17 +1037,70 @@ void CompiledRowEvaluator::eval_load(const CompiledLoad& cl,
     const std::int64_t stride = src.view.stride[cl.vary_axis];
     c[cl.vary_axis] = 0;
     const float* p0 = src.view.data + src.view.offset_of(c);
+    if (vec_ && vm.num > 0) {
+      // The index is non-decreasing in i, so the row splits into a
+      // clamped-to-lo prefix, a clamp-free interior and a clamped-to-hi
+      // suffix; the interior takes the same closed-form kernels as the
+      // unclamped path.  Segment bounds invert the exact index formula, so
+      // every element reads the same producer cell the clamping loop would.
+      std::int64_t i_lo = 0, i_hi1 = 0;
+      bool closed = false;
+      if (vm.den == 1) {
+        const std::int64_t k0 = vm.pre + vm.offset;
+        i_lo = ceil_div(plo - k0, vm.num) - y0_;
+        i_hi1 = floor_div(phi - k0, vm.num) - y0_ + 1;
+        closed = true;
+      } else if (vm.num == 1 && vm.den == 2) {
+        i_lo = 2 * (plo - vm.offset) - y0_ - vm.pre;
+        i_hi1 = 2 * (phi - vm.offset) + 1 - y0_ - vm.pre + 1;
+        closed = true;
+      }
+      if (closed) {
+        const std::int64_t nn = static_cast<std::int64_t>(n_);
+        i_lo = std::clamp<std::int64_t>(i_lo, 0, nn);
+        i_hi1 = std::clamp<std::int64_t>(i_hi1, i_lo, nn);
+        if (i_lo > 0) {
+          const float lo_val = p0[plo * stride];
+          for (std::int64_t i = 0; i < i_lo; ++i) out[i] = lo_val;
+        }
+        if (vm.den == 1) {
+          const float* p =
+              p0 + ((y0_ + i_lo) * vm.num + vm.pre + vm.offset) * stride;
+          const std::int64_t st = vm.num * stride;
+          const std::int64_t body = i_hi1 - i_lo;
+          float* outb = out + i_lo;
+          FUSEDP_SIMD
+          for (std::int64_t i = 0; i < body; ++i) outb[i] = p[i * st];
+        } else {
+          const std::int64_t t0 = y0_ + i_lo + vm.pre;
+          const std::int64_t q0 = floor_div(t0, 2);
+          const std::int64_t r0 = t0 - 2 * q0;
+          const float* p = p0 + (q0 + vm.offset) * stride;
+          const std::int64_t body = i_hi1 - i_lo;
+          float* outb = out + i_lo;
+          FUSEDP_SIMD
+          for (std::int64_t i = 0; i < body; ++i)
+            outb[i] = p[((i + r0) >> 1) * stride];
+        }
+        if (i_hi1 < nn) {
+          const float hi_val = p0[phi * stride];
+          for (std::int64_t i = i_hi1; i < nn; ++i) out[i] = hi_val;
+        }
+        return out;
+      }
+    }
     AffineStepper coord(y0_, vm.num, vm.den, vm.pre, vm.offset);
     for (std::size_t i = 0; i < n_; ++i, coord.step())
       out[i] = p0[clamp_i64(coord.value(), plo, phi) * stride];
-    return;
+    return out;
   }
 
   if (!cl.any_dynamic) {
     // Every axis fixed: broadcast one element.
     const float v = src.view.at(fixed);
+    FUSEDP_SIMD
     for (std::size_t i = 0; i < n_; ++i) out[i] = v;
-    return;
+    return out;
   }
 
   // General gather with dynamic axes.  The fixed axes are folded into one
@@ -597,6 +1131,43 @@ void CompiledRowEvaluator::eval_load(const CompiledLoad& cl,
     }
   }
   const float* p0 = src.view.data + src.view.offset_of(c);
+  if (vec_) {
+    // Loop interchange: one branchless pass per active axis accumulates the
+    // flat offsets into a scratch row, then a single tight gather reads the
+    // producer.  Index math (floor, clamp, strides) is element-for-element
+    // the same as the fallback loop below.
+    offs_.resize(n_);
+    std::int64_t* off = offs_.data();
+    for (int t = 0; t < nact; ++t) {
+      const ActiveAxis& a = act[t];
+      const std::int64_t lo = a.lo, hi = a.hi, st = a.stride;
+      if (a.dyn) {
+        const float* d = a.dyn;
+        FUSEDP_SIMD
+        for (std::size_t i = 0; i < n_; ++i) {
+          std::int64_t v = static_cast<std::int64_t>(std::floor(d[i]));
+          v = v < lo ? lo : (v > hi ? hi : v);
+          off[i] = (t == 0 ? 0 : off[i]) + v * st;
+        }
+      } else if (a.den == 1) {
+        const std::int64_t k0 = a.pre + a.offset;
+        FUSEDP_SIMD
+        for (std::size_t i = 0; i < n_; ++i) {
+          std::int64_t v = (y0_ + static_cast<std::int64_t>(i)) * a.num + k0;
+          v = v < lo ? lo : (v > hi ? hi : v);
+          off[i] = (t == 0 ? 0 : off[i]) + v * st;
+        }
+      } else {
+        AffineStepper coord(y0_, a.num, a.den, a.pre, a.offset);
+        for (std::size_t i = 0; i < n_; ++i, coord.step()) {
+          const std::int64_t v = clamp_i64(coord.value(), lo, hi);
+          off[i] = (t == 0 ? 0 : off[i]) + v * st;
+        }
+      }
+    }
+    for (std::size_t i = 0; i < n_; ++i) out[i] = p0[off[i]];
+    return out;
+  }
   for (std::size_t i = 0; i < n_; ++i) {
     const std::int64_t y = y0_ + static_cast<std::int64_t>(i);
     std::int64_t off = 0;
@@ -609,22 +1180,28 @@ void CompiledRowEvaluator::eval_load(const CompiledLoad& cl,
     }
     out[i] = p0[off];
   }
+  return out;
 }
 
 void CompiledRowEvaluator::eval_row(const CompiledStage& cs,
                                     const StageEvalCtx& ctx,
                                     const unsigned char* load_clamped,
                                     const std::int64_t* base, std::int64_t y0,
-                                    std::int64_t y1, float* out) {
+                                    std::int64_t y1, float* out,
+                                    bool allow_fma) {
   n_ = static_cast<std::size_t>(y1 - y0 + 1);
   base_ = base;
   y0_ = y0;
-  stride_ = n_;
-  rows_ = arena_.ensure(cs.ops.size() * n_);
+  vec_ = cs.vector_loads;
+  stride_ = pad_row_floats(n_);
+  rows_ = arena_.ensure(static_cast<std::size_t>(cs.num_regs) * stride_);
+  rowp_.resize(cs.ops.size());
 
   // Constant rows and the innermost coordinate ramp only depend on (stage,
   // n, y0): within one tile they are identical for every row, so fill them
-  // once on the tile's first row and skip them afterwards.
+  // once on the tile's first row and skip them afterwards.  Their registers
+  // are pinned by the allocator, so nothing overwrites them mid-tile; a
+  // different stage running in between invalidates the key (last_cs_).
   const bool reuse = &cs == last_cs_ && rows_ == last_rows_ &&
                      n_ == last_n_ && y0 == last_y0_;
   last_cs_ = &cs;
@@ -632,86 +1209,169 @@ void CompiledRowEvaluator::eval_row(const CompiledStage& cs,
   last_n_ = n_;
   last_y0_ = y0;
 
-  const int nops = cs.num_slots();
+  const std::int32_t nops = cs.num_slots();
   const std::int32_t root = cs.root;
   const int last = ctx.stage->rank() - 1;
   for (std::int32_t i = 0; i < nops; ++i) {
     const CompiledOp& o = cs.ops[static_cast<std::size_t>(i)];
     // The root writes straight into the caller's row; no reachable op
     // consumes the root's value (it would have to be its own ancestor).
-    float* dst = i == root ? out
-                           : rows_ + static_cast<std::size_t>(i) * stride_;
+    float* dst =
+        i == root
+            ? out
+            : rows_ + static_cast<std::size_t>(cs.reg[static_cast<std::size_t>(
+                          i)]) * stride_;
+    rowp_[static_cast<std::size_t>(i)] = dst;
+
+    if (o.super == SuperOp::kBinChain) {
+      const float* x = row(o.a);
+      const float* y = o.b >= 0 ? row(o.b) : nullptr;
+      const float* z = o.c >= 0 ? row(o.c) : nullptr;
+      if (allow_fma && o.op2 == Op::kMul &&
+          (o.op == Op::kAdd || o.op == Op::kSub)) {
+        const unsigned key = (o.b < 0 ? 1u : 0u) | (o.c < 0 ? 2u : 0u) |
+                             (o.super_side == 2 ? 4u : 0u) |
+                             (o.op == Op::kSub ? 8u : 0u);
+        kFmaKernels[key](dst, x, y, o.imm, z, o.imm2, n_);
+      } else {
+        const unsigned key =
+            static_cast<unsigned>(
+                (chain_op_index(o.op2) * 5 + chain_op_index(o.op)) * 16) |
+            (o.b < 0 ? 1u : 0u) | (o.imm_side == 2 ? 2u : 0u) |
+            (o.c < 0 ? 4u : 0u) | (o.super_side == 2 ? 8u : 0u);
+        kChainKernels[key](dst, x, y, o.imm, z, o.imm2, n_);
+      }
+      continue;
+    }
+    if (o.super == SuperOp::kChainPair) {
+      const unsigned key =
+          static_cast<unsigned>(((chain_op_index(o.op2) * 5 +
+                                  chain_op_index(o.op)) *
+                                     5 +
+                                 chain_op_index(o.op3)) *
+                                2) |
+          (o.super_side == 2 ? 1u : 0u);
+      kChainPairKernels[key](dst, row(o.a), row(o.b), row(o.c), row(o.d),
+                             n_);
+      continue;
+    }
+    if (o.super == SuperOp::kWeighted) {
+      const unsigned key =
+          static_cast<unsigned>(chain_op_index(o.op) * 8) |
+          (o.imm_side == 2 ? 1u : 0u) | (o.imm2_side == 2 ? 2u : 0u) |
+          (o.super_side == 2 ? 4u : 0u);
+      kWeightedKernels[key](dst, row(o.a), o.imm, row(o.b), o.imm2, n_);
+      continue;
+    }
+    if (o.super == SuperOp::kCmpBlend) {
+      const float* a = row(o.a);
+      const float* b = o.b >= 0 ? row(o.b) : nullptr;
+      const float* t = row(o.c);
+      const float* f = row(o.d);
+      const int is = o.imm_side;
+      if (o.op2 == Op::kLt)
+        blend_dispatch<Op::kLt>(is, dst, a, b, o.imm, t, f, n_);
+      else if (o.op2 == Op::kLe)
+        blend_dispatch<Op::kLe>(is, dst, a, b, o.imm, t, f, n_);
+      else
+        blend_dispatch<Op::kEq>(is, dst, a, b, o.imm, t, f, n_);
+      continue;
+    }
+
     switch (o.op) {
       case Op::kConst:
         if (reuse && i != root) break;
+        FUSEDP_SIMD
         for (std::size_t j = 0; j < n_; ++j) dst[j] = o.imm;
         break;
       case Op::kCoord:
         if (o.dim == last) {
           if (reuse && i != root) break;
+          FUSEDP_SIMD
           for (std::size_t j = 0; j < n_; ++j)
             dst[j] = static_cast<float>(y0 + static_cast<std::int64_t>(j));
         } else {
           const float v = static_cast<float>(base[o.dim]);
+          FUSEDP_SIMD
           for (std::size_t j = 0; j < n_; ++j) dst[j] = v;
         }
         break;
       case Op::kLoad:
-        eval_load(cs.loads[static_cast<std::size_t>(o.load_id)],
-                  ctx.srcs[static_cast<std::size_t>(o.load_id)],
-                  load_clamped[o.load_id] != 0, dst);
+        rowp_[static_cast<std::size_t>(i)] =
+            eval_load(cs.loads[static_cast<std::size_t>(o.load_id)],
+                      ctx.srcs[static_cast<std::size_t>(o.load_id)],
+                      load_clamped[o.load_id] != 0, dst,
+                      /*may_forward=*/cs.vector_loads && i != root);
         break;
       case Op::kSelect: {
-        const float* a = slot_row(o.a);
-        const float* b = slot_row(o.b);
-        const float* c = slot_row(o.c);
+        const float* a = row(o.a);
+        const float* b = row(o.b);
+        const float* c = row(o.c);
+        FUSEDP_SIMD
         for (std::size_t j = 0; j < n_; ++j)
           dst[j] = a[j] != 0.0f ? b[j] : c[j];
         break;
       }
+// SIMD-safe unary ops; kExp/kLog stay unannotated so the compiler keeps the
+// scalar libm calls (bit-exactness policy: no vector math library).
 #define FUSEDP_UNARY_CASE(OP)                                              \
   case Op::OP: {                                                           \
-    const float* a = slot_row(o.a);                                        \
+    const float* a = row(o.a);                                             \
+    FUSEDP_SIMD                                                            \
+    for (std::size_t j = 0; j < n_; ++j)                                   \
+      dst[j] = apply_unary(Op::OP, a[j]);                                  \
+  } break;
+#define FUSEDP_UNARY_CASE_LIBM(OP)                                         \
+  case Op::OP: {                                                           \
+    const float* a = row(o.a);                                             \
     for (std::size_t j = 0; j < n_; ++j)                                   \
       dst[j] = apply_unary(Op::OP, a[j]);                                  \
   } break;
       FUSEDP_UNARY_CASE(kNeg)
       FUSEDP_UNARY_CASE(kAbs)
       FUSEDP_UNARY_CASE(kSqrt)
-      FUSEDP_UNARY_CASE(kExp)
-      FUSEDP_UNARY_CASE(kLog)
+      FUSEDP_UNARY_CASE_LIBM(kExp)
+      FUSEDP_UNARY_CASE_LIBM(kLog)
       FUSEDP_UNARY_CASE(kFloor)
 #undef FUSEDP_UNARY_CASE
-#define FUSEDP_BINARY_CASE(OP)                                             \
+#undef FUSEDP_UNARY_CASE_LIBM
+#define FUSEDP_BINARY_BODY(OP, SIMD_PRAGMA)                                \
   case Op::OP: {                                                           \
-    const float* a = slot_row(o.a);                                        \
+    const float* a = row(o.a);                                             \
     if (o.imm_side == 0) {                                                 \
-      const float* b = slot_row(o.b);                                      \
+      const float* b = row(o.b);                                           \
+      SIMD_PRAGMA                                                          \
       for (std::size_t j = 0; j < n_; ++j)                                 \
         dst[j] = apply_binary(Op::OP, a[j], b[j]);                         \
     } else if (o.imm_side == 1) {                                          \
       const float im = o.imm;                                              \
+      SIMD_PRAGMA                                                          \
       for (std::size_t j = 0; j < n_; ++j)                                 \
         dst[j] = apply_binary(Op::OP, a[j], im);                           \
     } else {                                                               \
       const float im = o.imm;                                              \
+      SIMD_PRAGMA                                                          \
       for (std::size_t j = 0; j < n_; ++j)                                 \
         dst[j] = apply_binary(Op::OP, im, a[j]);                           \
     }                                                                      \
   } break;
+#define FUSEDP_BINARY_CASE(OP) FUSEDP_BINARY_BODY(OP, FUSEDP_SIMD)
+#define FUSEDP_BINARY_CASE_LIBM(OP) FUSEDP_BINARY_BODY(OP, )
       FUSEDP_BINARY_CASE(kAdd)
       FUSEDP_BINARY_CASE(kSub)
       FUSEDP_BINARY_CASE(kMul)
       FUSEDP_BINARY_CASE(kDiv)
       FUSEDP_BINARY_CASE(kMin)
       FUSEDP_BINARY_CASE(kMax)
-      FUSEDP_BINARY_CASE(kPow)
+      FUSEDP_BINARY_CASE_LIBM(kPow)
       FUSEDP_BINARY_CASE(kLt)
       FUSEDP_BINARY_CASE(kLe)
       FUSEDP_BINARY_CASE(kEq)
       FUSEDP_BINARY_CASE(kAnd)
       FUSEDP_BINARY_CASE(kOr)
 #undef FUSEDP_BINARY_CASE
+#undef FUSEDP_BINARY_CASE_LIBM
+#undef FUSEDP_BINARY_BODY
     }
   }
 }

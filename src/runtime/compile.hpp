@@ -11,6 +11,22 @@
 //    common-subexpression elimination and dead-node elimination, plus a
 //    load table whose per-axis structure (fixed / row-varying / dynamic,
 //    scale, offsets) is classified up front.
+//  * A superop fusion pass peephole-fuses adjacent ops into wider kernels:
+//    a single-use binary op from {add, sub, mul, min, max} feeding another
+//    becomes one fused two-op pass (SuperOp::kBinChain — the canonical
+//    instance is mul feeding add: a multiply-accumulate), and a single-use
+//    comparison feeding a kSelect condition becomes one compare-and-blend
+//    pass (SuperOp::kCmpBlend).  Default-mode superops are IEEE-bit-identical
+//    to the unfused ops (the multiply and the accumulate stay two rounded
+//    operations; the whole build compiles with -ffp-contract=off).  True
+//    FMA contraction changes rounding and is therefore opt-in only, via
+//    ExecOptions::allow_fma.
+//  * Linear-scan row-register allocation maps op results onto a small
+//    reusable pool of 64-byte-aligned, cache-line-padded row registers
+//    carved from one arena, instead of one full row per op.  The per-row
+//    working set of a stage shrinks to a handful of L1-resident rows.
+//    Constant rows and the innermost coordinate ramp are pinned (their
+//    registers are never recycled) so they can be filled once per tile.
 //  * build_region_template() precomputes a group's per-tile regions once:
 //    all full (non-cleanup) tiles of a group have identical owned/required
 //    shapes up to translation whenever every member dimension's tile step
@@ -20,7 +36,8 @@
 //  * CompiledRowEvaluator executes the linear program one innermost-dim row
 //    at a time.  Each load dispatches on a per-tile mask to either the
 //    exact border-folding kernel or an unclamped interior kernel with no
-//    per-element min/max.
+//    per-element min/max; unclamped stride-1 identity loads are forwarded
+//    as direct pointers into the producer's data (no copy at all).
 //
 // Everything here is bit-identical to eval_scalar_at by construction
 // (folding uses the same apply_unary/apply_binary the interpreter uses);
@@ -33,11 +50,37 @@
 
 #include "analysis/regions.hpp"
 #include "runtime/eval.hpp"
+#include "support/vec.hpp"
 
 namespace fusedp {
 
-// One op of a linearized stage program.  Operand fields `a`/`b`/`c` are op
-// slots (indices into CompiledStage::ops), not ExprRefs.
+// Fused two-op kernels formed by the peephole pass over the linear program.
+enum class SuperOp : std::uint8_t {
+  kNone = 0,
+  // Fused binary chain: dst = m ⊕ z (super_side 1) or z ⊕ m (super_side
+  // 2), where ⊕ is `op` and m is the fused inner binary `op2` of `a` with
+  // `b` (row) or `imm` (imm_side relative to the inner op).  z is row `c`,
+  // or the immediate `imm2` when c < 0.  Both ops come from {add, sub, mul,
+  // min, max}; the canonical instance is the multiply-accumulate
+  // (op2 = mul, op = add/sub), the only combination allow_fma contracts.
+  kBinChain,
+  // Fused pair-pair: dst = (a op2 b) op (c op3 d) — super_side 2 swaps the
+  // outer operands.  Formed by upgrading a row-row kBinChain whose
+  // remaining row operand is itself a single-use row-row binary (e.g.
+  // Sxx*Syy - Sxy*Sxy evaluates in one pass).
+  kChainPair,
+  // Fused weighted pair: dst = (a*imm) op (b*imm2), each multiply's
+  // immediate side in imm_side / imm2_side.  The backbone of weighted taps
+  // (c1*u + c2*v) in pyramid/interpolate-style stages.
+  kWeighted,
+  // Compare-and-blend: dst = cmp(l, r) ? c : d, where cmp is `op2` (kLt /
+  // kLe / kEq) over row `a` and row `b` or `imm` (imm_side relative to the
+  // comparison).
+  kCmpBlend,
+};
+
+// One op of a linearized stage program.  Operand fields `a`/`b`/`c`/`d` are
+// op slots (indices into CompiledStage::ops), not ExprRefs.
 //
 // Binary ops with one constant operand are emitted in immediate form: the
 // row operand sits in `a`, the constant in `imm`, and `imm_side` records
@@ -47,13 +90,21 @@ namespace fusedp {
 // reads of such ops.
 struct CompiledOp {
   Op op = Op::kConst;
+  Op op2 = Op::kConst;  // kBinChain: inner op; kCmpBlend: the comparison
+  Op op3 = Op::kConst;  // kChainPair: the second pair's op
+  SuperOp super = SuperOp::kNone;
   float imm = 0.0f;
+  float imm2 = 0.0f;  // kBinChain: immediate outer operand (c < 0);
+                      // kWeighted: the second multiply's immediate
   std::int32_t a = -1;
   std::int32_t b = -1;
   std::int32_t c = -1;
+  std::int32_t d = -1;        // kCmpBlend: false arm
   std::int32_t dim = -1;      // kCoord: dimension index
   std::int32_t load_id = -1;  // kLoad: index into CompiledStage::loads
   std::uint8_t imm_side = 0;  // 0: none, 1: dst = a op imm, 2: dst = imm op a
+  std::uint8_t imm2_side = 0;   // kWeighted: imm side of the second multiply
+  std::uint8_t super_side = 0;  // kBinChain: which side the inner op occupies
 };
 
 // Compile-time classification of one producer axis of a load.
@@ -86,19 +137,41 @@ struct CompiledStage {
   // Indexed like Stage::loads; entries for loads unreachable from the body
   // stay default-initialized and are never evaluated.
   std::vector<CompiledLoad> loads;
+  // Row-register assignment: reg[i] is the register op i writes, -1 for the
+  // root (it writes the caller's row).  num_regs is the pool size; without
+  // register allocation the assignment is the identity (one row per op).
+  std::vector<std::int32_t> reg;
+  std::int32_t num_regs = 0;
+  // Enable the vectorized interior load kernels: unclamped stride-1
+  // identity loads forward direct producer pointers instead of copying,
+  // and the common scalings (den==1 strided, num==1/den==2 halving) take
+  // closed-form SIMD gathers instead of the serial incremental stepper.
+  // The index math is identical either way, so loaded bits are identical.
+  bool vector_loads = false;
 
   // Compilation statistics (tests + plan printing).
   std::int32_t source_nodes = 0;  // arena nodes before lowering
   std::int32_t folded = 0;        // ops removed by constant folding
   std::int32_t cse_hits = 0;      // ops removed as common subexpressions
+  std::int32_t fused = 0;         // superops formed by the peephole pass
 
   int num_slots() const { return static_cast<int>(ops.size()); }
   bool valid() const { return root >= 0; }
 };
 
+// Backend selection for compile_stage/lower.  The default produces the
+// vectorized backend (superop fusion + row-register allocation); disabling
+// both reproduces the plain one-row-per-op program, kept as the A/B
+// baseline for bench_vector.  Outputs are bit-identical either way.
+struct CompileOptions {
+  bool fuse_superops = true;
+  bool reg_alloc = true;
+  bool vector_loads = true;  // forwarding + closed-form interior gathers
+};
+
 // Lowers `s` (kMap only; reductions have no body and yield an invalid
 // CompiledStage).
-CompiledStage compile_stage(const Stage& s);
+CompiledStage compile_stage(const Stage& s, const CompileOptions& opts = {});
 
 // Per-group template of the overlapped-tiling regions, computed once at
 // plan time for the nominal full tile at the grid origin (unclamped).
@@ -118,32 +191,16 @@ RegionTemplate build_region_template(const Pipeline& pl, NodeSet stages,
                                      const std::vector<std::int64_t>& tile_sizes,
                                      const std::vector<std::int64_t>& tiles_per_dim);
 
-// Growth-only scratch: reallocation never copies or zero-fills.  Safe for
-// the executor because every element of a tile's required region is written
-// by the evaluator before anything reads it.
-class ScratchArena {
- public:
-  float* ensure(std::size_t n) {
-    if (n > cap_) {
-      data_.reset();  // free before allocating the replacement
-      data_ = std::make_unique_for_overwrite<float[]>(n);
-      cap_ = n;
-    }
-    return data_.get();
-  }
-  float* data() { return data_.get(); }
-  std::size_t capacity() const { return cap_; }
-
- private:
-  std::unique_ptr<float[]> data_;
-  std::size_t cap_ = 0;
-};
-
 // Executes a CompiledStage one innermost-dimension row at a time.
 // `load_clamped[i]` selects, per load, the exact border-folding kernel (1)
 // or the unclamped interior kernel (0); the executor passes 0 only when the
 // load's access box over the evaluated region provably stays inside the
 // producer's domain, so both kernels read identical data.
+//
+// `allow_fma` contracts mul→add/sub kBinChain superops into a single fused
+// multiply-add (one rounding instead of two).  Off (the default) keeps
+// results bit-identical to eval_scalar_at; on, results differ by at most
+// the removed intermediate rounding per fused op.
 class CompiledRowEvaluator {
  public:
   // Evaluates over {base[0..rank-2] fixed, last dim in [y0, y1]} (inclusive)
@@ -151,26 +208,35 @@ class CompiledRowEvaluator {
   // exactly as for RowEvaluator.
   void eval_row(const CompiledStage& cs, const StageEvalCtx& ctx,
                 const unsigned char* load_clamped, const std::int64_t* base,
-                std::int64_t y0, std::int64_t y1, float* out);
+                std::int64_t y0, std::int64_t y1, float* out,
+                bool allow_fma = false);
 
  private:
-  void eval_load(const CompiledLoad& cl, const LoadSrc& src, bool clamped,
-                 float* out);
-  const float* slot_row(std::int32_t slot) const {
-    return rows_ + static_cast<std::size_t>(slot) * stride_;
+  // Evaluates a load into `out`; returns the row the load's value lives in.
+  // For unclamped stride-1 identity loads with `may_forward`, that is a
+  // pointer directly into the producer's data and `out` is untouched.
+  const float* eval_load(const CompiledLoad& cl, const LoadSrc& src,
+                         bool clamped, float* out, bool may_forward);
+  const float* row(std::int32_t slot) const {
+    return rowp_[static_cast<std::size_t>(slot)];
   }
 
-  ScratchArena arena_;  // num_slots x row-length op results
+  ScratchArena arena_;  // num_regs x padded-row-length registers
+  std::vector<const float*> rowp_;  // per-slot result row (register or
+                                    // forwarded producer pointer)
   float* rows_ = nullptr;
-  std::size_t stride_ = 0;
+  std::vector<std::int64_t> offs_;  // dynamic-gather flat-offset scratch row
+  std::size_t stride_ = 0;  // padded row length (floats)
   const std::int64_t* base_ = nullptr;
   std::int64_t y0_ = 0;
   std::size_t n_ = 0;
+  bool vec_ = false;  // CompiledStage::vector_loads of the current program
 
   // Row-reuse key: consecutive eval_row calls for the same stage, arena,
   // span and innermost range (every row of one tile) can skip refilling
-  // slots whose contents do not depend on the outer coordinates — constant
-  // rows and the innermost-dim coordinate ramp.
+  // registers whose contents do not depend on the outer coordinates —
+  // constant rows and the innermost-dim coordinate ramp.  Those registers
+  // are pinned by the allocator, so no other op recycles them mid-tile.
   const CompiledStage* last_cs_ = nullptr;
   float* last_rows_ = nullptr;
   std::int64_t last_y0_ = 0;

@@ -242,20 +242,23 @@ void RowEvaluator::eval_load(const StageEvalCtx& ctx, const ExprNode& n,
 
 const float* RowEvaluator::eval_node(const StageEvalCtx& ctx, ExprRef r) {
   const std::size_t idx = static_cast<std::size_t>(r);
-  if (stamp_[idx] == serial_) return rows_[idx].data();
+  if (stamp_[idx] == serial_) return rows_ + idx * stride_;
   stamp_[idx] = serial_;
-  float* out = rows_[idx].data();
+  float* out = rows_ + idx * stride_;
   const ExprNode& n = ctx.stage->nodes[idx];
   switch (n.op) {
     case Op::kConst:
+      FUSEDP_SIMD
       for (std::size_t i = 0; i < n_; ++i) out[i] = n.imm;
       break;
     case Op::kCoord:
       if (n.dim == ctx.stage->rank() - 1) {
+        FUSEDP_SIMD
         for (std::size_t i = 0; i < n_; ++i)
           out[i] = static_cast<float>(y0_ + static_cast<std::int64_t>(i));
       } else {
         const float v = static_cast<float>(base_[n.dim]);
+        FUSEDP_SIMD
         for (std::size_t i = 0; i < n_; ++i) out[i] = v;
       }
       break;
@@ -266,41 +269,45 @@ const float* RowEvaluator::eval_node(const StageEvalCtx& ctx, ExprRef r) {
       const float* c = eval_node(ctx, n.a);
       const float* t = eval_node(ctx, n.b);
       const float* f = eval_node(ctx, n.c);
+      FUSEDP_SIMD
       for (std::size_t i = 0; i < n_; ++i) out[i] = c[i] != 0.0f ? t[i] : f[i];
       break;
     }
-#define FUSEDP_UNARY_CASE(OP)                                              \
+// kExp/kLog/kPow stay unannotated: scalar-libm by policy (bit-exactness).
+#define FUSEDP_UNARY_CASE(OP, SIMD_PRAGMA)                                 \
   case Op::OP: {                                                           \
     const float* a = eval_node(ctx, n.a);                                  \
+    SIMD_PRAGMA                                                            \
     for (std::size_t i = 0; i < n_; ++i)                                   \
       out[i] = apply_unary(Op::OP, a[i]);                                  \
   } break;
-    FUSEDP_UNARY_CASE(kNeg)
-    FUSEDP_UNARY_CASE(kAbs)
-    FUSEDP_UNARY_CASE(kSqrt)
-    FUSEDP_UNARY_CASE(kExp)
-    FUSEDP_UNARY_CASE(kLog)
-    FUSEDP_UNARY_CASE(kFloor)
+    FUSEDP_UNARY_CASE(kNeg, FUSEDP_SIMD)
+    FUSEDP_UNARY_CASE(kAbs, FUSEDP_SIMD)
+    FUSEDP_UNARY_CASE(kSqrt, FUSEDP_SIMD)
+    FUSEDP_UNARY_CASE(kExp, )
+    FUSEDP_UNARY_CASE(kLog, )
+    FUSEDP_UNARY_CASE(kFloor, FUSEDP_SIMD)
 #undef FUSEDP_UNARY_CASE
-#define FUSEDP_BINARY_CASE(OP)                                             \
+#define FUSEDP_BINARY_CASE(OP, SIMD_PRAGMA)                                \
   case Op::OP: {                                                           \
     const float* a = eval_node(ctx, n.a);                                  \
     const float* b = eval_node(ctx, n.b);                                  \
+    SIMD_PRAGMA                                                            \
     for (std::size_t i = 0; i < n_; ++i)                                   \
       out[i] = apply_binary(Op::OP, a[i], b[i]);                           \
   } break;
-    FUSEDP_BINARY_CASE(kAdd)
-    FUSEDP_BINARY_CASE(kSub)
-    FUSEDP_BINARY_CASE(kMul)
-    FUSEDP_BINARY_CASE(kDiv)
-    FUSEDP_BINARY_CASE(kMin)
-    FUSEDP_BINARY_CASE(kMax)
-    FUSEDP_BINARY_CASE(kPow)
-    FUSEDP_BINARY_CASE(kLt)
-    FUSEDP_BINARY_CASE(kLe)
-    FUSEDP_BINARY_CASE(kEq)
-    FUSEDP_BINARY_CASE(kAnd)
-    FUSEDP_BINARY_CASE(kOr)
+    FUSEDP_BINARY_CASE(kAdd, FUSEDP_SIMD)
+    FUSEDP_BINARY_CASE(kSub, FUSEDP_SIMD)
+    FUSEDP_BINARY_CASE(kMul, FUSEDP_SIMD)
+    FUSEDP_BINARY_CASE(kDiv, FUSEDP_SIMD)
+    FUSEDP_BINARY_CASE(kMin, FUSEDP_SIMD)
+    FUSEDP_BINARY_CASE(kMax, FUSEDP_SIMD)
+    FUSEDP_BINARY_CASE(kPow, )
+    FUSEDP_BINARY_CASE(kLt, FUSEDP_SIMD)
+    FUSEDP_BINARY_CASE(kLe, FUSEDP_SIMD)
+    FUSEDP_BINARY_CASE(kEq, FUSEDP_SIMD)
+    FUSEDP_BINARY_CASE(kAnd, FUSEDP_SIMD)
+    FUSEDP_BINARY_CASE(kOr, FUSEDP_SIMD)
 #undef FUSEDP_BINARY_CASE
   }
   return out;
@@ -313,12 +320,9 @@ void RowEvaluator::eval_row(const StageEvalCtx& ctx, const std::int64_t* base,
   base_ = base;
   y0_ = y0;
   y1_ = y1;
-  if (rows_.size() < nnodes) {
-    rows_.resize(nnodes);
-    stamp_.resize(nnodes, 0);
-  }
-  for (std::size_t i = 0; i < nnodes; ++i)
-    if (rows_[i].size() < n_) rows_[i].resize(n_);
+  stride_ = pad_row_floats(n_);
+  rows_ = arena_.ensure(nnodes * stride_);
+  if (stamp_.size() < nnodes) stamp_.resize(nnodes, 0);
   ++serial_;
   if (serial_ == 0) {  // wrapped: invalidate all stamps
     std::fill(stamp_.begin(), stamp_.end(), 0);

@@ -18,6 +18,7 @@
 
 #include "ir/stage.hpp"
 #include "support/buffer.hpp"
+#include "support/vec.hpp"
 
 namespace fusedp {
 
@@ -46,9 +47,14 @@ class RowEvaluator {
   const float* eval_node(const StageEvalCtx& ctx, ExprRef r);
   void eval_load(const StageEvalCtx& ctx, const ExprNode& n, float* out);
 
-  // Per-AST-node result rows; `stamp_` implements per-row memoization so
-  // shared subexpressions are evaluated once.
-  std::vector<std::vector<float>> rows_;
+  // Per-AST-node result rows, carved from one 64-byte-aligned arena at a
+  // cache-line-padded stride (same allocation scheme as the compiled
+  // backend, so interpreted-vs-compiled comparisons measure execution
+  // strategy, not allocator noise); `stamp_` implements per-row memoization
+  // so shared subexpressions are evaluated once.
+  ScratchArena arena_;
+  float* rows_ = nullptr;
+  std::size_t stride_ = 0;
   std::vector<std::uint32_t> stamp_;
   std::uint32_t serial_ = 0;
   const std::int64_t* base_ = nullptr;

@@ -147,7 +147,12 @@ std::int64_t Workspace::allocated_floats() const {
 
 Executor::Executor(const Pipeline& pl, const Grouping& grouping,
                    ExecOptions opts)
-    : pl_(&pl), plan_(lower(pl, grouping)), opts_(opts) {
+    : pl_(&pl),
+      plan_(lower(pl, grouping,
+                  CompileOptions{/*fuse_superops=*/opts.vector_backend,
+                                 /*reg_alloc=*/opts.vector_backend,
+                                 /*vector_loads=*/opts.vector_backend})),
+      opts_(opts) {
   FUSEDP_CHECK_CODE(opts_.num_threads >= 1, ErrorCode::kInvalidArgument,
                     "need at least one thread");
   if (opts_.pooled_storage) storage_ = assign_storage(plan_);
@@ -421,7 +426,7 @@ void Executor::run_group(const GroupPlan& g, const std::vector<Buffer>& inputs,
             for_each_row(req, [&](std::int64_t* c) {
               float* out = &out_view.at(c);
               crowev.eval_row(cs, ctx, load_clamped.data(), c, req.lo[last],
-                              req.hi[last], out);
+                              req.hi[last], out, opts_.allow_fma);
             });
           } else if (opts_.mode == EvalMode::kRow) {
             for_each_row(req, [&](std::int64_t* c) {

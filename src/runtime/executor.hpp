@@ -35,6 +35,20 @@ struct ExecOptions {
   // which the smoke bench uses as its A/B baseline and run_reference uses
   // for golden purity.  Outputs are bit-identical either way.
   bool compiled = true;
+  // Vectorized compiled backend: superop fusion (multiply-accumulate,
+  // compare-and-blend) plus row-register allocation onto an aligned
+  // L1-resident pool.  Off compiles the plain one-row-per-op program — the
+  // A/B baseline bench_vector measures against.  Outputs are bit-identical
+  // either way (default-mode superops perform the same rounded operations
+  // in the same order as the ops they replace).
+  bool vector_backend = true;
+  // Contract fused multiply-accumulate superops into true FMA (one rounding
+  // instead of two).  Changes results by at most the removed intermediate
+  // rounding per fused op, so it is opt-in; leave off for bit-exactness
+  // with the scalar reference.  Fast only when the build targets an FMA-
+  // capable ISA (-DFUSEDP_NATIVE=ON); otherwise std::fma falls back to the
+  // correctly-rounded libm routine.
+  bool allow_fma = false;
   TileSchedule tile_schedule = TileSchedule::kDynamic;
   // Share allocations between materialized intermediates with disjoint live
   // intervals (PolyMage-style storage optimization; see storage/liveness).

@@ -4,7 +4,8 @@
 
 namespace fusedp {
 
-ExecutablePlan lower(const Pipeline& pl, const Grouping& grouping) {
+ExecutablePlan lower(const Pipeline& pl, const Grouping& grouping,
+                     const CompileOptions& copts) {
   std::string why;
   FUSEDP_CHECK_CODE(validate_grouping(pl, grouping, &why),
                     ErrorCode::kInvalidSchedule, "invalid grouping: " + why);
@@ -75,7 +76,8 @@ ExecutablePlan lower(const Pipeline& pl, const Grouping& grouping) {
   plan.compiled.resize(static_cast<std::size_t>(pl.num_stages()));
   for (int s = 0; s < pl.num_stages(); ++s)
     if (pl.stage(s).kind == StageKind::kMap)
-      plan.compiled[static_cast<std::size_t>(s)] = compile_stage(pl.stage(s));
+      plan.compiled[static_cast<std::size_t>(s)] =
+          compile_stage(pl.stage(s), copts);
 
   // Order groups topologically (producers before consumers).
   std::vector<NodeSet> sets;

@@ -39,7 +39,10 @@ struct ExecutablePlan {
   std::vector<CompiledStage> compiled;
 };
 
-// Validates the grouping (throws on invalid) and lowers it.
-ExecutablePlan lower(const Pipeline& pl, const Grouping& grouping);
+// Validates the grouping (throws on invalid) and lowers it.  `copts`
+// selects the compiled-stage backend (superop fusion + register allocation
+// by default; see CompileOptions).
+ExecutablePlan lower(const Pipeline& pl, const Grouping& grouping,
+                     const CompileOptions& copts = {});
 
 }  // namespace fusedp

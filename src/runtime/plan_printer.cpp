@@ -36,6 +36,18 @@ std::string plan_to_string(const ExecutablePlan& plan) {
       out << g.tile_sizes[static_cast<std::size_t>(d)];
     }
     out << "] {\n";
+    // Group totals of the vector-backend statistics, so a reader can see at
+    // a glance how much of the group's work runs in fused kernels and how
+    // small its per-row register working set is.
+    std::int32_t group_regs = 0, group_fused = 0;
+    for (int s : g.stage_order) {
+      const CompiledStage& cs = plan.compiled[static_cast<std::size_t>(s)];
+      if (!cs.valid()) continue;
+      group_regs += cs.num_regs;
+      group_fused += cs.fused;
+    }
+    out << "// row registers: " << group_regs
+        << " total, fused superops: " << group_fused << "\n";
     for (int s : g.stage_order) {
       const Stage& st = pl.stage(s);
       const bool mat = plan.materialized[static_cast<std::size_t>(s)];
@@ -52,7 +64,8 @@ std::string plan_to_string(const ExecutablePlan& plan) {
       if (cs.valid())
         out << "  // compiled: " << cs.num_slots() << " ops (from "
             << cs.source_nodes << " nodes, " << cs.folded << " folded, "
-            << cs.cse_hits << " cse)";
+            << cs.cse_hits << " cse), " << cs.num_regs << " regs, "
+            << cs.fused << " fused";
       out << "\n";
       out << "  for (required region of " << st.name << ")  "
           << (mat ? "compute -> buffer (via scratch + owned-slice publish "

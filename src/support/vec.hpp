@@ -1,0 +1,66 @@
+// Vector-kernel support: aligned row storage and SIMD loop annotation.
+//
+// Every row-granular evaluator (RowEvaluator, CompiledRowEvaluator, the
+// executor's per-tile scratch) allocates float rows from a growth-only
+// arena whose base is 64-byte-aligned and whose per-row stride is padded to
+// a whole number of cache lines.  That keeps each row register aligned for
+// the widest vector loads the host supports and lets adjacent rows share no
+// cache line.
+//
+// FUSEDP_SIMD marks a loop as dependence-free for the host compiler
+// (`#pragma omp simd`).  It asserts vectorizability only — per-element IEEE
+// semantics are unchanged, so annotated kernels stay bit-identical to their
+// scalar form.  It must NOT be placed on loops calling exp/log/pow: those
+// stay scalar-libm by policy (vector math libraries round differently).
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+#if defined(_OPENMP)
+#define FUSEDP_SIMD _Pragma("omp simd")
+#else
+#define FUSEDP_SIMD
+#endif
+
+namespace fusedp {
+
+inline constexpr std::size_t kRowAlignBytes = 64;
+inline constexpr std::size_t kRowAlignFloats = kRowAlignBytes / sizeof(float);
+
+// Rounds a row length up to a whole number of 64-byte lines, so row i of a
+// multi-row arena starts at an aligned address.
+inline std::size_t pad_row_floats(std::size_t n) {
+  return (n + kRowAlignFloats - 1) & ~(kRowAlignFloats - 1);
+}
+
+// Growth-only aligned scratch: reallocation never copies or zero-fills.
+// Safe for the evaluators because every element of a row/region is written
+// before anything reads it.
+class ScratchArena {
+ public:
+  float* ensure(std::size_t n) {
+    if (n > cap_) {
+      data_.reset();  // free before allocating the replacement
+      const std::size_t bytes = pad_row_floats(n) * sizeof(float);
+      void* p = std::aligned_alloc(kRowAlignBytes, bytes);
+      if (p == nullptr) throw std::bad_alloc();
+      data_.reset(static_cast<float*>(p));
+      cap_ = n;
+    }
+    return data_.get();
+  }
+  float* data() { return data_.get(); }
+  std::size_t capacity() const { return cap_; }
+
+ private:
+  struct FreeDeleter {
+    void operator()(float* p) const { std::free(p); }
+  };
+  std::unique_ptr<float, FreeDeleter> data_;
+  std::size_t cap_ = 0;
+};
+
+}  // namespace fusedp

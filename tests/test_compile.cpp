@@ -7,6 +7,7 @@
 // and tiles larger than the domain.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <string>
 
 #include "fusion/incremental.hpp"
@@ -252,6 +253,11 @@ TEST_P(CompiledSweepTest, BitIdenticalUnderRandomizedTileSizes) {
     expect_outputs_match(pl, g, inputs, ref, compiled_row,
                          label + " compiled/kRow");
 
+    ExecOptions legacy_backend = compiled_row;
+    legacy_backend.vector_backend = false;
+    expect_outputs_match(pl, g, inputs, ref, legacy_backend,
+                         label + " compiled/scalar-backend");
+
     ExecOptions compiled_scalar = compiled_row;
     compiled_scalar.mode = EvalMode::kScalar;
     expect_outputs_match(pl, g, inputs, ref, compiled_scalar,
@@ -292,6 +298,301 @@ TEST_P(CompiledRandomPipelineTest, CompiledMatchesReference) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CompiledRandomPipelineTest,
                          ::testing::Range(1, 9));
+
+// ---------------------------------------------------------------------------
+// Superop fusion unit tests.
+
+const CompiledOp& root_op(const CompiledStage& cs) {
+  return cs.ops[static_cast<std::size_t>(cs.root)];
+}
+
+TEST(SuperOpFusionTest, MulAddFusesToBinChain) {
+  Pipeline pl("mac");
+  const int img = pl.add_input("img", {16, 16});
+  StageBuilder b(pl, pl.add_stage("s", {16, 16}));
+  b.define(b.in(img, {0, 0}) * b.in(img, {0, 1}) + b.in(img, {1, 0}));
+  b.mark_output();
+  pl.finalize();
+
+  const CompiledStage cs = compile_stage(pl.stage(0));
+  ASSERT_TRUE(cs.valid());
+  EXPECT_EQ(cs.fused, 1);
+  const CompiledOp& o = root_op(cs);
+  EXPECT_EQ(o.super, SuperOp::kBinChain);
+  EXPECT_EQ(o.op2, Op::kMul);
+  EXPECT_EQ(o.op, Op::kAdd);
+  // The fused multiply disappeared as a standalone slot: 3 loads + 1 root.
+  EXPECT_EQ(cs.num_slots(), 4);
+}
+
+TEST(SuperOpFusionTest, AddChainFusesAcrossNonMulOps) {
+  Pipeline pl("boxsum");
+  const int img = pl.add_input("img", {16, 16});
+  StageBuilder b(pl, pl.add_stage("s", {16, 16}));
+  // A box-filter style add chain: fusable even with no multiply in sight.
+  b.define((b.in(img, {0, -1}) + b.in(img, {0, 0})) + b.in(img, {0, 1}));
+  b.mark_output();
+  pl.finalize();
+
+  const CompiledStage cs = compile_stage(pl.stage(0));
+  ASSERT_TRUE(cs.valid());
+  EXPECT_GE(cs.fused, 1);
+  const CompiledOp& o = root_op(cs);
+  EXPECT_EQ(o.super, SuperOp::kBinChain);
+  EXPECT_EQ(o.op2, Op::kAdd);
+  EXPECT_EQ(o.op, Op::kAdd);
+}
+
+TEST(SuperOpFusionTest, ProductDifferenceFusesToChainPair) {
+  Pipeline pl("det");
+  const int img = pl.add_input("img", {16, 16});
+  StageBuilder b(pl, pl.add_stage("s", {16, 16}));
+  // The Harris determinant shape: Sxx*Syy - Sxy*Sxy in a single pass.
+  b.define(b.in(img, {0, 0}) * b.in(img, {0, 1}) -
+           b.in(img, {1, 0}) * b.in(img, {1, 1}));
+  b.mark_output();
+  pl.finalize();
+
+  const CompiledStage cs = compile_stage(pl.stage(0));
+  ASSERT_TRUE(cs.valid());
+  EXPECT_EQ(cs.fused, 2);  // one kBinChain upgrade + the pair absorption
+  const CompiledOp& o = root_op(cs);
+  EXPECT_EQ(o.super, SuperOp::kChainPair);
+  EXPECT_EQ(o.op, Op::kSub);
+  EXPECT_EQ(o.op2, Op::kMul);
+  EXPECT_EQ(o.op3, Op::kMul);
+  EXPECT_GE(o.a, 0);
+  EXPECT_GE(o.b, 0);
+  EXPECT_GE(o.c, 0);
+  EXPECT_GE(o.d, 0);
+}
+
+TEST(SuperOpFusionTest, WeightedTapFusesToWeighted) {
+  Pipeline pl("tap");
+  const int img = pl.add_input("img", {16, 16});
+  StageBuilder b(pl, pl.add_stage("s", {16, 16}));
+  // The weighted-tap backbone of pyramid/interpolate stages.
+  b.define(b.in(img, {0, 0}) * 2.0f + b.in(img, {0, 1}) * 3.0f);
+  b.mark_output();
+  pl.finalize();
+
+  const CompiledStage cs = compile_stage(pl.stage(0));
+  ASSERT_TRUE(cs.valid());
+  EXPECT_EQ(cs.fused, 2);
+  const CompiledOp& o = root_op(cs);
+  EXPECT_EQ(o.super, SuperOp::kWeighted);
+  EXPECT_EQ(o.op, Op::kAdd);
+  EXPECT_EQ(o.imm, 2.0f);
+  EXPECT_EQ(o.imm2, 3.0f);
+}
+
+TEST(SuperOpFusionTest, ComparisonSelectFusesToCmpBlend) {
+  Pipeline pl("blend");
+  const int img = pl.add_input("img", {16, 16});
+  StageBuilder b(pl, pl.add_stage("s", {16, 16}));
+  b.define(select(lt(b.in(img, {0, 0}), b.in(img, {0, 1})),
+                  b.in(img, {1, 0}), b.in(img, {1, 1})));
+  b.mark_output();
+  pl.finalize();
+
+  const CompiledStage cs = compile_stage(pl.stage(0));
+  ASSERT_TRUE(cs.valid());
+  EXPECT_GE(cs.fused, 1);
+  const CompiledOp& o = root_op(cs);
+  EXPECT_EQ(o.super, SuperOp::kCmpBlend);
+  EXPECT_EQ(o.op2, Op::kLt);
+}
+
+TEST(SuperOpFusionTest, SharedSubtreeIsNotFused) {
+  Pipeline pl("shared");
+  const int img = pl.add_input("img", {16, 16});
+  StageBuilder b(pl, pl.add_stage("s", {16, 16}));
+  // m is multiply-used: absorbing it into either consumer would duplicate
+  // work, so it must stay a standalone op.
+  const Eh m = b.in(img, {0, 0}) * b.in(img, {0, 1});
+  b.define((m + b.in(img, {1, 0})) * m);
+  b.mark_output();
+  pl.finalize();
+
+  const CompiledStage cs = compile_stage(pl.stage(0));
+  ASSERT_TRUE(cs.valid());
+  bool mul_survives = false;
+  for (const CompiledOp& op : cs.ops)
+    if (op.op == Op::kMul && op.super == SuperOp::kNone && op.imm_side == 0 &&
+        op.b >= 0)
+      mul_survives = true;
+  EXPECT_TRUE(mul_survives);
+}
+
+TEST(SuperOpFusionTest, LegacyOptionsDisableFusion) {
+  Pipeline pl("legacy");
+  const int img = pl.add_input("img", {16, 16});
+  StageBuilder b(pl, pl.add_stage("s", {16, 16}));
+  b.define(b.in(img, {0, 0}) * b.in(img, {0, 1}) + b.in(img, {1, 0}));
+  b.mark_output();
+  pl.finalize();
+
+  CompileOptions legacy;
+  legacy.fuse_superops = false;
+  legacy.reg_alloc = false;
+  legacy.vector_loads = false;
+  const CompiledStage cs = compile_stage(pl.stage(0), legacy);
+  ASSERT_TRUE(cs.valid());
+  EXPECT_EQ(cs.fused, 0);
+  EXPECT_FALSE(cs.vector_loads);
+  for (const CompiledOp& op : cs.ops) EXPECT_EQ(op.super, SuperOp::kNone);
+}
+
+// ---------------------------------------------------------------------------
+// Row-register allocation invariants.
+
+void collect_operands(const CompiledOp& o, const CompiledStage& cs,
+                      std::vector<std::int32_t>* out) {
+  for (std::int32_t s : {o.a, o.b, o.c, o.d})
+    if (s >= 0) out->push_back(s);
+  if (o.op == Op::kLoad) {
+    const CompiledLoad& cl = cs.loads[static_cast<std::size_t>(o.load_id)];
+    for (int d = 0; d < cl.prank; ++d)
+      if (cl.axes[static_cast<std::size_t>(d)].dyn_slot >= 0)
+        out->push_back(cl.axes[static_cast<std::size_t>(d)].dyn_slot);
+  }
+}
+
+TEST(RegisterAllocationTest, ReusesRegistersWithoutAliasing) {
+  for (const char* key : {"unsharp", "harris", "bilateral", "campipe"}) {
+    const PipelineSpec spec = make_benchmark(key, 16);
+    const Pipeline& pl = *spec.pipeline;
+    for (int s = 0; s < pl.num_stages(); ++s) {
+      const CompiledStage cs = compile_stage(pl.stage(s));
+      if (!cs.valid()) continue;
+      ASSERT_EQ(cs.reg.size(), cs.ops.size()) << key;
+      EXPECT_LE(cs.num_regs, cs.num_slots()) << key;
+      for (std::size_t i = 0; i < cs.ops.size(); ++i) {
+        const std::int32_t r = cs.reg[i];
+        if (static_cast<std::int32_t>(i) == cs.root) {
+          // The root writes the caller's row, never an arena register.
+          EXPECT_EQ(r, -1) << key;
+          continue;
+        }
+        ASSERT_GE(r, 0) << key;
+        ASSERT_LT(r, cs.num_regs) << key;
+        // A dst register never aliases any operand's register: kernels may
+        // read and write in any order within the row.
+        std::vector<std::int32_t> opnds;
+        collect_operands(cs.ops[i], cs, &opnds);
+        for (std::int32_t o : opnds)
+          EXPECT_NE(r, cs.reg[static_cast<std::size_t>(o)])
+              << key << " stage " << s << " slot " << i;
+      }
+    }
+  }
+}
+
+TEST(RegisterAllocationTest, LegacyOptionsGiveIdentityAssignment) {
+  const PipelineSpec spec = make_benchmark("harris", 16);
+  const Pipeline& pl = *spec.pipeline;
+  CompileOptions legacy;
+  legacy.fuse_superops = false;
+  legacy.reg_alloc = false;
+  legacy.vector_loads = false;
+  bool saw_reuse = false;
+  for (int s = 0; s < pl.num_stages(); ++s) {
+    const CompiledStage plain = compile_stage(pl.stage(s), legacy);
+    if (!plain.valid()) continue;
+    EXPECT_EQ(plain.num_regs, plain.num_slots());
+    for (std::size_t i = 0; i < plain.reg.size(); ++i) {
+      if (static_cast<std::int32_t>(i) == plain.root)
+        EXPECT_EQ(plain.reg[i], -1);
+      else
+        EXPECT_EQ(plain.reg[i], static_cast<std::int32_t>(i));
+    }
+    const CompiledStage packed = compile_stage(pl.stage(s));
+    if (packed.valid() && packed.num_regs < packed.num_slots())
+      saw_reuse = true;
+  }
+  // At least one Harris stage is big enough for the allocator to win.
+  EXPECT_TRUE(saw_reuse);
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial row lengths and unaligned tile origins.
+//
+// Innermost tile sizes of 1, vector_width±1 (7/9 for 8-lane AVX2 floats)
+// and primes force every SIMD kernel through remainder lanes, and odd
+// sizes make most tile origins unaligned.  Both backends must stay
+// bit-identical to the scalar reference everywhere.
+
+class AdversarialTileTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AdversarialTileTest, BitIdenticalOnHostileRowLengths) {
+  const std::string key = GetParam();
+  const PipelineSpec spec = make_benchmark(key, 24);
+  const Pipeline& pl = *spec.pipeline;
+  const CostModel model(pl, MachineModel::xeon_haswell());
+  const std::vector<Buffer> inputs = spec.make_inputs();
+  const std::vector<Buffer> ref = run_reference(pl, inputs);
+  IncFusion inc(pl, model);
+  const Grouping dp = inc.run();
+
+  for (const std::int64_t inner : {1, 7, 9, 13, 31}) {
+    Grouping g = dp;
+    for (GroupSchedule& gs : g.groups)
+      for (std::size_t d = 0; d < gs.tile_sizes.size(); ++d)
+        gs.tile_sizes[d] = (d + 1 == gs.tile_sizes.size()) ? inner : 5;
+    const std::string label = key + " inner=" + std::to_string(inner);
+
+    ExecOptions vec;
+    vec.num_threads = 2;
+    vec.mode = EvalMode::kRow;
+    vec.compiled = true;
+    vec.vector_backend = true;
+    expect_outputs_match(pl, g, inputs, ref, vec, label + " vector");
+
+    ExecOptions legacy = vec;
+    legacy.vector_backend = false;
+    expect_outputs_match(pl, g, inputs, ref, legacy, label + " scalar-compiled");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, AdversarialTileTest,
+                         ::testing::Values("unsharp", "harris", "bilateral",
+                                           "interpolate", "campipe",
+                                           "pyramid", "blur"));
+
+// ---------------------------------------------------------------------------
+// allow_fma: contracted multiply-accumulate is NOT bit-identical, but must
+// stay within a tight relative tolerance of the reference (FMA only skips
+// one intermediate rounding, and may only tighten the error of each MAC).
+
+TEST(AllowFmaTest, HarrisWithinToleranceOfReference) {
+  const PipelineSpec spec = make_benchmark("harris", 24);
+  const Pipeline& pl = *spec.pipeline;
+  const CostModel model(pl, MachineModel::xeon_haswell());
+  const std::vector<Buffer> inputs = spec.make_inputs();
+  const std::vector<Buffer> ref = run_reference(pl, inputs);
+  IncFusion inc(pl, model);
+  const Grouping g = inc.run();
+
+  ExecOptions opts;
+  opts.num_threads = 2;
+  opts.mode = EvalMode::kRow;
+  opts.compiled = true;
+  opts.vector_backend = true;
+  opts.allow_fma = true;
+  const std::vector<Buffer> outs = run_pipeline(pl, g, inputs, opts);
+  ASSERT_EQ(outs.size(), pl.outputs().size());
+  for (std::size_t o = 0; o < outs.size(); ++o) {
+    const Buffer& expect = ref[static_cast<std::size_t>(pl.outputs()[o])];
+    ASSERT_EQ(outs[o].volume(), expect.volume());
+    const float* got = outs[o].data();
+    const float* want = expect.data();
+    for (std::int64_t i = 0; i < outs[o].volume(); ++i) {
+      ASSERT_TRUE(std::isfinite(got[i])) << "output " << o << " at " << i;
+      const float tol = 1e-3f * (1.0f + std::fabs(want[i]));
+      ASSERT_NEAR(got[i], want[i], tol) << "output " << o << " at " << i;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace fusedp
