@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "support/checked.hpp"
+
 namespace fusedp {
 
 namespace {
@@ -107,8 +109,11 @@ GroupCost CostModel::cost_for_cache(NodeSet group, const AlignResult& align,
 
   gc.n_tiles = 1;
   for (int d = 0; d < tile.rank; ++d)
-    gc.n_tiles *= ceil_div(align.class_extent[static_cast<std::size_t>(d)],
-                           gc.tile_sizes[static_cast<std::size_t>(d)]);
+    gc.n_tiles = mul_or_throw(
+        gc.n_tiles,
+        ceil_div(align.class_extent[static_cast<std::size_t>(d)],
+                 gc.tile_sizes[static_cast<std::size_t>(d)]),
+        "group tile count");
 
   const double comp_vol =
       std::max<double>(1.0, static_cast<double>(regions.computed_volume));
@@ -146,10 +151,17 @@ GroupCost CostModel::cost(NodeSet group) const {
 
   const ReuseInfo reuse = compute_reuse(*pl_, group, align);
 
+  // Footprints are summed over user-controlled extents; checked math turns
+  // a silent wrap (UB, and a nonsense schedule later) into a coded error.
   std::int64_t total_footprint = 0;
   std::int64_t num_buffers = 0;
   group.for_each([&](int s) {
-    total_footprint += pl_->stage(s).volume();
+    const Box& dom = pl_->stage(s).domain;
+    std::int64_t ext[kMaxDims];
+    for (int d = 0; d < dom.rank; ++d) ext[d] = dom.extent(d);
+    total_footprint = add_or_throw(
+        total_footprint, volume_or_throw(ext, dom.rank, "stage volume"),
+        "group footprint");
     ++num_buffers;
   });
 
@@ -162,7 +174,8 @@ GroupCost CostModel::cost(NodeSet group) const {
   // discussion singles out as "too small to adversely affect prefetching
   // and overlap fraction".
   std::int64_t l1_tile_volume = num_buffers;
-  for (std::int64_t t : l1.tile_sizes) l1_tile_volume *= t;
+  for (std::int64_t t : l1.tile_sizes)
+    l1_tile_volume = mul_or_throw(l1_tile_volume, t, "L1 tile volume");
   const std::int64_t per_buffer = l1.tile_footprint / std::max<std::int64_t>(num_buffers, 1);
   const std::int64_t innermost =
       l1.tile_sizes.empty() ? 1 : l1.tile_sizes.back();

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "ir/box.hpp"
+#include "support/fault.hpp"
 
 namespace fusedp {
 
@@ -1193,9 +1194,13 @@ void CompiledRowEvaluator::eval_row(const CompiledStage& cs,
   base_ = base;
   y0_ = y0;
   vec_ = cs.vector_loads;
-  stride_ = pad_row_floats(n_);
-  rows_ = arena_.ensure(static_cast<std::size_t>(cs.num_regs) * stride_);
+  rows_ = guard_.carve(arena_, static_cast<std::size_t>(cs.num_regs),
+                       pad_row_floats(n_), stride_);
   rowp_.resize(cs.ops.size());
+  // Test-only synthetic overrun: scribbles into register 0's guard line,
+  // proving the post-tile canary check catches an in-arena smash.
+  if (guard_.enabled() && cs.num_regs > 0)
+    FUSEDP_FAULT_CORRUPT("eval.guard_overrun", rows_[stride_ - 1]);
 
   // Constant rows and the innermost coordinate ramp only depend on (stage,
   // n, y0): within one tile they are identical for every row, so fill them
@@ -1374,6 +1379,11 @@ void CompiledRowEvaluator::eval_row(const CompiledStage& cs,
 #undef FUSEDP_BINARY_BODY
     }
   }
+
+  // Test-only planted miscompile: flips the low mantissa bit of one output
+  // element of the compiled backend, exactly once per arming.  The
+  // differential verifier must catch it with a full divergence record.
+  FUSEDP_FAULT_CORRUPT("compile.row_value", out[0]);
 }
 
 }  // namespace fusedp

@@ -211,6 +211,12 @@ class CompiledRowEvaluator {
                 std::int64_t y0, std::int64_t y1, float* out,
                 bool allow_fma = false);
 
+  // Guard-arena mode (ExecOptions::guard_arena): canary lines around every
+  // row register; check_guards() throws a coded Error on a smash — the
+  // regalloc-aliasing/overrun class ASan cannot see inside one arena block.
+  void set_guard_arena(bool on) { guard_.set_enabled(on); }
+  void check_guards() const { guard_.check("CompiledRowEvaluator"); }
+
  private:
   // Evaluates a load into `out`; returns the row the load's value lives in.
   // For unclamped stride-1 identity loads with `may_forward`, that is a
@@ -222,6 +228,7 @@ class CompiledRowEvaluator {
   }
 
   ScratchArena arena_;  // num_regs x padded-row-length registers
+  RowGuard guard_;
   std::vector<const float*> rowp_;  // per-slot result row (register or
                                     // forwarded producer pointer)
   float* rows_ = nullptr;

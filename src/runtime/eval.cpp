@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "ir/box.hpp"
+#include "support/fault.hpp"
 
 namespace fusedp {
 
@@ -320,8 +321,11 @@ void RowEvaluator::eval_row(const StageEvalCtx& ctx, const std::int64_t* base,
   base_ = base;
   y0_ = y0;
   y1_ = y1;
-  stride_ = pad_row_floats(n_);
-  rows_ = arena_.ensure(nnodes * stride_);
+  rows_ = guard_.carve(arena_, nnodes, pad_row_floats(n_), stride_);
+  // Test-only synthetic overrun: scribbles into row register 0's guard
+  // line, proving the post-tile canary check catches an in-arena smash.
+  if (guard_.enabled() && nnodes > 0)
+    FUSEDP_FAULT_CORRUPT("eval.guard_overrun", rows_[stride_ - 1]);
   if (stamp_.size() < nnodes) stamp_.resize(nnodes, 0);
   ++serial_;
   if (serial_ == 0) {  // wrapped: invalidate all stamps

@@ -43,6 +43,11 @@ class RowEvaluator {
   void eval_row(const StageEvalCtx& ctx, const std::int64_t* base,
                 std::int64_t y0, std::int64_t y1, float* out);
 
+  // Guard-arena mode (ExecOptions::guard_arena): canary lines around every
+  // per-node row; check_guards() throws a coded Error on a smash.
+  void set_guard_arena(bool on) { guard_.set_enabled(on); }
+  void check_guards() const { guard_.check("RowEvaluator"); }
+
  private:
   const float* eval_node(const StageEvalCtx& ctx, ExprRef r);
   void eval_load(const StageEvalCtx& ctx, const ExprNode& n, float* out);
@@ -53,6 +58,7 @@ class RowEvaluator {
   // strategy, not allocator noise); `stamp_` implements per-row memoization
   // so shared subexpressions are evaluated once.
   ScratchArena arena_;
+  RowGuard guard_;
   float* rows_ = nullptr;
   std::size_t stride_ = 0;
   std::vector<std::uint32_t> stamp_;

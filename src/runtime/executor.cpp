@@ -149,7 +149,8 @@ Executor::Executor(const Pipeline& pl, const Grouping& grouping,
                    ExecOptions opts)
     : pl_(&pl),
       plan_(lower(pl, grouping,
-                  CompileOptions{/*fuse_superops=*/opts.vector_backend,
+                  CompileOptions{/*fuse_superops=*/opts.vector_backend &&
+                                     opts.superop_fusion,
                                  /*reg_alloc=*/opts.vector_backend,
                                  /*vector_loads=*/opts.vector_backend})),
       opts_(opts) {
@@ -261,6 +262,8 @@ void Executor::run_group(const GroupPlan& g, const std::vector<Buffer>& inputs,
     std::vector<unsigned char> load_clamped;
     RowEvaluator rowev;
     CompiledRowEvaluator crowev;
+    rowev.set_guard_arena(opts_.guard_arena);
+    crowev.set_guard_arena(opts_.guard_arena);
     StageEvalCtx ctx;
     bool thread_ok = true;
     try {
@@ -456,6 +459,14 @@ void Executor::run_group(const GroupPlan& g, const std::vector<Buffer>& inputs,
               });
             }
           }
+        }
+
+        // Guarded execution: sweep the canary lines around every row
+        // register after the tile.  A smash throws a coded Error naming the
+        // evaluator and register, captured like any other tile failure.
+        if (opts_.guard_arena) {
+          crowev.check_guards();
+          rowev.check_guards();
         }
       } catch (...) {
         capture_current_exception();

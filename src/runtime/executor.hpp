@@ -42,6 +42,11 @@ struct ExecOptions {
   // either way (default-mode superops perform the same rounded operations
   // in the same order as the ops they replace).
   bool vector_backend = true;
+  // Superop (peephole) fusion inside the vectorized backend.  The
+  // differential verifier toggles this independently of vector_backend to
+  // bisect a divergence between register allocation and superop formation;
+  // ignored when vector_backend is off.
+  bool superop_fusion = true;
   // Contract fused multiply-accumulate superops into true FMA (one rounding
   // instead of two).  Changes results by at most the removed intermediate
   // rounding per fused op, so it is opt-in; leave off for bit-exactness
@@ -53,6 +58,12 @@ struct ExecOptions {
   // Share allocations between materialized intermediates with disjoint live
   // intervals (PolyMage-style storage optimization; see storage/liveness).
   bool pooled_storage = false;
+  // Guarded execution: canary words around every evaluator row register,
+  // checked after each tile.  Catches row-kernel overruns and regalloc
+  // aliasing that ASan cannot see inside one arena allocation; a smash
+  // surfaces as a coded Error (kInternal) naming the register.  Costs one
+  // cache line per register plus a canary sweep per tile.
+  bool guard_arena = false;
 };
 
 // Holds the full-size buffers of materialized stages.  With pooling,

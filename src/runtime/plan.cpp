@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/checked.hpp"
+
 namespace fusedp {
 
 ExecutablePlan lower(const Pipeline& pl, const Grouping& grouping,
@@ -57,7 +59,11 @@ ExecutablePlan lower(const Pipeline& pl, const Grouping& grouping,
       gp.tiles_per_dim[static_cast<std::size_t>(d)] =
           ceil_div(gp.align.class_extent[static_cast<std::size_t>(d)],
                    gp.tile_sizes[static_cast<std::size_t>(d)]);
-      gp.total_tiles *= gp.tiles_per_dim[static_cast<std::size_t>(d)];
+      // Tile-count math over user extents: wrap here would make the
+      // executor's tile loop nonsense, so overflow is a coded error.
+      gp.total_tiles = mul_or_throw(
+          gp.total_tiles, gp.tiles_per_dim[static_cast<std::size_t>(d)],
+          "plan tile count", ErrorCode::kInvalidSchedule);
     }
 
     if (!gp.is_reduction)

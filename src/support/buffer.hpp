@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "support/checked.hpp"
 #include "support/status.hpp"
 
 namespace fusedp {
@@ -57,7 +58,8 @@ class Buffer {
     for (int d = 0; d < rank_; ++d) {
       FUSEDP_CHECK(extents[d] > 0, "buffer extent must be positive");
       extent_[d] = extents[d];
-      vol *= extents[d];
+      vol = mul_or_throw(vol, extents[d], "buffer volume",
+                         ErrorCode::kAllocationFailed);
     }
     std::int64_t s = 1;
     for (int d = rank_ - 1; d >= 0; --d) {

@@ -1,0 +1,74 @@
+// Overflow-checked 64-bit integer arithmetic.
+//
+// Extent and footprint math (stage volumes, tile counts, scratch sizes)
+// multiplies user-controlled extents together; with adversarial or simply
+// huge pipelines the naive products wrap silently — signed overflow is UB,
+// and the wrapped value would send the autoscheduler or the executor off a
+// cliff much later, far from the cause.  These helpers detect the overflow
+// at the arithmetic site and surface it as a coded error instead.
+//
+// Two flavours:
+//  * checked_mul / checked_add — Result<int64> for callers on non-throwing
+//    paths.
+//  * mul_or_throw / add_or_throw / volume_or_throw — throw fusedp::Error
+//    with a caller-chosen code (default kInvalidPipeline: oversized extents
+//    are a property of the input) for callers that already speak
+//    exceptions, with `what` naming the quantity that overflowed.
+#pragma once
+
+#include <cstdint>
+
+#include "support/status.hpp"
+
+namespace fusedp {
+
+inline Result<std::int64_t> checked_mul(std::int64_t a, std::int64_t b) {
+  std::int64_t r = 0;
+  if (__builtin_mul_overflow(a, b, &r))
+    return Result<std::int64_t>::failure(
+        ErrorCode::kInvalidPipeline,
+        "integer overflow: " + std::to_string(a) + " * " + std::to_string(b));
+  return r;
+}
+
+inline Result<std::int64_t> checked_add(std::int64_t a, std::int64_t b) {
+  std::int64_t r = 0;
+  if (__builtin_add_overflow(a, b, &r))
+    return Result<std::int64_t>::failure(
+        ErrorCode::kInvalidPipeline,
+        "integer overflow: " + std::to_string(a) + " + " + std::to_string(b));
+  return r;
+}
+
+inline std::int64_t mul_or_throw(std::int64_t a, std::int64_t b,
+                                 const char* what,
+                                 ErrorCode code = ErrorCode::kInvalidPipeline) {
+  std::int64_t r = 0;
+  if (__builtin_mul_overflow(a, b, &r))
+    throw Error(std::string(what) + " overflows int64 (" + std::to_string(a) +
+                    " * " + std::to_string(b) + ")",
+                code);
+  return r;
+}
+
+inline std::int64_t add_or_throw(std::int64_t a, std::int64_t b,
+                                 const char* what,
+                                 ErrorCode code = ErrorCode::kInvalidPipeline) {
+  std::int64_t r = 0;
+  if (__builtin_add_overflow(a, b, &r))
+    throw Error(std::string(what) + " overflows int64 (" + std::to_string(a) +
+                    " + " + std::to_string(b) + ")",
+                code);
+  return r;
+}
+
+// Product of `n` extents (e.g. a Box's), checked at every step.
+inline std::int64_t volume_or_throw(const std::int64_t* extents, int n,
+                                    const char* what,
+                                    ErrorCode code = ErrorCode::kInvalidPipeline) {
+  std::int64_t v = 1;
+  for (int d = 0; d < n; ++d) v = mul_or_throw(v, extents[d], what, code);
+  return v;
+}
+
+}  // namespace fusedp

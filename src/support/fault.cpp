@@ -18,6 +18,7 @@ ErrorCode armed_code = ErrorCode::kFaultInjected;
 std::int64_t countdown = 0;  // hits to ignore before firing
 std::uint64_t hit_count = 0;
 bool fired = false;
+bool corrupt_mode = false;  // arm_corrupt: flip a bit instead of throwing
 
 // One-time FUSEDP_FAULT=<point>[:<skip>] pickup at process start.
 const bool env_armed = [] {
@@ -42,6 +43,18 @@ void FaultInjector::arm(const std::string& point, ErrorCode code, int skip) {
   countdown = skip;
   hit_count = 0;
   fired = false;
+  corrupt_mode = false;
+  active_.store(!point.empty(), std::memory_order_release);
+}
+
+void FaultInjector::arm_corrupt(const std::string& point, int skip) {
+  std::lock_guard<std::mutex> lock(mu);
+  armed_point = point;
+  armed_code = ErrorCode::kFaultInjected;
+  countdown = skip;
+  hit_count = 0;
+  fired = false;
+  corrupt_mode = true;
   active_.store(!point.empty(), std::memory_order_release);
 }
 
@@ -50,6 +63,7 @@ void FaultInjector::disarm() {
   armed_point.clear();
   fired = false;
   hit_count = 0;
+  corrupt_mode = false;
   active_.store(false, std::memory_order_release);
 }
 
@@ -68,7 +82,7 @@ void FaultInjector::hit(const char* point) {
   std::string name;
   {
     std::lock_guard<std::mutex> lock(mu);
-    if (fired || armed_point != point) return;
+    if (fired || corrupt_mode || armed_point != point) return;
     ++hit_count;
     if (countdown-- > 0) return;
     // Fire exactly once: later hits of this arming (other threads, retries)
@@ -78,6 +92,15 @@ void FaultInjector::hit(const char* point) {
     name = armed_point;
   }
   throw Error("injected fault at '" + name + "'", code);
+}
+
+bool FaultInjector::corrupt_now(const char* point) {
+  std::lock_guard<std::mutex> lock(mu);
+  if (fired || !corrupt_mode || armed_point != point) return false;
+  ++hit_count;
+  if (countdown-- > 0) return false;
+  fired = true;  // corrupt exactly once per arming
+  return true;
 }
 
 }  // namespace fusedp

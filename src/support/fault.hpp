@@ -20,6 +20,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <string>
 
 #include "support/status.hpp"
@@ -32,6 +33,12 @@ class FaultInjector {
   // Error(code).  Replaces any previously armed point.
   static void arm(const std::string& point,
                   ErrorCode code = ErrorCode::kFaultInjected, int skip = 0);
+  // Arms `point` as a *silent corruption* fault: the (skip+1)-th
+  // FUSEDP_FAULT_CORRUPT(point, f) hit flips the low mantissa bit of the
+  // float `f` instead of throwing — a planted miscompile / memory smash
+  // for the differential verifier and guard-arena tests to catch.  Throwing
+  // points (FUSEDP_FAULT_POINT) ignore a corrupt arming and vice versa.
+  static void arm_corrupt(const std::string& point, int skip = 0);
   static void disarm();
 
   // True iff some point is armed and has not fired yet.
@@ -43,6 +50,9 @@ class FaultInjector {
   // gate; `hit()` does the name match / countdown / throw.
   static bool active() { return active_.load(std::memory_order_relaxed); }
   static void hit(const char* point);
+  // Internal: used by FUSEDP_FAULT_CORRUPT.  True exactly once when
+  // `point` is corrupt-armed and its countdown expires.
+  static bool corrupt_now(const char* point);
 
  private:
   static std::atomic<bool> active_;
@@ -52,6 +62,22 @@ class FaultInjector {
   do {                                            \
     if (::fusedp::FaultInjector::active())        \
       ::fusedp::FaultInjector::hit(name);         \
+  } while (0)
+
+// Silent single-bit corruption of the float lvalue `f` when `name` is
+// corrupt-armed.  Disarmed cost is one relaxed atomic load, like
+// FUSEDP_FAULT_POINT.
+#define FUSEDP_FAULT_CORRUPT(name, f)                        \
+  do {                                                       \
+    if (::fusedp::FaultInjector::active() &&                 \
+        ::fusedp::FaultInjector::corrupt_now(name)) {        \
+      std::uint32_t fault_bits_;                             \
+      float fault_val_ = (f);                                \
+      __builtin_memcpy(&fault_bits_, &fault_val_, 4);        \
+      fault_bits_ ^= 1u;                                     \
+      __builtin_memcpy(&fault_val_, &fault_bits_, 4);        \
+      (f) = fault_val_;                                      \
+    }                                                        \
   } while (0)
 
 }  // namespace fusedp

@@ -16,8 +16,11 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <new>
+
+#include "support/status.hpp"
 
 #if defined(_OPENMP)
 #define FUSEDP_SIMD _Pragma("omp simd")
@@ -61,6 +64,117 @@ class ScratchArena {
   };
   std::unique_ptr<float, FreeDeleter> data_;
   std::size_t cap_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Guarded row carving (ExecOptions::guard_arena).
+//
+// The row evaluators carve per-op/per-register rows from one ScratchArena
+// block, so a kernel that writes past its row silently corrupts the
+// *neighbouring register* — a bug class (regalloc aliasing, off-by-one row
+// kernels) ASan cannot see because the whole arena is one valid allocation.
+// RowGuard interposes one cache line of canary words after every row (plus
+// a leading line before row 0); the executor checks all canaries after each
+// tile and converts a smash into a coded error naming the register.
+
+inline constexpr std::uint32_t kGuardCanaryBits = 0x5AFEC0DEu;
+inline constexpr std::size_t kGuardFloats = kRowAlignFloats;  // one line
+
+inline float guard_canary_value() {
+  float f;
+  std::memcpy(&f, &kGuardCanaryBits, sizeof(f));
+  return f;
+}
+
+class RowGuard {
+ public:
+  void set_enabled(bool on) {
+    if (on != enabled_) laid_out_ = false;
+    enabled_ = on;
+  }
+  bool enabled() const { return enabled_; }
+
+  // Carves `nrows` rows of `row_floats` (already cache-line padded) floats
+  // from `arena` and sets `stride` to the per-row pitch.  Disabled, this is
+  // exactly arena.ensure(nrows * row_floats).  Enabled, every row gains a
+  // trailing canary line (stride grows by kGuardFloats) and canaries are
+  // (re)stamped whenever the layout changes; row data is never touched, so
+  // the evaluators' row-reuse optimizations are unaffected.
+  float* carve(ScratchArena& arena, std::size_t nrows, std::size_t row_floats,
+               std::size_t& stride) {
+    if (!enabled_) {
+      laid_out_ = false;
+      stride = row_floats;
+      return arena.ensure(nrows * row_floats);
+    }
+    const std::size_t gstride = row_floats + kGuardFloats;
+    float* base = arena.ensure(kGuardFloats + nrows * gstride);
+    const bool same = laid_out_ && base == base_ && nrows_ == nrows &&
+                      gstride == stride_;
+    base_ = base;
+    nrows_ = nrows;
+    stride_ = gstride;
+    row_floats_ = row_floats;
+    laid_out_ = true;
+    if (!same) {
+      const float canary = guard_canary_value();
+      for (std::size_t i = 0; i < kGuardFloats; ++i) base[i] = canary;
+      float* rows = base + kGuardFloats;
+      for (std::size_t r = 0; r < nrows; ++r) {
+        float* g = rows + r * gstride + row_floats;
+        for (std::size_t i = 0; i < kGuardFloats; ++i) g[i] = canary;
+      }
+    }
+    stride = gstride;
+    return base + kGuardFloats;
+  }
+
+  // Verifies every canary word; throws a coded Error naming the smashed
+  // register on violation.  No-op when disabled or nothing carved yet.
+  void check(const char* where) const {
+    if (!enabled_ || !laid_out_) return;
+    const float* rows = base_ + kGuardFloats;
+    for (std::size_t i = 0; i < kGuardFloats; ++i)
+      if (!is_canary(base_[i])) fail_guard(where, -1, i, base_[i]);
+    for (std::size_t r = 0; r < nrows_; ++r) {
+      const float* g = rows + r * stride_ + row_floats_;
+      for (std::size_t i = 0; i < kGuardFloats; ++i)
+        if (!is_canary(g[i]))
+          fail_guard(where, static_cast<std::int64_t>(r), i, g[i]);
+    }
+  }
+
+ private:
+  static bool is_canary(float f) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &f, sizeof(bits));
+    return bits == kGuardCanaryBits;
+  }
+  [[noreturn]] static void fail_guard(const char* where, std::int64_t reg,
+                                      std::size_t word, float got) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &got, sizeof(bits));
+    throw Error(std::string(where) + ": guard-arena canary smashed " +
+                    (reg < 0 ? std::string("before row register 0")
+                             : "after row register " + std::to_string(reg)) +
+                    " (word " + std::to_string(word) + ", bits 0x" +
+                    [](std::uint32_t b) {
+                      char buf[9];
+                      static const char* hex = "0123456789abcdef";
+                      for (int i = 7; i >= 0; --i, b >>= 4) buf[i] = hex[b & 15];
+                      buf[8] = '\0';
+                      return std::string(buf);
+                    }(bits) +
+                    "): a row kernel overran its register",
+                ErrorCode::kInternal);
+  }
+
+  bool enabled_ = false;
+  bool laid_out_ = false;
+  float* base_ = nullptr;
+  std::size_t nrows_ = 0;
+  std::size_t stride_ = 0;      // row_floats_ + kGuardFloats
+  std::size_t row_floats_ = 0;  // data floats per row
 };
 
 }  // namespace fusedp

@@ -1,0 +1,73 @@
+// Cross-backend differential oracle.
+//
+// Runs a pipeline through every execution backend — scalar-tiled
+// interpreter, row interpreter, compiled scalar program, vectorized backend
+// with and without superop fusion — over randomized valid groupings, tile
+// sizes (including size-1, oversized and non-divisible), thread counts and
+// both tile schedules, and compares every materialized stage bit-for-bit
+// against the unfused scalar reference (run_reference).
+//
+// On mismatch the result carries a minimized DivergenceRecord: the earliest
+// diverging stage in topo order, the exact coordinate, both bit patterns,
+// the active ExecOptions and schedule text, and the generator seed —
+// everything needed for a one-line replay (`fusedp_verify --replay SEED`).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/executor.hpp"
+#include "verify/pipegen.hpp"
+
+namespace fusedp::verify {
+
+struct DivergenceRecord {
+  std::uint64_t seed = 0;
+  std::string pipeline;   // generated pipeline name ("gen<seed>")
+  std::string backend;    // diverging backend config label
+  std::string stage;      // earliest diverging stage (topo order)
+  int rank = 0;
+  std::int64_t coord[kMaxDims] = {0, 0, 0, 0};
+  std::uint32_t want_bits = 0;  // scalar reference
+  std::uint32_t got_bits = 0;
+  float want = 0.0f;
+  float got = 0.0f;
+  ExecOptions opts;       // full options of the diverging run
+  std::string schedule;   // grouping_to_text of the diverging grouping
+  // Non-empty when the run threw instead of producing wrong bits; the
+  // record then localizes the failure, not a coordinate.
+  std::string error;
+
+  // Multi-line human-readable report incl. the replay command.
+  std::string to_string() const;
+};
+
+struct DifferOptions {
+  int groupings_per_seed = 3;  // random groupings beyond the singleton one
+  int max_threads = 3;
+  PipeGenOptions gen;
+};
+
+struct DiffResult {
+  bool diverged = false;
+  DivergenceRecord record;  // valid only when diverged
+  int runs = 0;             // executor configurations exercised
+};
+
+// Generates pipeline + inputs for `seed` and cross-checks all backends.
+DiffResult diff_seed(std::uint64_t seed, const DifferOptions& opts = {});
+
+// Same oracle over a caller-provided pipeline; `seed` only labels the
+// record and seeds config randomization.
+DiffResult diff_pipeline(const Pipeline& pl,
+                         const std::vector<Buffer>& inputs,
+                         std::uint64_t seed, const DifferOptions& opts = {});
+
+// Cross-checks one specific schedule (all backend configs, no random
+// groupings) — fusedp_cli --verify runs its chosen grouping through this.
+DiffResult diff_grouping(const Pipeline& pl, const Grouping& grouping,
+                         const std::vector<Buffer>& inputs,
+                         std::uint64_t seed, const DifferOptions& opts = {});
+
+}  // namespace fusedp::verify

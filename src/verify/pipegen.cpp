@@ -1,0 +1,263 @@
+#include "verify/pipegen.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "support/image_io.hpp"
+#include "support/rng.hpp"
+
+namespace fusedp::verify {
+
+namespace {
+
+// Resolution-level extent: halved per level, floored so deep chains over
+// small bases stay runnable.  Degenerate axes (extent 1) never scale.
+std::int64_t level_extent(std::int64_t base, int lvl) {
+  if (base <= 1) return base;
+  return std::max<std::int64_t>(4, base >> lvl);
+}
+
+struct GenCtx {
+  Pipeline* pl = nullptr;
+  Rng* rng = nullptr;
+  std::int64_t channels = 0;  // 0: no rank-3 anywhere in this pipeline
+  // Per-stage metadata, indexed by stage id.
+  std::vector<int> level;
+  std::vector<const Stage*> stages;
+  // Per-input levels are all 0.
+};
+
+// Emits one load of `p` from a stage of rank `srank` at level `slvl`, with
+// offsets (dy, dx) on the spatial axes.  Handles every rank pairing the IR
+// allows: trailing-aligned same/lower-rank producers, and rank-3 producers
+// read from rank-2 stages via a constant channel axis.  Producer/consumer
+// level mismatch becomes a 2^d up/down-sampling affine map; out-of-domain
+// indices are folded by the load's border mode, so any offset is valid.
+Eh make_tap(GenCtx& g, StageBuilder& b, ProducerRef p, int srank, int slvl,
+            int plvl, std::int64_t dy, std::int64_t dx) {
+  const Box& pd = g.pl->producer_domain(p);
+  const int prank = pd.rank;
+  int num = 1, den = 1;
+  std::int64_t pre = 0;
+  if (plvl < slvl) {
+    num = 1 << (slvl - plvl);  // producer finer: downsampling access 2^d*x
+  } else if (plvl > slvl) {
+    den = 1 << (plvl - slvl);  // producer coarser: upsampling access x/2^d
+    pre = static_cast<std::int64_t>(g.rng->next_below(
+        static_cast<std::uint64_t>(den)));
+  }
+  std::vector<AxisMap> axes(static_cast<std::size_t>(prank));
+  if (prank == 3) {
+    // Channel axis: identity when the consumer also has channels, else a
+    // constant slice (the rank-collapse case).
+    axes[0] = srank == 3 ? AxisMap::affine(0, 0)
+                         : AxisMap::constant(static_cast<std::int64_t>(
+                               g.rng->next_below(static_cast<std::uint64_t>(
+                                   g.channels > 0 ? g.channels : 1))));
+  }
+  axes[static_cast<std::size_t>(prank - 2)] =
+      AxisMap::affine(srank - 2, dy, num, den, pre);
+  axes[static_cast<std::size_t>(prank - 1)] =
+      AxisMap::affine(srank - 1, dx, num, den, pre);
+  return b.load(p, std::move(axes));
+}
+
+}  // namespace
+
+std::unique_ptr<Pipeline> generate_pipeline(std::uint64_t seed,
+                                            const PipeGenOptions& opts) {
+  Rng rng(seed);
+  auto pl = std::make_unique<Pipeline>("gen" + std::to_string(seed));
+
+  GenCtx g;
+  g.pl = pl.get();
+  g.rng = &rng;
+
+  // Base shape.  A degenerate pipeline pins one or both spatial extents to 1
+  // (and disables re-sampling); otherwise both are uniform in
+  // [min_extent, max_extent].
+  const std::int64_t span = std::max<std::int64_t>(
+      1, opts.max_extent - opts.min_extent + 1);
+  std::int64_t base_h =
+      opts.min_extent +
+      static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(span)));
+  std::int64_t base_w =
+      opts.min_extent +
+      static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(span)));
+  const bool degenerate = rng.next_bool(opts.p_degenerate);
+  if (degenerate) {
+    switch (rng.next_below(3)) {
+      case 0: base_h = 1; break;
+      case 1: base_w = 1; break;
+      default: base_h = base_w = 1; break;
+    }
+  }
+  const bool allow_scaling =
+      !degenerate && opts.p_scaling > 0.0 && std::min(base_h, base_w) >= 16;
+  if (rng.next_bool(opts.p_rank3))
+    g.channels = 2 + static_cast<std::int64_t>(rng.next_below(2));
+
+  // Inputs: the primary image (rank 3 when the pipeline has channels) and,
+  // sometimes, a secondary rank-2 plane (mask/weight-style).
+  std::vector<int> input_ids;
+  if (g.channels > 0) {
+    input_ids.push_back(pl->add_input("img", {g.channels, base_h, base_w}));
+  } else {
+    input_ids.push_back(pl->add_input("img", {base_h, base_w}));
+  }
+  if (rng.next_bool(0.3))
+    input_ids.push_back(pl->add_input("aux", {base_h, base_w}));
+
+  const int span_stages = std::max(1, opts.max_stages - opts.min_stages + 1);
+  const int n = opts.min_stages +
+                static_cast<int>(rng.next_below(
+                    static_cast<std::uint64_t>(span_stages)));
+
+  for (int i = 0; i < n; ++i) {
+    // Primary producer: the input for the first stage, afterwards a random
+    // earlier stage (or occasionally back to an input, which creates
+    // independent chains that reconverge later).
+    ProducerRef prim;
+    if (i == 0 || rng.next_bool(0.2)) {
+      prim = {true, static_cast<std::int32_t>(
+                        rng.next_below(input_ids.size()))};
+    } else {
+      prim = {false, static_cast<std::int32_t>(
+                         rng.next_below(static_cast<std::uint64_t>(i)))};
+    }
+    const int plvl =
+        prim.is_input ? 0 : g.level[static_cast<std::size_t>(prim.id)];
+    const int prank = pl->producer_domain(prim).rank;
+
+    // Stage level: usually the producer's; with p_scaling, one level finer
+    // (upsample) or coarser (downsample), clamped to [0, 2].
+    int lvl = plvl;
+    if (allow_scaling && rng.next_bool(opts.p_scaling)) {
+      if (rng.next_bool(0.5) && lvl < 2) ++lvl;
+      else if (lvl > 0) --lvl;
+      else if (lvl < 2) ++lvl;
+    }
+
+    // Stage rank: follows the primary producer; a rank-3 producer sometimes
+    // collapses to a rank-2 stage (constant channel axis), and a rank-2
+    // producer in a channelled pipeline sometimes broadcasts up to rank 3.
+    int srank = prank;
+    if (prank == 3 && rng.next_bool(0.35)) srank = 2;
+    else if (prank == 2 && g.channels > 0 && rng.next_bool(0.2)) srank = 3;
+
+    const std::int64_t sh = level_extent(base_h, lvl);
+    const std::int64_t sw = level_extent(base_w, lvl);
+    std::vector<std::int64_t> extents =
+        srank == 3 ? std::vector<std::int64_t>{g.channels, sh, sw}
+                   : std::vector<std::int64_t>{sh, sw};
+    StageBuilder b(*pl, pl->add_stage("s" + std::to_string(i), extents));
+
+    // Border mode for every load of this stage.
+    switch (rng.next_below(8)) {
+      case 0: b.set_border(Border::kMirror); break;
+      case 1: b.set_border(Border::kWrap); break;
+      case 2: b.set_border(Border::kZero); break;
+      default: b.set_border(Border::kClamp); break;  // the common case
+    }
+
+    // Optional second producer; the last stage takes one eagerly so
+    // independent chains reconverge into a diamond.
+    std::vector<std::pair<ProducerRef, int>> prods = {{prim, plvl}};
+    const bool want_second =
+        i > 0 && (i == n - 1 || rng.next_bool(opts.p_second_producer));
+    if (want_second) {
+      ProducerRef sec;
+      if (rng.next_bool(0.15)) {
+        sec = {true, static_cast<std::int32_t>(
+                         rng.next_below(input_ids.size()))};
+      } else {
+        sec = {false, static_cast<std::int32_t>(
+                          rng.next_below(static_cast<std::uint64_t>(i)))};
+      }
+      const int seclvl =
+          sec.is_input ? 0 : g.level[static_cast<std::size_t>(sec.id)];
+      // Keep the level gap resolvable by one power-of-two map.
+      if (std::abs(seclvl - lvl) <= 1 && !(sec == prim))
+        prods.emplace_back(sec, seclvl);
+    }
+
+    // Body: weighted stencil taps over each producer, then random post-ops.
+    const int radius = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(opts.max_radius + 1)));
+    Eh acc = b.cst(0.05f * static_cast<float>(i + 1));
+    std::vector<Eh> taps;
+    for (const auto& [p, pl_lvl] : prods) {
+      const int ntaps = 1 + static_cast<int>(rng.next_below(3));
+      for (int t = 0; t < ntaps; ++t) {
+        const std::int64_t dy =
+            static_cast<std::int64_t>(rng.next_below(
+                static_cast<std::uint64_t>(2 * radius + 1))) - radius;
+        const std::int64_t dx =
+            static_cast<std::int64_t>(rng.next_below(
+                static_cast<std::uint64_t>(2 * radius + 1))) - radius;
+        Eh tap = make_tap(g, b, p, srank, lvl, pl_lvl, dy, dx);
+        taps.push_back(tap);
+        // Small weights keep values bounded across deep chains.
+        const float w =
+            0.0625f * static_cast<float>(1 + rng.next_below(6)) *
+            (rng.next_bool(0.25) ? -1.0f : 1.0f);
+        acc = acc + tap * w;
+      }
+    }
+
+    // Compare-and-select: condition over taps or the accumulator.
+    if (rng.next_bool(opts.p_select)) {
+      Eh cond = taps.size() >= 2 && rng.next_bool(0.5)
+                    ? (rng.next_bool(0.5) ? lt(taps[0], taps[1])
+                                          : le(taps[0], taps[1]))
+                    : lt(acc, 0.25f * static_cast<float>(1 + rng.next_below(3)));
+      acc = select(cond, acc * 0.75f + 0.125f, 1.0f - acc * 0.5f);
+    }
+
+    // A short random post-op chain over the remaining unary/binary ops.
+    const int extras = static_cast<int>(rng.next_below(3));
+    for (int e = 0; e < extras; ++e) {
+      switch (rng.next_below(7)) {
+        case 0: acc = min(acc, 1.5f); break;
+        case 1: acc = max(acc, -1.5f); break;
+        case 2: acc = abs(acc); break;
+        case 3: acc = sqrt(abs(acc) + 0.25f); break;
+        case 4: acc = floor(acc * 4.0f) * 0.25f; break;
+        case 5:
+          acc = acc + b.coord(srank - 1 -
+                              static_cast<int>(rng.next_below(2))) *
+                          0.001f;
+          break;
+        default:
+          if (!taps.empty())
+            acc = acc + eq(floor(taps[0] * 2.0f), 1.0f) * 0.125f;
+          else
+            acc = acc / 1.25f;
+          break;
+      }
+    }
+    b.define(acc * 0.5f);
+    if (rng.next_bool(opts.p_extra_output)) b.mark_output();
+
+    g.level.push_back(lvl);
+    g.stages.push_back(&b.stage());
+  }
+
+  pl->finalize();
+  return pl;
+}
+
+std::vector<Buffer> generate_inputs(const Pipeline& pl, std::uint64_t seed) {
+  std::vector<Buffer> inputs;
+  inputs.reserve(static_cast<std::size_t>(pl.num_inputs()));
+  for (int i = 0; i < pl.num_inputs(); ++i) {
+    const Box& dom = pl.input(i).domain;
+    std::vector<std::int64_t> extents;
+    for (int d = 0; d < dom.rank; ++d) extents.push_back(dom.extent(d));
+    inputs.push_back(make_synthetic_image(
+        extents, seed + 0x9E3779B9u * static_cast<std::uint64_t>(i + 1)));
+  }
+  return inputs;
+}
+
+}  // namespace fusedp::verify

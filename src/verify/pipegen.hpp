@@ -1,0 +1,46 @@
+// Deterministic random pipeline generation for differential verification.
+//
+// generate_pipeline(seed) emits a valid, finalized ir::Pipeline DAG drawn
+// from the full op vocabulary the executor supports: stencils with mixed
+// radii, 2x down- and up-sampling chains, all four border modes, selects and
+// comparisons, weighted taps, multi-consumer fan-out, diamond reconvergence,
+// mixed ranks (rank-3 channel stages collapsing to rank-2 via constant
+// axes) and degenerate extents (1x1, 1xN, Nx1).  The same seed always
+// produces the same pipeline, so any divergence the oracle finds is
+// replayable from the seed alone.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ir/builder.hpp"
+#include "support/buffer.hpp"
+
+namespace fusedp::verify {
+
+// Size/shape knobs.  Defaults are tuned so one seed exercises a non-trivial
+// DAG yet runs in milliseconds; the fuzz harness shrinks them further.
+struct PipeGenOptions {
+  int min_stages = 3;
+  int max_stages = 9;
+  std::int64_t min_extent = 12;   // base resolution bounds (inclusive)
+  std::int64_t max_extent = 64;
+  int max_radius = 2;             // stencil tap offsets in [-r, r]
+  double p_scaling = 0.3;         // chance a stage re-samples its producer
+  double p_rank3 = 0.2;           // chance the pipeline carries channels
+  double p_degenerate = 0.08;     // 1xN / Nx1 / 1x1 base shapes
+  double p_select = 0.35;         // chance of a compare-and-select body
+  double p_second_producer = 0.55;
+  double p_extra_output = 0.2;    // chance a non-sink stage is live-out
+};
+
+// Builds the pipeline for `seed`.  Always returns a finalized pipeline that
+// passes Pipeline::finalize() validation.
+std::unique_ptr<Pipeline> generate_pipeline(std::uint64_t seed,
+                                            const PipeGenOptions& opts = {});
+
+// Deterministic synthetic input images matching pl's input domains.
+std::vector<Buffer> generate_inputs(const Pipeline& pl, std::uint64_t seed);
+
+}  // namespace fusedp::verify

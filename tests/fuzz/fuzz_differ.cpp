@@ -1,0 +1,41 @@
+// Fuzz target: the pipegen → cross-backend oracle loop.
+//
+// The input bytes pick a generator seed and shrink the generator/differ
+// knobs; each execution builds a random pipeline and bit-compares every
+// backend against the scalar reference.  Any divergence or crash is a real
+// bug in an executor backend (or in the oracle itself), so a divergence
+// aborts with the full record on stderr.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "verify/differ.hpp"
+
+using namespace fusedp;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size < 8) return 0;
+  std::uint64_t seed = 0;
+  std::memcpy(&seed, data, sizeof seed);
+
+  verify::DifferOptions opts;
+  // Shrunken knobs keep one execution in the low milliseconds so the fuzzer
+  // gets real throughput; coverage of big extents belongs to the soak run.
+  opts.groupings_per_seed = size > 8 ? data[8] % 3 : 1;
+  opts.max_threads = size > 9 ? 1 + data[9] % 2 : 1;
+  opts.gen.min_stages = 2;
+  opts.gen.max_stages = size > 10 ? 2 + data[10] % 6 : 5;
+  opts.gen.min_extent = 4;
+  opts.gen.max_extent = size > 11 ? 8 + data[11] % 25 : 24;
+
+  const verify::DiffResult res = verify::diff_seed(seed, opts);
+  if (res.diverged) {
+    std::fprintf(stderr, "%s\n", res.record.to_string().c_str());
+    std::abort();
+  }
+  return 0;
+}
+
+#include "fuzz_main.inc"

@@ -1,0 +1,75 @@
+// Overflow-checked arithmetic and its wiring: extent math near INT64_MAX
+// must surface as a coded error from the cost model and the autoscheduler,
+// never as silent wraparound.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "fusion/autoschedule.hpp"
+#include "ir/builder.hpp"
+#include "support/checked.hpp"
+
+namespace fusedp {
+namespace {
+
+constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+
+TEST(Checked, MulAddHappyPath) {
+  EXPECT_EQ(checked_mul(6, 7).value(), 42);
+  EXPECT_EQ(checked_mul(-4, 5).value(), -20);
+  EXPECT_EQ(checked_add(kMax - 1, 1).value(), kMax);
+  EXPECT_EQ(checked_add(kMin + 1, -1).value(), kMin);
+  EXPECT_EQ(mul_or_throw(1 << 20, 1 << 20, "test"), 1ll << 40);
+}
+
+TEST(Checked, OverflowIsAnError) {
+  EXPECT_FALSE(checked_mul(kMax, 2).ok());
+  EXPECT_FALSE(checked_mul(kMin, -1).ok());
+  EXPECT_FALSE(checked_add(kMax, 1).ok());
+  EXPECT_FALSE(checked_add(kMin, -1).ok());
+  EXPECT_EQ(checked_mul(kMax, 2).error().code(), ErrorCode::kInvalidPipeline);
+  try {
+    mul_or_throw(kMax, 3, "tile footprint", ErrorCode::kInvalidSchedule);
+    FAIL() << "expected overflow to throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidSchedule);
+    EXPECT_NE(std::string(e.what()).find("tile footprint"),
+              std::string::npos);
+  }
+}
+
+TEST(Checked, VolumeOrThrow) {
+  const std::int64_t small[] = {3, 5, 7};
+  EXPECT_EQ(volume_or_throw(small, 3, "v"), 105);
+  const std::int64_t big[] = {std::int64_t{1} << 32, std::int64_t{1} << 32};
+  EXPECT_THROW(volume_or_throw(big, 2, "v"), Error);
+}
+
+TEST(Checked, AutoscheduleNearInt64MaxExtentsReturnsCodedError) {
+  // Per-stage volume ~9e18 still fits int64, but any two-stage fusion
+  // footprint overflows during cost evaluation.  The autoscheduler's
+  // degradation ladder only demotes budget/deadline/allocation failures, so
+  // the overflow must propagate as the coded kInvalidPipeline error instead
+  // of wrapping into a nonsense schedule.
+  const std::int64_t big = 3'000'000'000;  // 3e9^2 = 9e18 < INT64_MAX
+  Pipeline pl("overflow");
+  const int img = pl.add_input("img", {big, big});
+  StageBuilder a(pl, pl.add_stage("a", {big, big}));
+  a.define(a.in(img, {0, 0}) * 0.5f);
+  StageBuilder b(pl, pl.add_stage("b", {big, big}));
+  b.define(b.at(a.stage(), {0, 0}) + 1.0f);
+  pl.finalize();
+
+  try {
+    auto_schedule(pl, MachineModel::host());
+    FAIL() << "expected overflowing extents to surface as a coded error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidPipeline)
+        << error_code_name(e.code()) << ": " << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace fusedp

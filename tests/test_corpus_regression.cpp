@@ -1,0 +1,44 @@
+// Replays every seed recorded in tests/corpus/divergence_seeds.txt through
+// the differential oracle.  The corpus holds generator seeds that once
+// exposed a cross-backend divergence; replaying them on every test run pins
+// the fixes.  An empty corpus (the healthy state) still exercises the
+// wiring: the file must exist and parse.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "verify/differ.hpp"
+
+namespace fusedp {
+namespace {
+
+TEST(CorpusRegression, RecordedDivergenceSeedsStayClean) {
+  const std::string path =
+      std::string(FUSEDP_CORPUS_DIR) + "/divergence_seeds.txt";
+  std::ifstream f(path);
+  ASSERT_TRUE(f.is_open()) << "missing corpus file: " << path;
+
+  int replayed = 0;
+  std::string line;
+  while (std::getline(f, line)) {
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    char* end = nullptr;
+    const std::uint64_t seed = std::strtoull(line.c_str() + first, &end, 10);
+    ASSERT_NE(end, line.c_str() + first) << "unparsable corpus line: " << line;
+    const verify::DiffResult res = verify::diff_seed(seed);
+    EXPECT_FALSE(res.diverged)
+        << "regressed corpus seed " << seed << "\n"
+        << res.record.to_string();
+    ++replayed;
+  }
+  // Zero entries is fine — the point of this test is that the corpus stays
+  // wired into ctest so the first recorded divergence runs forever.
+  SUCCEED() << replayed << " corpus seed(s) replayed";
+}
+
+}  // namespace
+}  // namespace fusedp

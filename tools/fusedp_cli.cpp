@@ -15,6 +15,7 @@
 #include "ir/dot.hpp"
 #include "support/cli.hpp"
 #include "support/timing.hpp"
+#include "verify/differ.hpp"
 
 using namespace fusedp;
 
@@ -134,16 +135,21 @@ int cmd_run(const Cli& cli, const std::string& bench) {
               opts.pooled_storage ? ", pooled storage" : "");
 
   if (cli.has("verify")) {
-    const std::vector<Buffer> ref = run_reference(pl, inputs);
-    for (std::size_t o = 0; o < pl.outputs().size(); ++o) {
-      const Buffer& expect =
-          ref[static_cast<std::size_t>(pl.outputs()[o])];
-      const Buffer& got = ws.stage_buffer(pl.outputs()[o]);
-      for (std::int64_t i = 0; i < got.volume(); ++i)
-        FUSEDP_CHECK(std::memcmp(&got.data()[i], &expect.data()[i], 4) == 0,
-                     "verification FAILED");
+    // Re-run the chosen schedule through the differential oracle: every
+    // backend config, every materialized stage bit-compared to the scalar
+    // reference.  Divergence exits through the standard error-code map.
+    const verify::DiffResult res = verify::diff_grouping(
+        pl, g, inputs, static_cast<std::uint64_t>(cli.get_int("seed", 0)));
+    if (res.diverged) {
+      std::fprintf(stderr, "%s\n", res.record.to_string().c_str());
+      FUSEDP_CHECK_CODE(false, ErrorCode::kInternal,
+                        "differential verification FAILED (backend " +
+                            res.record.backend + ")");
     }
-    std::printf("verified bit-identical to the scalar reference\n");
+    std::printf(
+        "verified: %d executor configs bit-identical to the scalar "
+        "reference\n",
+        res.runs);
   }
   return 0;
 }
