@@ -108,6 +108,48 @@ std::string exec_options_json(const ExecOptions& opts, const char* indent) {
   return s;
 }
 
+std::string provenance_json(const MachineModel& machine,
+                            const ExecOptions* exec, const char* indent) {
+#ifdef FUSEDP_GIT_SHA
+  const char* sha = FUSEDP_GIT_SHA;
+#else
+  const char* sha = "unknown";
+#endif
+  std::string in(indent);
+  std::string s;
+  s += in + "\"provenance\": {\n";
+  s += in + "  \"git_sha\": \"" + sha + "\",\n";
+  s += in + "  \"machine\": {\n";
+  s += in + "    \"name\": \"" + machine.name + "\",\n";
+  s += in + "    \"l1_bytes\": " + std::to_string(machine.l1_bytes) + ",\n";
+  s += in + "    \"l2_bytes\": " + std::to_string(machine.l2_bytes) + ",\n";
+  s += in + "    \"l3_bytes\": " + std::to_string(machine.l3_bytes) + ",\n";
+  s += in + "    \"cores\": " + std::to_string(machine.cores) + ",\n";
+  s += in + "    \"vector_width_floats\": " +
+       std::to_string(machine.vector_width_floats) + ",\n";
+  s += in + "    \"innermost_tile\": " +
+       std::to_string(machine.innermost_tile) + ",\n";
+  s += in + "    \"weights\": [" + std::to_string(machine.weights.w1) + ", " +
+       std::to_string(machine.weights.w2) + ", " +
+       std::to_string(machine.weights.w3) + ", " +
+       std::to_string(machine.weights.w4) + "]\n";
+  s += in + "  },\n";
+  if (exec != nullptr) {
+    s += in + "  \"executor\": {\n";
+    std::string eo = exec_options_json(*exec, (in + "    ").c_str());
+    // exec_options_json ends every member with ",\n"; the last member of
+    // the nested object must not have the trailing comma.
+    if (eo.size() >= 2 && eo[eo.size() - 2] == ',')
+      eo.erase(eo.size() - 2, 1);
+    s += eo;
+    s += in + "  }\n";
+  } else {
+    s += in + "  \"executor\": null\n";
+  }
+  s += in + "},\n";
+  return s;
+}
+
 Grouping schedule(Scheduler which, const PipelineSpec& spec,
                   const CostModel& model, const BenchConfig& cfg,
                   int tune_threads) {

@@ -64,4 +64,14 @@ std::string bench_out_path(const Cli& cli, const char* default_filename);
 // which executor configuration produced its numbers.
 std::string exec_options_json(const ExecOptions& opts, const char* indent);
 
+// A complete `"provenance": {...},` JSON member (prefixed with `indent`,
+// trailing comma included) recording where the artifact's numbers came
+// from: the git commit the build was configured at, the full MachineModel
+// (cache sizes, IMTS, cost weights), and the resolved executor options
+// (`"executor": null` when `exec` is null — scheduling-only benches).
+// Every BENCH_*.json carries this block so a number can always be traced
+// back to the code and configuration that produced it.
+std::string provenance_json(const MachineModel& machine,
+                            const ExecOptions* exec, const char* indent);
+
 }  // namespace fusedp::bench

@@ -124,6 +124,7 @@ int main(int argc, char** argv) {
   }
   out << "{\n"
       << "  \"bench\": \"smoke\",\n"
+      << bench::provenance_json(machine, &opts, "  ")
       << "  \"schedule_source\": \"PolyMageDP\",\n"
       << "  \"backend\": \""
       << (!compiled ? "interpreted"

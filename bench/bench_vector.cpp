@@ -124,6 +124,7 @@ int main(int argc, char** argv) {
   }
   out << "{\n"
       << "  \"bench\": \"vector\",\n"
+      << bench::provenance_json(machine, &vector_opts, "  ")
       << "  \"schedule_source\": \"PolyMageDP\",\n"
       << "  \"baseline\": \"scalar-compiled\",\n"
       << "  \"variant\": \"" << (allow_fma ? "vector+fma" : "vector")

@@ -112,6 +112,7 @@ int main(int argc, char** argv) {
   const char* limit_keys[4] = {"inf", "32", "16", "8"};
   out << "{\n"
       << "  \"bench\": \"table2_grouping\",\n"
+      << provenance_json(cfg.machine, nullptr, "  ")
       << "  \"executor\": null,\n"
       << "  \"scale\": " << cfg.scale << ",\n"
       << "  \"machine\": \"" << cfg.machine.name << "\",\n"

@@ -89,6 +89,7 @@ int main(int argc, char** argv) {
   }
   out << "{\n"
       << "  \"bench\": \"table5_cache\",\n"
+      << provenance_json(cfg.machine, &cfg.exec, "  ")
       << exec_options_json(cfg.exec, "  ")
       << "  \"scale\": " << cfg.scale << ",\n"
       << "  \"machine\": \"" << cfg.machine.name << "\",\n"

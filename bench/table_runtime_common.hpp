@@ -86,6 +86,7 @@ inline void write_benchmark_results_json(
                                   Scheduler::kPolyMageDp};
   out << "{\n"
       << "  \"bench\": \"" << bench_name << "\",\n"
+      << provenance_json(cfg.machine, &cfg.exec, "  ")
       << exec_options_json(cfg.exec, "  ")
       << "  \"scale\": " << cfg.scale << ",\n"
       << "  \"samples\": " << cfg.samples << ",\n"

@@ -9,7 +9,6 @@
 #include "fusion/inlining.hpp"
 #include "fusion/serialize.hpp"
 #include "support/cli.hpp"
-#include "support/timing.hpp"
 
 using namespace fusedp;
 
@@ -67,21 +66,31 @@ int main(int argc, char** argv) {
   const Grouping loaded = load_grouping(opt, sched_file);
   std::printf("schedule round-tripped through %s\n", sched_file.c_str());
 
-  // --- 4. Execute with pooled storage and verify --------------------------
+  // --- 4. Execute the loaded schedule through a Session and verify --------
+  // Session::open(pl, grouping, opts) takes a caller-provided schedule
+  // as-is (validated, tile sizes untouched) and compiles it once; repeated
+  // execute() calls reuse the warm plan and workspace.
   std::vector<Buffer> inputs;
   inputs.push_back(make_synthetic_image({3, h, w}, 41));
-  ExecOptions opts;
+  Options opts;
   opts.num_threads = threads;
   opts.pooled_storage = true;
-  Executor ex(opt, loaded, opts);
-  Workspace ws;
-  ex.run(inputs, ws);
-  WallTimer t;
-  ex.run(inputs, ws);
-  std::printf("run: %.2f ms on %d threads\n", t.millis(), threads);
+  Result<Session> opened = Session::open(opt, loaded, opts);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "Session::open failed: %s\n", opened.error().what());
+    return 1;
+  }
+  Session session = std::move(opened).value();
+  session.execute(inputs);  // warm-up
+  Result<double> seconds = session.execute(inputs);
+  if (!seconds.ok()) {
+    std::fprintf(stderr, "execute failed: %s\n", seconds.error().what());
+    return 1;
+  }
+  std::printf("run: %.2f ms on %d threads\n", seconds.value() * 1e3, threads);
 
   const std::vector<Buffer> ref = run_reference(opt, inputs);
-  const Buffer& got = ws.stage_buffer(opt.outputs()[0]);
+  const Buffer& got = session.output(0);
   const Buffer& want = ref[static_cast<std::size_t>(opt.outputs()[0])];
   for (std::int64_t i = 0; i < got.volume(); ++i)
     FUSEDP_CHECK(got.data()[i] == want.data()[i], "verification failed");

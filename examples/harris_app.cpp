@@ -1,5 +1,6 @@
-// Harris corner detection on a synthetic scene, scheduled by the DP fusion
-// model, with a corner-overlay image written as PPM.
+// Harris corner detection on a synthetic scene, scheduled and executed
+// through the fusedp::Session facade (the auto-schedule ladder runs the DP
+// fusion model first), with a corner-overlay image written as PPM.
 //
 //   ./harris_app [--height=708] [--width=1064] [--threads=4]
 //                [--out=harris.ppm] [--machine=xeon|opteron|host]
@@ -7,11 +8,9 @@
 #include <cstdio>
 #include <vector>
 
-#include "fusion/incremental.hpp"
+#include "api/session.hpp"
 #include "pipelines/pipelines.hpp"
-#include "runtime/executor.hpp"
 #include "support/cli.hpp"
-#include "support/timing.hpp"
 
 using namespace fusedp;
 
@@ -28,27 +27,36 @@ int main(int argc, char** argv) {
 
   const PipelineSpec spec = make_harris(h, w);
   const Pipeline& pl = *spec.pipeline;
-  const CostModel model(pl, machine);
 
-  IncFusion inc(pl, model);
-  const Grouping grouping = inc.run();
-  std::printf("schedule (%zu groups):\n%s\n", grouping.groups.size(),
-              grouping.to_string(pl).c_str());
+  // One Session call replaces the model + scheduler + executor wiring: the
+  // auto-schedule ladder (full DP first) picks the grouping, and the
+  // compiled plan stays warm across execute() calls.
+  Options opts;
+  opts.num_threads = threads;
+  opts.machine = machine;
+  Result<Session> opened = Session::open(pl, opts);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "Session::open failed: %s\n", opened.error().what());
+    return 1;
+  }
+  Session session = std::move(opened).value();
+  std::printf("schedule (%zu groups):\n%s\n",
+              session.grouping().groups.size(),
+              session.grouping().to_string(pl).c_str());
 
   const std::vector<Buffer> inputs = spec.make_inputs();
-  ExecOptions opts;
-  opts.num_threads = threads;
-  Executor ex(pl, grouping, opts);
-  Workspace ws;
-  ex.run(inputs, ws);  // warm-up
-  WallTimer t;
-  ex.run(inputs, ws);
+  session.execute(inputs);  // warm-up
+  Result<double> seconds = session.execute(inputs);
+  if (!seconds.ok()) {
+    std::fprintf(stderr, "execute failed: %s\n", seconds.error().what());
+    return 1;
+  }
   std::printf("harris on %lldx%lld: %.2f ms (%d threads)\n",
               static_cast<long long>(h), static_cast<long long>(w),
-              t.millis(), threads);
+              seconds.value() * 1e3, threads);
 
   // Overlay strong responses on the input image.
-  const Buffer& resp = ws.stage_buffer(pl.outputs()[0]);
+  const Buffer& resp = session.output(0);
   float max_resp = 0.0f;
   for (std::int64_t i = 0; i < resp.volume(); ++i)
     max_resp = std::max(max_resp, resp.data()[i]);

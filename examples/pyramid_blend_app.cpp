@@ -6,11 +6,10 @@
 //                       [--out=blend.ppm]
 #include <cstdio>
 
+#include "api/session.hpp"
 #include "fusion/incremental.hpp"
 #include "pipelines/pipelines.hpp"
-#include "runtime/executor.hpp"
 #include "support/cli.hpp"
-#include "support/timing.hpp"
 
 using namespace fusedp;
 
@@ -33,21 +32,30 @@ int main(int argc, char** argv) {
                   inc.stats().groupings_enumerated),
               inc.stats().seconds * 1e3);
 
+  // Hand the DP grouping to a Session: it validates the schedule, compiles
+  // the plan once, and keeps the workspace warm between execute() calls.
   const std::vector<Buffer> inputs = spec.make_inputs();
-  ExecOptions opts;
+  Options opts;
   opts.num_threads = threads;
-  Executor ex(pl, grouping, opts);
-  Workspace ws;
-  ex.run(inputs, ws);
-  WallTimer t;
-  ex.run(inputs, ws);
+  Result<Session> opened = Session::open(pl, grouping, opts);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "Session::open failed: %s\n", opened.error().what());
+    return 1;
+  }
+  Session session = std::move(opened).value();
+  session.execute(inputs);  // warm-up
+  Result<double> seconds = session.execute(inputs);
+  if (!seconds.ok()) {
+    std::fprintf(stderr, "execute failed: %s\n", seconds.error().what());
+    return 1;
+  }
   std::printf("pyramid blend on %lldx%lld: %.2f ms (%d threads)\n",
               static_cast<long long>(h), static_cast<long long>(w),
-              t.millis(), threads);
+              seconds.value() * 1e3, threads);
 
   write_ppm("blend_input_a.ppm", inputs[0]);
   write_ppm("blend_input_b.ppm", inputs[1]);
-  write_ppm(out_path, ws.stage_buffer(pl.outputs()[0]));
+  write_ppm(out_path, session.output(0));
   std::printf("wrote blend_input_a.ppm, blend_input_b.ppm, %s\n",
               out_path.c_str());
   return 0;

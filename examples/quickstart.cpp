@@ -1,12 +1,18 @@
-// Quickstart: the blur pipeline from the paper's Figure 1, scheduled with
-// the DP fusion model and executed with overlapped tiling.
+// Quickstart: the blur pipeline from the paper's Figure 1, scheduled and
+// executed through the fusedp::Session facade.
 //
 //   ./quickstart [--height=1024] [--width=1024] [--threads=4]
+//                [--trace=blur_trace.json]
+//
+// Session::open owns the whole schedule -> plan -> execute lifecycle: it
+// validates the Options struct, runs the deadline-bounded scheduler ladder
+// (full DP first), compiles the stage programs, and hands back a coded
+// Result instead of throwing.  --trace additionally exports the measured
+// run as Chrome trace_event JSON (chrome://tracing, Perfetto).
 #include <cstdio>
 
 #include "fusedp.hpp"
 #include "support/cli.hpp"
-#include "support/timing.hpp"
 
 using namespace fusedp;
 
@@ -15,36 +21,52 @@ int main(int argc, char** argv) {
   const std::int64_t h = cli.get_int("height", 1024);
   const std::int64_t w = cli.get_int("width", 1024);
   const int threads = static_cast<int>(cli.get_int("threads", 4));
+  const std::string trace_path = cli.get("trace", "");
 
   // 1. Build the pipeline (the C++ analogue of paper Figure 1).
   const PipelineSpec spec = make_blur(h, w);
   const Pipeline& pl = *spec.pipeline;
   std::printf("%s", pipeline_to_string(pl).c_str());
 
-  // 2. Schedule it: DP grouping + model-driven tile sizes.
-  const CostModel model(pl, MachineModel::host());
-  DpFusion dp(pl, model);
-  const Grouping grouping = dp.run();
-  std::printf("\n%s", grouping.to_string(pl).c_str());
-  std::printf("DP evaluated %llu states in %.2f ms\n\n",
-              static_cast<unsigned long long>(dp.stats().groupings_enumerated),
-              dp.stats().seconds * 1e3);
+  // 2. Open a session: one validated Options struct covers scheduling,
+  //    execution and observability.
+  //
+  //    (Deprecated equivalent — wiring the steps by hand:
+  //       CostModel model(pl, MachineModel::host());
+  //       Grouping g = DpFusion(pl, model).run();
+  //       auto outs = run_pipeline(pl, g, inputs, ExecOptions{...});
+  //     still supported, but Session validates the options, reports which
+  //     scheduler tier won, and keeps the compiled plan warm across runs.)
+  Options opts;
+  opts.num_threads = threads;
+  opts.collect_trace = true;  // enables trace()/report() below
+  Result<Session> opened = Session::open(pl, opts);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "Session::open failed [%s]: %s\n",
+                 error_code_name(opened.error().code()),
+                 opened.error().what());
+    return 1;
+  }
+  Session session = std::move(opened).value();
+  std::printf("\n%s", session.grouping().to_string(pl).c_str());
+  std::printf("%s\n", session.diagnostics().summary().c_str());
 
   // 3. Show the lowered loop structure (the analogue of paper Figure 3).
-  std::printf("%s\n", plan_to_string(lower(pl, grouping)).c_str());
+  std::printf("%s\n", plan_to_string(session.plan()).c_str());
 
   // 4. Execute and verify against the unfused scalar reference.
   const std::vector<Buffer> inputs = spec.make_inputs();
-  ExecOptions opts;
-  opts.num_threads = threads;
-  WallTimer timer;
-  const std::vector<Buffer> outs = run_pipeline(pl, grouping, inputs, opts);
-  std::printf("fused+tiled run: %.2f ms on %d threads\n", timer.millis(),
-              threads);
+  Result<double> seconds = session.execute(inputs);
+  if (!seconds.ok()) {
+    std::fprintf(stderr, "execute failed: %s\n", seconds.error().what());
+    return 1;
+  }
+  std::printf("fused+tiled run: %.2f ms on %d threads\n",
+              seconds.value() * 1e3, threads);
 
   const std::vector<Buffer> ref = run_reference(pl, inputs);
   const Buffer& expect = ref[static_cast<std::size_t>(pl.outputs()[0])];
-  const Buffer& got = outs[0];
+  const Buffer& got = session.output(0);
   for (std::int64_t i = 0; i < got.volume(); ++i)
     if (got.data()[i] != expect.data()[i]) {
       std::printf("MISMATCH at %lld: %f vs %f\n",
@@ -53,5 +75,18 @@ int main(int argc, char** argv) {
       return 1;
     }
   std::printf("output matches the scalar reference bit-for-bit\n");
+
+  // 5. Observability: predicted-vs-measured per group, optional trace file.
+  Result<observe::Report> rep = session.report();
+  if (rep.ok()) std::printf("\n%s", observe::report_to_string(rep.value()).c_str());
+  if (!trace_path.empty()) {
+    Result<int> wrote = session.write_trace(trace_path);
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n", wrote.error().what());
+      return 1;
+    }
+    std::printf("wrote %d trace events to %s\n", wrote.value(),
+                trace_path.c_str());
+  }
   return 0;
 }

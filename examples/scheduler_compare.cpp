@@ -6,12 +6,12 @@
 //                       [--machine=xeon|opteron|host]
 #include <cstdio>
 
+#include "api/session.hpp"
 #include "fusion/dp.hpp"
 #include "fusion/halide_auto.hpp"
 #include "fusion/incremental.hpp"
 #include "fusion/polymage_greedy.hpp"
 #include "pipelines/pipelines.hpp"
-#include "runtime/executor.hpp"
 #include "support/cli.hpp"
 #include "support/stats.hpp"
 
@@ -25,16 +25,19 @@ MachineModel machine_by_name(const std::string& name) {
   return MachineModel::host();
 }
 
+// Each candidate grouping is timed through its own Session (warm plan +
+// workspace, repeated execute()).
 double time_grouping(const Pipeline& pl, const Grouping& g,
                      const std::vector<Buffer>& inputs, int threads,
                      int runs) {
-  ExecOptions opts;
+  Options opts;
   opts.num_threads = threads;
-  Executor ex(pl, g, opts);
-  Workspace ws;
-  ex.run(inputs, ws);  // warmup + allocation
+  Result<Session> opened = Session::open(pl, g, opts);
+  FUSEDP_CHECK(opened.ok(), "Session::open failed in time_grouping");
+  Session session = std::move(opened).value();
+  session.execute(inputs);  // warmup + allocation
   const RunStats st = measure_min_of_averages(
-      [&] { ex.run(inputs, ws); }, /*samples=*/1, runs);
+      [&] { session.execute(inputs); }, /*samples=*/1, runs);
   return st.min_avg_ms;
 }
 
@@ -99,9 +102,15 @@ int main(int argc, char** argv) {
   // Correctness: all schedules must match the scalar reference bit-for-bit.
   const std::vector<Buffer> ref = run_reference(pl, inputs);
   for (const Row& row : rows) {
-    ExecOptions opts;
+    Options opts;
     opts.num_threads = 1;
-    const std::vector<Buffer> outs = run_pipeline(pl, row.g, inputs, opts);
+    Result<Session> opened = Session::open(pl, row.g, opts);
+    FUSEDP_CHECK(opened.ok(),
+                 std::string(row.name) + ": Session::open failed");
+    Session session = std::move(opened).value();
+    Result<std::vector<Buffer>> got = session.run(inputs);
+    FUSEDP_CHECK(got.ok(), std::string(row.name) + ": execute failed");
+    const std::vector<Buffer>& outs = got.value();
     for (std::size_t o = 0; o < outs.size(); ++o) {
       const Buffer& expect =
           ref[static_cast<std::size_t>(pl.outputs()[o])];

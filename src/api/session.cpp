@@ -1,0 +1,356 @@
+#include "api/session.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "fusion/dp.hpp"
+#include "fusion/halide_auto.hpp"
+#include "fusion/polymage_greedy.hpp"
+#include "support/timing.hpp"
+
+namespace fusedp {
+
+const char* scheduler_name(Scheduler s) {
+  switch (s) {
+    case Scheduler::kAuto: return "auto";
+    case Scheduler::kDp: return "dp";
+    case Scheduler::kGreedy: return "greedy";
+    case Scheduler::kHalideAuto: return "halide-auto";
+    case Scheduler::kUnfused: return "unfused";
+  }
+  return "?";
+}
+
+ExecOptions Options::exec() const {
+  ExecOptions eo;
+  eo.num_threads = num_threads;
+  eo.mode = mode;
+  eo.compiled = compiled;
+  eo.vector_backend = vector_backend;
+  eo.superop_fusion = superop_fusion;
+  eo.allow_fma = allow_fma;
+  eo.tile_schedule = tile_schedule;
+  eo.pooled_storage = pooled_storage;
+  eo.guard_arena = guard_arena;
+  return eo;
+}
+
+AutoScheduleOptions Options::autoschedule() const {
+  AutoScheduleOptions ao;
+  ao.deadline_seconds = deadline_seconds;
+  ao.max_states = max_states;
+  ao.bounded_initial_limit = bounded_initial_limit;
+  ao.greedy_t1 = greedy_t1;
+  ao.greedy_t2 = greedy_t2;
+  ao.greedy_tolerance = greedy_tolerance;
+  return ao;
+}
+
+namespace {
+
+Result<bool> invalid(const std::string& msg) {
+  return Result<bool>::failure(ErrorCode::kInvalidArgument, msg);
+}
+
+}  // namespace
+
+Result<bool> validate_options(const Options& opts) {
+  if (opts.num_threads <= 0) {
+    std::ostringstream os;
+    os << "Options::num_threads must be >= 1 (got " << opts.num_threads << ")";
+    return invalid(os.str());
+  }
+  if (opts.allow_fma && !opts.vector_backend)
+    return invalid(
+        "Options::allow_fma requires the vector backend "
+        "(vector_backend = false): FMA contraction is a vector-backend "
+        "superop transformation");
+  if (opts.allow_fma && (!opts.compiled || opts.mode == EvalMode::kScalar))
+    return invalid(
+        "Options::allow_fma requires the compiled row backend "
+        "(compiled = true, mode = kRow)");
+  if (opts.deadline_seconds < 0.0)
+    return invalid("Options::deadline_seconds must be >= 0 (0 = no deadline)");
+  const bool uses_dp =
+      opts.scheduler == Scheduler::kAuto || opts.scheduler == Scheduler::kDp;
+  if (uses_dp && opts.max_states == 0)
+    return invalid(
+        "Options::max_states = 0 leaves the DP search no budget at all; "
+        "pick a positive budget or Scheduler::kGreedy/kUnfused");
+  if (opts.scheduler == Scheduler::kAuto && opts.bounded_initial_limit < 2) {
+    std::ostringstream os;
+    os << "Options::bounded_initial_limit must be >= 2 (got "
+       << opts.bounded_initial_limit
+       << "): the bounded-DP ladder halves it down to 2";
+    return invalid(os.str());
+  }
+  const bool uses_greedy =
+      opts.scheduler == Scheduler::kAuto || opts.scheduler == Scheduler::kGreedy;
+  if (uses_greedy && (opts.greedy_t1 <= 0 || opts.greedy_t2 <= 0))
+    return invalid("Options::greedy_t1/greedy_t2 must be positive tile sizes");
+  if (uses_greedy && opts.greedy_tolerance < 0.0)
+    return invalid("Options::greedy_tolerance must be >= 0");
+  if (opts.deadline_seconds > 0.0 && opts.scheduler != Scheduler::kAuto) {
+    std::ostringstream os;
+    os << "Options::deadline_seconds only bounds the Scheduler::kAuto "
+          "ladder; with scheduler = "
+       << scheduler_name(opts.scheduler) << " a deadline cannot be honored";
+    return invalid(os.str());
+  }
+  return true;
+}
+
+namespace {
+
+// Shared open() precondition checks.
+Result<bool> check_openable(const Pipeline& pl, const Options& opts) {
+  Result<bool> v = validate_options(opts);
+  if (!v.ok()) return v;
+  if (!pl.finalized())
+    return Result<bool>::failure(
+        ErrorCode::kInvalidPipeline,
+        "Session::open: pipeline '" + pl.name() +
+            "' is not finalized (call Pipeline::finalize() first)");
+  if (pl.num_stages() == 0)
+    return Result<bool>::failure(ErrorCode::kInvalidPipeline,
+                                 "Session::open: pipeline '" + pl.name() +
+                                     "' has no stages");
+  return true;
+}
+
+}  // namespace
+
+Session::Session(const Pipeline& pl, Options opts, Grouping grouping,
+                 Diagnostics diag)
+    : pl_(&pl),
+      opts_(std::move(opts)),
+      grouping_(std::move(grouping)),
+      diag_(std::move(diag)) {}
+
+observe::Observer* Session::effective_observer() const {
+  if (tee_ != nullptr) return tee_.get();
+  if (collector_ != nullptr) return collector_.get();
+  return opts_.observer;
+}
+
+Result<Session> Session::open(const Pipeline& pl, Options opts) {
+  if (Result<bool> pre = check_openable(pl, opts); !pre.ok())
+    return pre.error();
+
+  std::unique_ptr<observe::TraceCollector> collector;
+  std::unique_ptr<observe::TeeObserver> tee;
+  if (opts.collect_trace)
+    collector = std::make_unique<observe::TraceCollector>(opts.trace_tiles);
+  if (collector != nullptr && opts.observer != nullptr)
+    tee = std::make_unique<observe::TeeObserver>(collector.get(),
+                                                 opts.observer);
+  observe::Observer* obs = tee != nullptr
+                               ? static_cast<observe::Observer*>(tee.get())
+                               : collector != nullptr
+                                     ? static_cast<observe::Observer*>(
+                                           collector.get())
+                                     : opts.observer;
+
+  try {
+    CostModel model(pl, opts.machine);
+    Grouping grouping;
+    Diagnostics diag;
+    WallTimer sched_timer;
+    switch (opts.scheduler) {
+      case Scheduler::kAuto: {
+        AutoScheduleOptions ao = opts.autoschedule();
+        ao.observer = obs;
+        ScheduleResult sr = auto_schedule(pl, model, ao);
+        grouping = std::move(sr.grouping);
+        diag = std::move(sr.diagnostics);
+        break;
+      }
+      case Scheduler::kDp: {
+        DpOptions dopts;
+        dopts.max_states = opts.max_states;
+        grouping = DpFusion(pl, model, dopts).run();
+        diag.tier = ScheduleTier::kFullDp;
+        break;
+      }
+      case Scheduler::kGreedy:
+        grouping = PolyMageGreedy(pl, model)
+                       .run(opts.greedy_t1, opts.greedy_t2,
+                            opts.greedy_tolerance);
+        diag.tier = ScheduleTier::kGreedy;
+        break;
+      case Scheduler::kHalideAuto:
+        grouping = HalideAuto(pl, model).run();
+        diag.tier = ScheduleTier::kGreedy;  // nearest tier label
+        break;
+      case Scheduler::kUnfused:
+        grouping = singleton_grouping(pl, model);
+        diag.tier = ScheduleTier::kUnfused;
+        break;
+    }
+    diag.total_seconds = sched_timer.seconds();
+    // kAuto streams its ladder attempts itself; synthesize the one-shot
+    // record for the direct schedulers so traces always show how the
+    // schedule came to be.
+    if (obs != nullptr && opts.scheduler != Scheduler::kAuto) {
+      observe::ScheduleAttempt at;
+      at.tier = scheduler_name(opts.scheduler);
+      at.succeeded = true;
+      at.seconds = diag.total_seconds;
+      std::ostringstream os;
+      os << grouping.groups.size() << " groups, model cost "
+         << grouping.total_cost;
+      at.detail = os.str();
+      obs->on_schedule_attempt(at);
+    }
+
+    Session s(pl, std::move(opts), std::move(grouping), std::move(diag));
+    s.collector_ = std::move(collector);
+    s.tee_ = std::move(tee);
+    s.exec_ = std::make_unique<Executor>(pl, s.grouping_, s.opts_.exec());
+    return Result<Session>(std::move(s));
+  } catch (const Error& e) {
+    return Result<Session>(e);
+  } catch (const std::bad_alloc&) {
+    return Result<Session>::failure(ErrorCode::kAllocationFailed,
+                                    "Session::open: out of memory");
+  } catch (const std::exception& e) {
+    return Result<Session>::failure(ErrorCode::kInternal, e.what());
+  }
+}
+
+Result<Session> Session::open(const Pipeline& pl, const Grouping& grouping,
+                              Options opts) {
+  if (Result<bool> pre = check_openable(pl, opts); !pre.ok())
+    return pre.error();
+
+  std::string why;
+  if (!validate_grouping(pl, grouping, &why))
+    return Result<Session>::failure(
+        ErrorCode::kInvalidSchedule,
+        "Session::open: grouping does not validate: " + why);
+
+  std::unique_ptr<observe::TraceCollector> collector;
+  std::unique_ptr<observe::TeeObserver> tee;
+  if (opts.collect_trace)
+    collector = std::make_unique<observe::TraceCollector>(opts.trace_tiles);
+  if (collector != nullptr && opts.observer != nullptr)
+    tee = std::make_unique<observe::TeeObserver>(collector.get(),
+                                                 opts.observer);
+
+  try {
+    Grouping g = grouping;
+    // Fill missing per-group predicted costs so the report's predicted
+    // column is populated — but never touch tile sizes: a caller-provided
+    // grouping executes exactly as given (complete_grouping would overwrite
+    // deliberately-absent tile sizes and change the run).
+    CostModel model(pl, opts.machine);
+    double total = 0.0;
+    for (GroupSchedule& gs : g.groups) {
+      if (gs.cost == 0.0) {
+        try {
+          GroupCost gc = model.cost(gs.stages);
+          if (gc.feasible()) gs.cost = gc.cost;
+        } catch (const Error&) {
+          // Model cannot score this group (e.g. a reduction); leave 0.
+        }
+      }
+      total += gs.cost;
+    }
+    if (g.total_cost == 0.0) g.total_cost = total;
+
+    Session s(pl, std::move(opts), std::move(g), Diagnostics{});
+    s.collector_ = std::move(collector);
+    s.tee_ = std::move(tee);
+    s.exec_ = std::make_unique<Executor>(pl, s.grouping_, s.opts_.exec());
+    return Result<Session>(std::move(s));
+  } catch (const Error& e) {
+    return Result<Session>(e);
+  } catch (const std::bad_alloc&) {
+    return Result<Session>::failure(ErrorCode::kAllocationFailed,
+                                    "Session::open: out of memory");
+  } catch (const std::exception& e) {
+    return Result<Session>::failure(ErrorCode::kInternal, e.what());
+  }
+}
+
+Result<double> Session::execute(const std::vector<Buffer>& inputs) {
+  if (static_cast<int>(inputs.size()) != pl_->num_inputs()) {
+    std::ostringstream os;
+    os << "Session::execute: pipeline '" << pl_->name() << "' takes "
+       << pl_->num_inputs() << " input(s), got " << inputs.size();
+    return Result<double>::failure(ErrorCode::kInvalidArgument, os.str());
+  }
+  for (int i = 0; i < pl_->num_inputs(); ++i) {
+    const Box& dom = pl_->input(i).domain;
+    const Buffer& b = inputs[static_cast<std::size_t>(i)];
+    bool match = b.rank() == dom.rank;
+    for (int d = 0; match && d < dom.rank; ++d)
+      match = b.extent(d) == dom.extent(d);
+    if (!match) {
+      std::ostringstream os;
+      os << "Session::execute: input " << i << " ('" << pl_->input(i).name
+         << "') does not match the declared domain";
+      return Result<double>::failure(ErrorCode::kInvalidArgument, os.str());
+    }
+  }
+  try {
+    WallTimer t;
+    exec_->run(inputs, ws_, effective_observer());
+    ran_ = true;
+    return t.seconds();
+  } catch (const Error& e) {
+    return Result<double>(e);
+  } catch (const std::bad_alloc&) {
+    return Result<double>::failure(ErrorCode::kAllocationFailed,
+                                   "Session::execute: out of memory");
+  } catch (const std::exception& e) {
+    return Result<double>::failure(ErrorCode::kInternal, e.what());
+  }
+}
+
+Result<std::vector<Buffer>> Session::run(const std::vector<Buffer>& inputs) {
+  Result<double> r = execute(inputs);
+  if (!r.ok()) return r.error();
+  std::vector<Buffer> out;
+  out.reserve(pl_->outputs().size());
+  for (int s : pl_->outputs()) out.push_back(ws_.stage_buffer(s));
+  return out;
+}
+
+const Buffer& Session::output(int i) const {
+  FUSEDP_CHECK_CODE(ran_, ErrorCode::kInvalidArgument,
+                    "Session::output before a successful execute()");
+  FUSEDP_CHECK_CODE(i >= 0 && i < num_outputs(), ErrorCode::kInvalidArgument,
+                    "Session::output index out of range");
+  return ws_.stage_buffer(pl_->outputs()[static_cast<std::size_t>(i)]);
+}
+
+int Session::num_outputs() const {
+  return static_cast<int>(pl_->outputs().size());
+}
+
+const observe::RunTrace* Session::trace() const {
+  return collector_ != nullptr ? collector_->last() : nullptr;
+}
+
+Result<int> Session::write_trace(const std::string& path) const {
+  const observe::RunTrace* t = trace();
+  if (t == nullptr)
+    return Result<int>::failure(
+        ErrorCode::kInvalidArgument,
+        "Session::write_trace: no trace collected (set "
+        "Options::collect_trace and execute at least once)");
+  return observe::write_chrome_trace(*t, path);
+}
+
+Result<observe::Report> Session::report() const {
+  const observe::RunTrace* t = trace();
+  if (t == nullptr)
+    return Result<observe::Report>::failure(
+        ErrorCode::kInvalidArgument,
+        "Session::report: no trace collected (set Options::collect_trace "
+        "and execute at least once)");
+  return observe::make_report(*t);
+}
+
+}  // namespace fusedp

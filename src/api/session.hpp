@@ -1,0 +1,167 @@
+// The FuseDP session facade: one object owning the plan -> schedule ->
+// execute lifecycle behind a single validated Options struct.
+//
+//   fusedp::Pipeline pl = ...;            // build stages, pl.finalize()
+//   fusedp::Options opts;
+//   opts.num_threads = 8;
+//   auto session = fusedp::Session::open(pl, opts);
+//   if (!session.ok()) { /* session.error().code() says why */ }
+//   auto out = session.value().run(inputs);
+//
+// Session::open schedules the pipeline (or validates a caller-provided
+// Grouping), lowers it to an ExecutablePlan, and compiles the stage
+// programs once; execute()/run() then replay the plan against fresh inputs
+// without re-planning.  Every failure comes back as a coded Result — the
+// facade never throws for bad options, bad schedules, or runtime faults.
+//
+// Observability: with Options::collect_trace the session attaches its own
+// observe::TraceCollector and exposes the resulting RunTrace via trace(),
+// write_trace() (Chrome trace_event JSON) and report() (the cost model's
+// predicted per-group scores joined against measured wall times).  A user
+// observe::Observer can be attached instead of or in addition to the
+// collector.
+//
+// The pre-facade API (run_pipeline, Executor + Workspace, auto_schedule)
+// remains supported; Session is a composition of those pieces, not a
+// replacement semantics.  Outputs are bit-identical across both paths and
+// across observer-on/off (the verifier's differ ladder pins this).
+#pragma once
+
+#include <memory>
+
+#include "fusion/autoschedule.hpp"
+#include "observe/trace.hpp"
+#include "runtime/executor.hpp"
+
+namespace fusedp {
+
+// Which schedule search produces the session's grouping.
+enum class Scheduler : std::uint8_t {
+  kAuto = 0,    // deadline-bounded ladder: full DP -> bounded DP -> greedy
+                // -> unfused (fusion/autoschedule)
+  kDp,          // unbounded DP (paper Algorithm 1); may fail on budget
+  kGreedy,      // PolyMage-greedy heuristic
+  kHalideAuto,  // Halide-auto-inspired grouping
+  kUnfused,     // singleton groups; always valid
+};
+
+const char* scheduler_name(Scheduler s);
+
+// Everything that configures a session, in one struct: execution knobs
+// (previously ExecOptions), schedule-search knobs (previously
+// AutoScheduleOptions) and observability.  Session::open validates the
+// whole struct up front and rejects inconsistent combinations with coded
+// kInvalidArgument errors instead of silently misbehaving.
+struct Options {
+  // --- Execution (mirrors ExecOptions; see runtime/executor.hpp) ---
+  int num_threads = 1;           // must be >= 1
+  EvalMode mode = EvalMode::kRow;
+  bool compiled = true;
+  bool vector_backend = true;
+  bool superop_fusion = true;
+  bool allow_fma = false;        // requires the vector backend
+  TileSchedule tile_schedule = TileSchedule::kDynamic;
+  bool pooled_storage = false;
+  bool guard_arena = false;
+
+  // --- Scheduling ---
+  Scheduler scheduler = Scheduler::kAuto;
+  MachineModel machine = MachineModel::host();
+  // kAuto ladder budgets (see AutoScheduleOptions).  deadline_seconds < 0
+  // is rejected; 0 means "no deadline".
+  double deadline_seconds = 0.0;
+  std::uint64_t max_states = 50'000'000;
+  int bounded_initial_limit = 8;
+  // Greedy tier / Scheduler::kGreedy configuration.
+  std::int64_t greedy_t1 = 64;
+  std::int64_t greedy_t2 = 128;
+  double greedy_tolerance = 0.4;
+
+  // --- Observability ---
+  // Attach the session's own TraceCollector: schedule-ladder attempts and
+  // per-group measurements accumulate into a RunTrace per execute(),
+  // exposed via Session::trace() / write_trace() / report().
+  bool collect_trace = false;
+  // Keep per-tile events in the collected trace (timeline rendering).  Off
+  // keeps per-group aggregation only; ignored unless collect_trace.
+  bool trace_tiles = true;
+  // Optional user sink, observed in addition to the collector (both see
+  // every callback).  Not owned; must outlive the session.
+  observe::Observer* observer = nullptr;
+
+  // Projections onto the pre-facade option structs (back-compat shims; the
+  // scheduler-observer field is filled in by Session::open).
+  ExecOptions exec() const;
+  AutoScheduleOptions autoschedule() const;
+};
+
+// Validates `opts` as a whole; returns true or a coded kInvalidArgument
+// error naming the offending field/combination.
+Result<bool> validate_options(const Options& opts);
+
+class Session {
+ public:
+  // Schedules `pl` with opts.scheduler and prepares the executable plan.
+  // Fails with kInvalidPipeline (unfinalized/empty pipeline),
+  // kInvalidArgument (bad options), or the scheduler's own coded error
+  // (e.g. kSearchBudgetExhausted from Scheduler::kDp).
+  static Result<Session> open(const Pipeline& pl, Options opts = {});
+  // Uses a caller-provided grouping instead of searching; fails with
+  // kInvalidSchedule if it does not validate against `pl`.  Missing
+  // per-group costs are filled from the cost model (tile sizes are left
+  // exactly as given).
+  static Result<Session> open(const Pipeline& pl, const Grouping& grouping,
+                              Options opts = {});
+
+  Session(Session&&) = default;
+  Session& operator=(Session&&) = default;
+
+  // Executes the pipeline; results land in the session workspace (see
+  // output()).  Returns wall seconds for the run.  The workspace is reused
+  // across calls, so repeated execute() measures a warm plan.
+  Result<double> execute(const std::vector<Buffer>& inputs);
+
+  // execute() + copy of the output buffers (pipeline output order).
+  Result<std::vector<Buffer>> run(const std::vector<Buffer>& inputs);
+
+  // The i-th pipeline output (pl.outputs() order); valid after a
+  // successful execute()/run().
+  const Buffer& output(int i) const;
+  int num_outputs() const;
+
+  const Pipeline& pipeline() const { return *pl_; }
+  const Options& options() const { return opts_; }
+  const Grouping& grouping() const { return grouping_; }
+  const ExecutablePlan& plan() const { return exec_->plan(); }
+  // Schedule-search post-mortem; empty attempts unless Scheduler::kAuto.
+  const Diagnostics& diagnostics() const { return diag_; }
+
+  // The last run's trace; nullptr unless Options::collect_trace and at
+  // least one execute() happened.
+  const observe::RunTrace* trace() const;
+  // Chrome trace_event JSON of the last run -> `path`.  kInvalidArgument
+  // without a trace, kIoError on filesystem trouble; otherwise the number
+  // of trace events written.
+  Result<int> write_trace(const std::string& path) const;
+  // Predicted-vs-measured per-group report of the last run.
+  Result<observe::Report> report() const;
+
+ private:
+  Session(const Pipeline& pl, Options opts, Grouping grouping,
+          Diagnostics diag);
+
+  const Pipeline* pl_;
+  Options opts_;
+  Grouping grouping_;
+  Diagnostics diag_;
+  // unique_ptrs keep observer addresses stable across Session moves.
+  std::unique_ptr<observe::TraceCollector> collector_;
+  std::unique_ptr<observe::TeeObserver> tee_;
+  std::unique_ptr<Executor> exec_;
+  Workspace ws_;
+  bool ran_ = false;
+
+  observe::Observer* effective_observer() const;
+};
+
+}  // namespace fusedp

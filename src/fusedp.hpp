@@ -4,11 +4,17 @@
 //
 //   fusedp::Pipeline pl("my_pipeline");
 //   ... build stages with fusedp::StageBuilder ...
-//   fusedp::CostModel model(pl, fusedp::MachineModel::host());
-//   fusedp::IncFusion fusion(pl, model);
-//   auto outputs = fusedp::run_pipeline(pl, fusion.run(), inputs, {});
+//   auto session = fusedp::Session::open(pl, fusedp::Options{});
+//   auto outputs = session.value().run(inputs);
+//
+// Session (api/session.hpp) is the recommended entry point: it owns the
+// schedule -> plan -> execute lifecycle behind one validated Options struct
+// and exposes traces and predicted-vs-measured reports.  The lower-level
+// pieces (run_pipeline, Executor, auto_schedule, DpFusion, ...) stay
+// exported for callers that wire the steps themselves.
 #pragma once
 
+#include "api/session.hpp"           // IWYU pragma: export
 #include "cachesim/cache.hpp"        // IWYU pragma: export
 #include "cachesim/trace.hpp"        // IWYU pragma: export
 #include "fusion/autoschedule.hpp"   // IWYU pragma: export

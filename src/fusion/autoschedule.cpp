@@ -4,11 +4,26 @@
 #include <sstream>
 
 #include "fusion/polymage_greedy.hpp"
+#include "observe/observe.hpp"
 #include "support/timing.hpp"
 
 namespace fusedp {
 
 namespace {
+
+// Mirrors a TierAttempt into the plain-data observability record.
+void emit_attempt(observe::Observer* obs, const TierAttempt& a) {
+  if (obs == nullptr) return;
+  observe::ScheduleAttempt sa;
+  sa.tier = schedule_tier_name(a.tier);
+  sa.group_limit = a.group_limit;
+  sa.succeeded = a.succeeded;
+  if (!a.succeeded) sa.code = error_code_name(a.code);
+  sa.detail = a.detail;
+  sa.states = a.states;
+  sa.seconds = a.seconds;
+  obs->on_schedule_attempt(sa);
+}
 
 // Codes a cheaper tier can still fix.  Anything else (invalid pipeline,
 // internal invariant failures) propagates: retrying a different search
@@ -85,6 +100,7 @@ ScheduleResult auto_schedule(const Pipeline& pl, const CostModel& model,
     if (deadline_gated && out_of_time()) {
       a.code = ErrorCode::kDeadlineExceeded;
       a.detail = "skipped: ladder deadline already exhausted";
+      emit_attempt(opts.observer, a);
       diag.attempts.push_back(std::move(a));
       return false;
     }
@@ -103,6 +119,7 @@ ScheduleResult auto_schedule(const Pipeline& pl, const CostModel& model,
     diag.total_states += a.states;
     const bool ok = a.succeeded;
     if (ok) diag.tier = tier;
+    emit_attempt(opts.observer, a);
     diag.attempts.push_back(std::move(a));
     return ok;
   };
@@ -157,6 +174,7 @@ ScheduleResult auto_schedule(const Pipeline& pl, const CostModel& model,
     a.succeeded = true;
     a.seconds = t.seconds();
     diag.tier = ScheduleTier::kUnfused;
+    emit_attempt(opts.observer, a);
     diag.attempts.push_back(std::move(a));
   }
 

@@ -18,6 +18,10 @@
 
 #include "fusion/dp.hpp"
 
+namespace fusedp::observe {
+class Observer;
+}
+
 namespace fusedp {
 
 enum class ScheduleTier : std::uint8_t {
@@ -40,6 +44,10 @@ struct AutoScheduleOptions {
   std::int64_t greedy_t1 = 64;
   std::int64_t greedy_t2 = 128;
   double greedy_tolerance = 0.4;
+  // Optional observability sink: every ladder attempt (successful or not)
+  // streams to it as an observe::ScheduleAttempt the moment it resolves, in
+  // addition to being recorded in Diagnostics.
+  observe::Observer* observer = nullptr;
 };
 
 // One search attempt (successful or not) for post-mortems and logging.

@@ -1,0 +1,39 @@
+#include "observe/observe.hpp"
+
+namespace fusedp::observe {
+
+void TraceCollector::on_schedule_attempt(const ScheduleAttempt& attempt) {
+  schedule_.push_back(attempt);
+  // A run already in flight (or finished) also gets the attempt, so traces
+  // of sessions that re-schedule stay self-describing.
+  if (!runs_.empty()) runs_.back().schedule.push_back(attempt);
+}
+
+void TraceCollector::on_run_begin(const RunMeta& meta) {
+  RunTrace t;
+  t.meta = meta;
+  t.schedule = schedule_;
+  runs_.push_back(std::move(t));
+}
+
+void TraceCollector::on_group_end(const GroupRecord& group) {
+  if (runs_.empty()) {
+    // Group events without a preceding on_run_begin (a bare Executor with a
+    // sink attached): synthesize an anonymous run so nothing is dropped.
+    runs_.emplace_back();
+    runs_.back().schedule = schedule_;
+  }
+  RunTrace& t = runs_.back();
+  t.groups.push_back(group);
+  if (!keep_tiles_) t.groups.back().tiles.clear();
+}
+
+void TraceCollector::on_run_end(const RunRecord& run) {
+  if (runs_.empty()) runs_.emplace_back();
+  RunTrace& t = runs_.back();
+  t.meta = run.meta;
+  t.seconds = run.seconds;
+  t.complete = true;
+}
+
+}  // namespace fusedp::observe

@@ -217,6 +217,10 @@ class CompiledRowEvaluator {
   void set_guard_arena(bool on) { guard_.set_enabled(on); }
   void check_guards() const { guard_.check("CompiledRowEvaluator"); }
 
+  // Arena high-water (floats) for the observability layer's scratch-bytes
+  // accounting.
+  std::size_t arena_floats() const { return arena_.capacity(); }
+
  private:
   // Evaluates a load into `out`; returns the row the load's value lives in.
   // For unclamped stride-1 identity loads with `may_forward`, that is a

@@ -48,6 +48,10 @@ class RowEvaluator {
   void set_guard_arena(bool on) { guard_.set_enabled(on); }
   void check_guards() const { guard_.check("RowEvaluator"); }
 
+  // Arena high-water (floats) for the observability layer's scratch-bytes
+  // accounting.
+  std::size_t arena_floats() const { return arena_.capacity(); }
+
  private:
   const float* eval_node(const StageEvalCtx& ctx, ExprRef r);
   void eval_load(const StageEvalCtx& ctx, const ExprNode& n, float* out);

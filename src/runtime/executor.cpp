@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <iterator>
 #include <mutex>
 #include <new>
 
@@ -159,7 +160,21 @@ Executor::Executor(const Pipeline& pl, const Grouping& grouping,
   if (opts_.pooled_storage) storage_ = assign_storage(plan_);
 }
 
-void Executor::run(const std::vector<Buffer>& inputs, Workspace& ws) const {
+namespace {
+
+std::string joined_stage_names(const Pipeline& pl, const GroupPlan& g) {
+  std::string names;
+  for (int s : g.stage_order) {
+    if (!names.empty()) names += ",";
+    names += pl.stage(s).name;
+  }
+  return names;
+}
+
+}  // namespace
+
+void Executor::run(const std::vector<Buffer>& inputs, Workspace& ws,
+                   observe::Observer* obs) const {
   FUSEDP_CHECK_CODE(static_cast<int>(inputs.size()) == pl_->num_inputs(),
                     ErrorCode::kInvalidArgument, "input count mismatch");
   for (int i = 0; i < pl_->num_inputs(); ++i)
@@ -171,12 +186,59 @@ void Executor::run(const std::vector<Buffer>& inputs, Workspace& ws) const {
     ws.prepare(plan_, storage_);
   else
     ws.prepare(plan_);
-  for (const GroupPlan& g : plan_.groups) {
-    if (g.is_reduction)
-      run_reduction(g, inputs, ws);
-    else
-      run_group(g, inputs, ws);
+
+  if (obs == nullptr) {
+    // Unobserved fast path: no clock reads, no records, bit-identical work.
+    for (const GroupPlan& g : plan_.groups) {
+      if (g.is_reduction)
+        run_reduction(g, inputs, ws);
+      else
+        run_group(g, inputs, ws, nullptr, nullptr, false);
+    }
+    return;
   }
+
+  observe::RunMeta meta;
+  meta.pipeline = pl_->name();
+  meta.num_groups = static_cast<int>(plan_.groups.size());
+  meta.num_threads = opts_.num_threads;
+  obs->on_run_begin(meta);
+  const bool want_tiles = obs->want_tile_events();
+
+  WallTimer epoch;
+  int gi = 0;
+  for (const GroupPlan& g : plan_.groups) {
+    observe::GroupRecord rec;
+    rec.index = gi++;
+    rec.stages = joined_stage_names(*pl_, g);
+    rec.is_reduction = g.is_reduction;
+    rec.total_tiles = g.total_tiles;
+    rec.predicted_cost = g.model_cost;
+    for (int s : g.stage_order) {
+      const CompiledStage& cs = plan_.compiled[static_cast<std::size_t>(s)];
+      if (!cs.valid()) continue;
+      rec.row_registers += cs.num_regs;
+      rec.fused_superops += cs.fused;
+    }
+    rec.t_begin = epoch.seconds();
+    if (g.is_reduction) {
+      run_reduction(g, inputs, ws);
+      const std::int64_t vol = pl_->stage(g.stages.first()).domain.volume();
+      rec.tiles_run = 1;
+      rec.computed_elems = vol;
+      rec.owned_elems = vol;
+    } else {
+      run_group(g, inputs, ws, &rec, &epoch, want_tiles);
+    }
+    rec.t_end = epoch.seconds();
+    rec.seconds = rec.t_end - rec.t_begin;
+    obs->on_group_end(rec);
+  }
+
+  observe::RunRecord rr;
+  rr.meta = std::move(meta);
+  rr.seconds = epoch.seconds();
+  obs->on_run_end(rr);
 }
 
 void Executor::run_reduction(const GroupPlan& g,
@@ -221,11 +283,30 @@ namespace {
 
 }  // namespace
 
+namespace {
+
+// Per-thread observability log: appended to without synchronization inside
+// the parallel region (one slot per thread), merged serially at group end.
+struct ThreadLog {
+  std::vector<observe::TileEvent> tiles;
+  std::int64_t tiles_run = 0;
+  std::int64_t interior_tiles = 0;
+  std::int64_t computed_elems = 0;
+  std::int64_t owned_elems = 0;
+  std::int64_t scratch_bytes = 0;
+};
+
+}  // namespace
+
 void Executor::run_group(const GroupPlan& g, const std::vector<Buffer>& inputs,
-                         Workspace& ws) const {
+                         Workspace& ws, observe::GroupRecord* rec,
+                         const WallTimer* epoch, bool want_tiles) const {
   const Pipeline& pl = *pl_;
   const int ncls = g.align.num_classes;
   const std::int64_t total = g.total_tiles;
+  const bool observing = rec != nullptr;
+  std::vector<ThreadLog> logs;
+  if (observing) logs.resize(static_cast<std::size_t>(opts_.num_threads));
 
   // An exception escaping an OpenMP structured block is std::terminate, so
   // nothing may propagate out of the parallel region or the worksharing
@@ -252,6 +333,15 @@ void Executor::run_group(const GroupPlan& g, const std::vector<Buffer>& inputs,
 #pragma omp parallel num_threads(opts_.num_threads)
 #endif
   {
+#ifdef _OPENMP
+    const int tid = omp_get_thread_num();
+#else
+    const int tid = 0;
+#endif
+    ThreadLog* log =
+        observing && tid < static_cast<int>(logs.size())
+            ? &logs[static_cast<std::size_t>(tid)]
+            : nullptr;
     // Per-thread state: scratch per stage + evaluators + reused region
     // storage.  Construction allocates, so it is guarded too; a thread
     // whose state failed to initialize simply skips its tiles.
@@ -279,6 +369,7 @@ void Executor::run_group(const GroupPlan& g, const std::vector<Buffer>& inputs,
 
     auto run_tile = [&](std::int64_t t) {
       if (!thread_ok || cancelled.load(std::memory_order_relaxed)) return;
+      const double t_begin = log != nullptr ? epoch->seconds() : 0.0;
       try {
         FUSEDP_FAULT_POINT("executor.tile_eval");
         // Decode tile index into a reference-space box.
@@ -468,6 +559,30 @@ void Executor::run_group(const GroupPlan& g, const std::vector<Buffer>& inputs,
           crowev.check_guards();
           rowev.check_guards();
         }
+
+        if (log != nullptr) {
+          std::int64_t computed = 0, owned = 0;
+          for (int s : g.stage_order) {
+            const StageRegions& r = regions[static_cast<std::size_t>(s)];
+            if (!r.required.empty()) computed += r.required.volume();
+            if (!r.owned.empty()) owned += r.owned.volume();
+          }
+          ++log->tiles_run;
+          if (interior) ++log->interior_tiles;
+          log->computed_elems += computed;
+          log->owned_elems += owned;
+          if (want_tiles) {
+            observe::TileEvent ev;
+            ev.index = t;
+            ev.thread = tid;
+            ev.t_begin = t_begin;
+            ev.t_end = epoch->seconds();
+            ev.computed_elems = computed;
+            ev.owned_elems = owned;
+            ev.interior = interior;
+            log->tiles.push_back(std::move(ev));
+          }
+        }
       } catch (...) {
         capture_current_exception();
       }
@@ -486,9 +601,35 @@ void Executor::run_group(const GroupPlan& g, const std::vector<Buffer>& inputs,
 #else
     for (std::int64_t t = 0; t < total; ++t) run_tile(t);
 #endif
+
+    // Arena high-water per thread, read after the tile loop so growth-only
+    // reallocation has settled.  No clock, no lock: each thread owns its
+    // slot.
+    if (log != nullptr) {
+      std::int64_t floats = 0;
+      for (const ScratchArena& a : scratch)
+        floats += static_cast<std::int64_t>(a.capacity());
+      floats += static_cast<std::int64_t>(crowev.arena_floats());
+      floats += static_cast<std::int64_t>(rowev.arena_floats());
+      log->scratch_bytes =
+          floats * static_cast<std::int64_t>(sizeof(float));
+    }
   }
 
   if (first_error != nullptr) rethrow_tile_error(first_error);
+
+  if (observing) {
+    for (ThreadLog& l : logs) {
+      rec->tiles_run += l.tiles_run;
+      rec->interior_tiles += l.interior_tiles;
+      rec->computed_elems += l.computed_elems;
+      rec->owned_elems += l.owned_elems;
+      rec->scratch_bytes += l.scratch_bytes;
+      rec->tiles.insert(rec->tiles.end(),
+                        std::make_move_iterator(l.tiles.begin()),
+                        std::make_move_iterator(l.tiles.end()));
+    }
+  }
 }
 
 std::vector<Buffer> run_reference(const Pipeline& pl,

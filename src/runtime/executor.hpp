@@ -9,9 +9,11 @@
 // loop structure of the code PolyMage generates (paper Figure 3).
 #pragma once
 
+#include "observe/observe.hpp"
 #include "runtime/eval.hpp"
 #include "runtime/plan.hpp"
 #include "storage/liveness.hpp"
+#include "support/timing.hpp"
 
 namespace fusedp {
 
@@ -100,7 +102,15 @@ class Executor {
 
   // Runs the whole pipeline.  `inputs[i]` must match pipeline input i's
   // domain.  Results land in `ws` (prepare()d automatically).
-  void run(const std::vector<Buffer>& inputs, Workspace& ws) const;
+  //
+  // With an observer attached, per-tile wall time and work counters are
+  // recorded into per-thread logs, merged lock-free at group end, and
+  // delivered as observe::GroupRecord / RunRecord callbacks on this
+  // (serial) thread.  With `obs == nullptr` no clock is read and no log is
+  // allocated — the tile loop pays one pointer test — and outputs are
+  // bit-identical either way (instrumentation never touches the compute).
+  void run(const std::vector<Buffer>& inputs, Workspace& ws,
+           observe::Observer* obs = nullptr) const;
 
   const ExecutablePlan& plan() const { return plan_; }
 
@@ -108,8 +118,11 @@ class Executor {
   const StorageAssignment& storage() const { return storage_; }
 
  private:
+  // `rec`, when non-null, receives the merged per-thread measurements;
+  // `epoch` is the run-relative clock (non-null iff rec is).
   void run_group(const GroupPlan& g, const std::vector<Buffer>& inputs,
-                 Workspace& ws) const;
+                 Workspace& ws, observe::GroupRecord* rec,
+                 const WallTimer* epoch, bool want_tiles) const;
   void run_reduction(const GroupPlan& g, const std::vector<Buffer>& inputs,
                      Workspace& ws) const;
 

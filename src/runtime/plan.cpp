@@ -25,6 +25,7 @@ ExecutablePlan lower(const Pipeline& pl, const Grouping& grouping,
 
     gp.is_reduction = gs.stages.size() == 1 &&
                       pl.stage(gs.stages.first()).kind == StageKind::kReduction;
+    gp.model_cost = gs.cost;
 
     const int n = gp.align.num_classes;
     gp.tile_sizes.assign(static_cast<std::size_t>(n), 0);

@@ -23,6 +23,10 @@ struct GroupPlan {
   std::vector<std::int64_t> tiles_per_dim;
   std::int64_t total_tiles = 1;
   bool is_reduction = false;  // single reduction stage, runs untiled
+  // The cost model's score for this group (GroupSchedule::cost), carried
+  // into the plan so the observability layer can join predicted cost
+  // against measured wall time; 0.0 when the schedule never scored it.
+  double model_cost = 0.0;
   // Plan-time regions of the nominal full tile; when translatable, the
   // executor shifts these per tile instead of re-deriving them.
   RegionTemplate region_template;

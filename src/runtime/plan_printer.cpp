@@ -6,14 +6,40 @@
 
 namespace fusedp {
 
-std::string plan_to_string(const ExecutablePlan& plan) {
+namespace {
+
+// Measured record for plan group `index`, if the trace has one.
+const observe::GroupRecord* measured_group(const observe::RunTrace* trace,
+                                           int index) {
+  if (trace == nullptr) return nullptr;
+  for (const observe::GroupRecord& r : trace->groups)
+    if (r.index == index) return &r;
+  return nullptr;
+}
+
+}  // namespace
+
+std::string plan_to_string(const ExecutablePlan& plan,
+                           const observe::RunTrace* trace) {
   const Pipeline& pl = *plan.pipeline;
   std::ostringstream out;
   out << "// executable plan for pipeline '" << pl.name() << "' ("
       << plan.groups.size() << " groups)\n";
   int gi = 0;
   for (const GroupPlan& g : plan.groups) {
-    out << "\n// group " << gi++ << ": " << g.stages.to_string() << "\n";
+    const int index = gi++;
+    out << "\n// group " << index << ": " << g.stages.to_string();
+    if (g.model_cost > 0.0) out << "  // predicted cost " << g.model_cost;
+    if (const observe::GroupRecord* m = measured_group(trace, index)) {
+      out << "  // measured " << m->seconds * 1e3 << " ms";
+      if (m->computed_elems > 0)
+        out << ", "
+            << 100.0 *
+                   static_cast<double>(m->computed_elems - m->owned_elems) /
+                   static_cast<double>(m->computed_elems)
+            << "% redundant";
+    }
+    out << "\n";
     if (g.is_reduction) {
       const Stage& st = pl.stage(g.stages.first());
       out << "reduce " << st.name << st.domain.to_string()

@@ -1,14 +1,21 @@
 // Renders an ExecutablePlan as pseudo-code resembling the C++ PolyMage
 // generates (paper Figure 3): parallel fused tile-space loops, per-tile
 // scratch buffers, intra-tile stage loops, and live-out publication.
+//
+// With a RunTrace (observe layer), each group header also carries a
+// measured column — wall ms and redundant-recompute share joined against
+// the plan's predicted cost — so one printout answers both "what will run"
+// and "what did it cost last time".
 #pragma once
 
 #include <string>
 
+#include "observe/observe.hpp"
 #include "runtime/plan.hpp"
 
 namespace fusedp {
 
-std::string plan_to_string(const ExecutablePlan& plan);
+std::string plan_to_string(const ExecutablePlan& plan,
+                           const observe::RunTrace* trace = nullptr);
 
 }  // namespace fusedp

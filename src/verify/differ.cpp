@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "analysis/scaling.hpp"
+#include "api/session.hpp"
 #include "fusion/serialize.hpp"
 #include "support/rng.hpp"
 
@@ -212,6 +213,59 @@ bool run_configs(const Pipeline& pl, const std::vector<Buffer>& inputs,
       res->diverged = true;
       res->record = std::move(rec);
       return true;
+    }
+  }
+
+  // Final rung: the Session facade over the full vector backend, with the
+  // trace collector attached.  The "vector" rung above just passed with the
+  // same mechanisms, so a divergence here indicts the facade or the
+  // observer instrumentation — which must be bit-invisible.
+  {
+    Options sopts;
+    sopts.num_threads =
+        1 + static_cast<int>(rng.next_below(
+                static_cast<std::uint64_t>(std::max(1, max_threads))));
+    sopts.tile_schedule =
+        rng.next_bool() ? TileSchedule::kStatic : TileSchedule::kDynamic;
+    sopts.guard_arena = rng.next_bool(0.5);
+    sopts.pooled_storage = rng.next_bool(0.25);
+    sopts.collect_trace = true;
+    sopts.trace_tiles = rng.next_bool();
+
+    ++res->runs;
+    DivergenceRecord rec;
+    rec.seed = seed;
+    rec.pipeline = pl.name();
+    rec.backend = "session";
+    rec.opts = sopts.exec();
+    rec.schedule = grouping_to_text(pl, g);
+    Result<Session> session = Session::open(pl, g, sopts);
+    if (!session.ok()) {
+      rec.error = session.error().what();
+      res->diverged = true;
+      res->record = std::move(rec);
+      return true;
+    }
+    Session s = std::move(session).value();
+    if (Result<double> r = s.execute(inputs); !r.ok()) {
+      rec.error = r.error().what();
+      res->diverged = true;
+      res->record = std::move(rec);
+      return true;
+    }
+    // The session workspace only promises output buffers (pooling may have
+    // recycled intermediates); outputs are exactly what the facade returns.
+    const std::vector<int>& outs = pl.outputs();
+    for (int i = 0; i < static_cast<int>(outs.size()); ++i) {
+      const int st = outs[static_cast<std::size_t>(i)];
+      const Box& dom = pl.stage(st).domain;
+      if (compare_stage(dom, s.output(i).view(),
+                        ref[static_cast<std::size_t>(st)].view(), &rec)) {
+        rec.stage = pl.stage(st).name;
+        res->diverged = true;
+        res->record = std::move(rec);
+        return true;
+      }
     }
   }
   return false;

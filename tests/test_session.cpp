@@ -1,0 +1,305 @@
+// Session facade tests: open/execute round-trips against the pre-facade
+// run_pipeline path, consolidated Options validation (coded errors), and
+// the bit-identity contract with and without an observer attached.
+#include <gtest/gtest.h>
+
+#include "api/session.hpp"
+#include "fusion/incremental.hpp"
+#include "pipelines/pipelines.hpp"
+#include "test_util.hpp"
+
+namespace fusedp {
+namespace {
+
+using testing::buffers_equal;
+
+// --- Options validation -----------------------------------------------------
+
+TEST(OptionsValidationTest, DefaultsAreValid) {
+  EXPECT_TRUE(validate_options(Options{}).ok());
+}
+
+TEST(OptionsValidationTest, RejectsNonPositiveThreads) {
+  Options o;
+  o.num_threads = 0;
+  Result<bool> r = validate_options(o);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kInvalidArgument);
+  o.num_threads = -3;
+  EXPECT_FALSE(validate_options(o).ok());
+}
+
+TEST(OptionsValidationTest, RejectsFmaWithoutVectorBackend) {
+  Options o;
+  o.allow_fma = true;
+  o.vector_backend = false;
+  Result<bool> r = validate_options(o);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(OptionsValidationTest, RejectsFmaWithScalarMode) {
+  Options o;
+  o.allow_fma = true;
+  o.mode = EvalMode::kScalar;
+  EXPECT_FALSE(validate_options(o).ok());
+}
+
+TEST(OptionsValidationTest, RejectsNegativeDeadline) {
+  Options o;
+  o.deadline_seconds = -1.0;
+  Result<bool> r = validate_options(o);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(OptionsValidationTest, RejectsZeroStateBudgetForDpSchedulers) {
+  Options o;
+  o.max_states = 0;
+  EXPECT_FALSE(validate_options(o).ok());  // kAuto uses DP tiers
+  o.scheduler = Scheduler::kDp;
+  EXPECT_FALSE(validate_options(o).ok());
+  o.scheduler = Scheduler::kGreedy;  // no DP involved: budget irrelevant
+  EXPECT_TRUE(validate_options(o).ok());
+}
+
+TEST(OptionsValidationTest, RejectsDeadlineOnNonAutoScheduler) {
+  Options o;
+  o.deadline_seconds = 0.5;
+  o.scheduler = Scheduler::kDp;
+  EXPECT_FALSE(validate_options(o).ok());
+  o.scheduler = Scheduler::kAuto;
+  EXPECT_TRUE(validate_options(o).ok());
+}
+
+TEST(OptionsValidationTest, RejectsDegenerateLadderAndGreedyConfig) {
+  Options o;
+  o.bounded_initial_limit = 1;
+  EXPECT_FALSE(validate_options(o).ok());
+  o = Options{};
+  o.greedy_t1 = 0;
+  EXPECT_FALSE(validate_options(o).ok());
+  o = Options{};
+  o.greedy_tolerance = -0.1;
+  EXPECT_FALSE(validate_options(o).ok());
+}
+
+TEST(OptionsValidationTest, SessionOpenRejectsInvalidOptions) {
+  const PipelineSpec spec = make_blur(64, 64);
+  Options o;
+  o.num_threads = 0;
+  Result<Session> s = Session::open(*spec.pipeline, o);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code(), ErrorCode::kInvalidArgument);
+}
+
+// --- open() preconditions ---------------------------------------------------
+
+TEST(SessionOpenTest, RejectsUnfinalizedPipeline) {
+  Pipeline pl("unfinished");
+  pl.add_input("in", {16, 16});
+  Result<Session> s = Session::open(pl, Options{});
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code(), ErrorCode::kInvalidPipeline);
+}
+
+TEST(SessionOpenTest, RejectsInvalidGrouping) {
+  const PipelineSpec spec = make_harris(96, 128);
+  const Pipeline& pl = *spec.pipeline;
+  const CostModel model(pl, MachineModel::xeon_haswell());
+  Grouping g = singleton_grouping(pl, model);
+  g.groups.pop_back();  // no longer covers all stages
+  Result<Session> s = Session::open(pl, g, Options{});
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code(), ErrorCode::kInvalidSchedule);
+}
+
+// --- execute() input validation ---------------------------------------------
+
+TEST(SessionExecuteTest, RejectsWrongInputArity) {
+  const PipelineSpec spec = make_blur(64, 64);
+  Result<Session> opened = Session::open(*spec.pipeline, Options{});
+  ASSERT_TRUE(opened.ok());
+  Session s = std::move(opened).value();
+  Result<double> r = s.execute({});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(SessionExecuteTest, RejectsWrongInputExtents) {
+  const PipelineSpec spec = make_blur(64, 64);
+  Result<Session> opened = Session::open(*spec.pipeline, Options{});
+  ASSERT_TRUE(opened.ok());
+  Session s = std::move(opened).value();
+  std::vector<Buffer> bad;
+  bad.emplace_back(std::vector<std::int64_t>{3, 32, 64});
+  Result<double> r = s.execute(bad);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kInvalidArgument);
+}
+
+// --- facade round-trip vs the pre-facade path -------------------------------
+
+TEST(SessionRoundTripTest, MatchesRunPipelineOnGivenGrouping) {
+  const PipelineSpec spec = make_harris(96, 128);
+  const Pipeline& pl = *spec.pipeline;
+  const CostModel model(pl, MachineModel::xeon_haswell());
+  IncFusion inc(pl, model);
+  const Grouping g = inc.run();
+  const std::vector<Buffer> inputs = spec.make_inputs();
+
+  ExecOptions eo;
+  eo.num_threads = 2;
+  const std::vector<Buffer> want = run_pipeline(pl, g, inputs, eo);
+
+  Options so;
+  so.num_threads = 2;
+  Result<Session> opened = Session::open(pl, g, so);
+  ASSERT_TRUE(opened.ok()) << opened.error().what();
+  Session s = std::move(opened).value();
+  Result<std::vector<Buffer>> got = s.run(inputs);
+  ASSERT_TRUE(got.ok()) << got.error().what();
+
+  ASSERT_EQ(got.value().size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i)
+    EXPECT_TRUE(buffers_equal(got.value()[i], want[i])) << "output " << i;
+}
+
+TEST(SessionRoundTripTest, AutoScheduleMatchesReference) {
+  for (const char* key : {"blur", "unsharp"}) {
+    const PipelineSpec spec = make_benchmark(key, 16);
+    const Pipeline& pl = *spec.pipeline;
+    const std::vector<Buffer> inputs = spec.make_inputs();
+
+    Options o;
+    o.num_threads = 2;
+    Result<Session> opened = Session::open(pl, o);
+    ASSERT_TRUE(opened.ok()) << key << ": " << opened.error().what();
+    Session s = std::move(opened).value();
+    std::string why;
+    EXPECT_TRUE(validate_grouping(pl, s.grouping(), &why)) << key << ": " << why;
+
+    Result<double> seconds = s.execute(inputs);
+    ASSERT_TRUE(seconds.ok()) << key;
+    EXPECT_GT(seconds.value(), 0.0);
+
+    const std::vector<Buffer> ref = run_reference(pl, inputs);
+    ASSERT_EQ(s.num_outputs(), static_cast<int>(pl.outputs().size()));
+    for (int i = 0; i < s.num_outputs(); ++i)
+      EXPECT_TRUE(buffers_equal(
+          s.output(i),
+          ref[static_cast<std::size_t>(
+              pl.outputs()[static_cast<std::size_t>(i)])]))
+          << key;
+  }
+}
+
+TEST(SessionRoundTripTest, EverySchedulerChoiceProducesValidSession) {
+  const PipelineSpec spec = make_unsharp(96, 96);
+  const Pipeline& pl = *spec.pipeline;
+  const std::vector<Buffer> inputs = spec.make_inputs();
+  const std::vector<Buffer> ref = run_reference(pl, inputs);
+  for (Scheduler which : {Scheduler::kAuto, Scheduler::kDp, Scheduler::kGreedy,
+                          Scheduler::kHalideAuto, Scheduler::kUnfused}) {
+    Options o;
+    o.scheduler = which;
+    Result<Session> opened = Session::open(pl, o);
+    ASSERT_TRUE(opened.ok()) << scheduler_name(which);
+    Session s = std::move(opened).value();
+    Result<std::vector<Buffer>> got = s.run(inputs);
+    ASSERT_TRUE(got.ok()) << scheduler_name(which);
+    EXPECT_TRUE(buffers_equal(
+        got.value()[0], ref[static_cast<std::size_t>(pl.outputs()[0])]))
+        << scheduler_name(which);
+  }
+}
+
+// --- observer-off bit-identity ----------------------------------------------
+
+TEST(SessionObserverTest, TraceCollectionDoesNotChangeOutputs) {
+  const PipelineSpec spec = make_harris(96, 128);
+  const Pipeline& pl = *spec.pipeline;
+  const std::vector<Buffer> inputs = spec.make_inputs();
+
+  Options plain;
+  plain.num_threads = 2;
+  Options traced = plain;
+  traced.collect_trace = true;
+
+  Result<Session> a = Session::open(pl, plain);
+  Result<Session> b = Session::open(pl, traced);
+  ASSERT_TRUE(a.ok() && b.ok());
+  Session sa = std::move(a).value();
+  Session sb = std::move(b).value();
+  Result<std::vector<Buffer>> ra = sa.run(inputs);
+  Result<std::vector<Buffer>> rb = sb.run(inputs);
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  ASSERT_EQ(ra.value().size(), rb.value().size());
+  for (std::size_t i = 0; i < ra.value().size(); ++i)
+    EXPECT_TRUE(buffers_equal(ra.value()[i], rb.value()[i]));
+  EXPECT_EQ(sa.trace(), nullptr);
+  ASSERT_NE(sb.trace(), nullptr);
+  EXPECT_TRUE(sb.trace()->complete);
+}
+
+// --- trace/report gating ----------------------------------------------------
+
+TEST(SessionObserverTest, TraceApisRequireCollection) {
+  const PipelineSpec spec = make_blur(64, 64);
+  Result<Session> opened = Session::open(*spec.pipeline, Options{});
+  ASSERT_TRUE(opened.ok());
+  Session s = std::move(opened).value();
+  Result<int> wrote = s.write_trace("/tmp/fusedp_should_not_exist.json");
+  ASSERT_FALSE(wrote.ok());
+  EXPECT_EQ(wrote.error().code(), ErrorCode::kInvalidArgument);
+  EXPECT_FALSE(s.report().ok());
+}
+
+TEST(SessionObserverTest, RepeatedExecuteKeepsTracing) {
+  const PipelineSpec spec = make_blur(96, 96);
+  Options o;
+  o.collect_trace = true;
+  Result<Session> opened = Session::open(*spec.pipeline, o);
+  ASSERT_TRUE(opened.ok());
+  Session s = std::move(opened).value();
+  const std::vector<Buffer> inputs = spec.make_inputs();
+  ASSERT_TRUE(s.execute(inputs).ok());
+  ASSERT_TRUE(s.execute(inputs).ok());
+  ASSERT_NE(s.trace(), nullptr);
+  EXPECT_TRUE(s.trace()->complete);
+  EXPECT_GT(s.trace()->seconds, 0.0);
+}
+
+// --- back-compat shims ------------------------------------------------------
+
+TEST(OptionsShimTest, ProjectsOntoLegacyStructs) {
+  Options o;
+  o.num_threads = 7;
+  o.mode = EvalMode::kScalar;
+  o.compiled = false;
+  o.vector_backend = false;
+  o.superop_fusion = false;
+  o.tile_schedule = TileSchedule::kStatic;
+  o.pooled_storage = true;
+  o.guard_arena = true;
+  const ExecOptions eo = o.exec();
+  EXPECT_EQ(eo.num_threads, 7);
+  EXPECT_EQ(eo.mode, EvalMode::kScalar);
+  EXPECT_FALSE(eo.compiled);
+  EXPECT_FALSE(eo.vector_backend);
+  EXPECT_FALSE(eo.superop_fusion);
+  EXPECT_EQ(eo.tile_schedule, TileSchedule::kStatic);
+  EXPECT_TRUE(eo.pooled_storage);
+  EXPECT_TRUE(eo.guard_arena);
+
+  o.deadline_seconds = 1.5;
+  o.max_states = 1234;
+  o.bounded_initial_limit = 4;
+  const AutoScheduleOptions ao = o.autoschedule();
+  EXPECT_EQ(ao.deadline_seconds, 1.5);
+  EXPECT_EQ(ao.max_states, 1234u);
+  EXPECT_EQ(ao.bounded_initial_limit, 4);
+}
+
+}  // namespace
+}  // namespace fusedp

@@ -7,6 +7,11 @@
 //   fusedp dot <benchmark> [--scheduler=...] [--scale=N]      (graphviz)
 //   fusedp run <benchmark> [--scheduler=...] [--threads=T] [--runs=R]
 //              [--verify] [--pooled] [--load=FILE]
+//              [--trace=FILE.json] [--report]
+//
+// `run` executes through the fusedp::Session facade; --trace exports the
+// measured run as Chrome trace_event JSON and --report prints the cost
+// model's predicted per-group scores against measured wall times.
 #include <cstdio>
 #include <cstring>
 
@@ -121,18 +126,43 @@ int cmd_run(const Cli& cli, const std::string& bench) {
   std::printf("%s\n", g.to_string(pl).c_str());
 
   const std::vector<Buffer> inputs = spec.make_inputs();
-  ExecOptions opts;
+  const std::string trace_path = cli.get("trace", "");
+  const bool want_report = cli.has("report");
+
+  Options opts;
   opts.num_threads = static_cast<int>(cli.get_int("threads", 4));
   opts.pooled_storage = cli.has("pooled");
-  Executor ex(pl, g, opts);
-  Workspace ws;
-  ex.run(inputs, ws);  // warm-up
+  opts.machine = machine_of(cli);
+  opts.collect_trace = !trace_path.empty() || want_report;
+  // The report only needs per-group aggregates; tile events are collected
+  // only when a timeline is actually being exported.
+  opts.trace_tiles = !trace_path.empty();
+
+  Result<Session> opened = Session::open(pl, g, opts);
+  if (!opened.ok()) throw opened.error();
+  Session session = std::move(opened).value();
+
+  if (Result<double> warm = session.execute(inputs); !warm.ok())
+    throw warm.error();
   const int runs = static_cast<int>(cli.get_int("runs", 3));
   const RunStats st =
-      measure_min_of_averages([&] { ex.run(inputs, ws); }, 1, runs);
+      measure_min_of_averages([&] { session.execute(inputs); }, 1, runs);
   std::printf("%s: %.2f ms (best %.2f) on %d threads%s\n", bench.c_str(),
               st.min_avg_ms, st.best_ms, opts.num_threads,
               opts.pooled_storage ? ", pooled storage" : "");
+
+  if (!trace_path.empty()) {
+    Result<int> wrote = session.write_trace(trace_path);
+    if (!wrote.ok()) throw wrote.error();
+    std::printf("wrote %d trace events to %s (chrome://tracing, Perfetto)\n",
+                wrote.value(), trace_path.c_str());
+  }
+  if (want_report) {
+    Result<observe::Report> rep = session.report();
+    if (!rep.ok()) throw rep.error();
+    std::printf("\n%s", observe::report_to_string(rep.value()).c_str());
+    std::printf("\n%s", plan_to_string(session.plan(), session.trace()).c_str());
+  }
 
   if (cli.has("verify")) {
     // Re-run the chosen schedule through the differential oracle: every
@@ -166,6 +196,8 @@ void usage() {
       "--scheduler=dp|auto|greedy|hauto|manual\n"
       "       --threads=T --runs=R --verify --pooled --save=F --load=F\n"
       "       --deadline-ms=D --max-states=S   (--scheduler=auto budgets)\n"
+      "       --trace=FILE (chrome trace_event JSON of the measured run)\n"
+      "       --report     (per-group predicted-vs-measured table)\n"
       "exit codes: 0 ok, 2 usage, 3 invalid input, 4 budget/deadline "
       "exhausted, 5 internal\n");
 }

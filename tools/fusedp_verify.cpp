@@ -3,6 +3,9 @@
 //   fusedp_verify --seed=N              cross-check one generated pipeline
 //   fusedp_verify --seeds=N [--start=S] cross-check a range of seeds
 //   fusedp_verify --replay=N            re-run a recorded seed verbosely
+//   fusedp_verify --replay=N --trace=F  also execute the seed's pipeline
+//                                       through a Session and export the
+//                                       Chrome trace for post-mortems
 //
 // Every seed deterministically generates a random pipeline, runs it through
 // all execution backends over randomized schedules, and bit-compares every
@@ -13,6 +16,7 @@
 #include <cstdio>
 #include <string>
 
+#include "api/session.hpp"
 #include "support/cli.hpp"
 #include "support/status.hpp"
 #include "verify/differ.hpp"
@@ -25,7 +29,7 @@ void usage() {
   std::printf(
       "usage: fusedp_verify (--seed=N | --seeds=N [--start=S] | --replay=N)\n"
       "                     [--groupings=G] [--threads=T] [--max-stages=M]\n"
-      "                     [--max-extent=E]\n"
+      "                     [--max-extent=E] [--trace=F (with --replay)]\n"
       "exit codes: 0 all seeds clean, 1 divergence found, 2 usage,\n"
       "            3 invalid input, 4 budget exhausted, 5 internal\n");
 }
@@ -83,9 +87,29 @@ int main(int argc, char** argv) {
         std::printf("%s\n", res.record.to_string().c_str());
         return 1;
       }
-      if (replay)
+      if (replay) {
         std::printf("seed %llu clean: %d executor configs bit-identical\n",
                     static_cast<unsigned long long>(s), res.runs);
+        // Post-mortem timeline: re-execute the seed's pipeline through the
+        // Session facade with the trace collector attached and export it.
+        const std::string trace_path = cli.get("trace", "");
+        if (!trace_path.empty()) {
+          const auto pl = verify::generate_pipeline(s, opts.gen);
+          const auto inputs = verify::generate_inputs(*pl, s);
+          Options sopts;
+          sopts.num_threads = opts.max_threads;
+          sopts.collect_trace = true;
+          Result<Session> opened = Session::open(*pl, sopts);
+          if (!opened.ok()) throw opened.error();
+          Session session = std::move(opened).value();
+          if (Result<double> r = session.execute(inputs); !r.ok())
+            throw r.error();
+          Result<int> wrote = session.write_trace(trace_path);
+          if (!wrote.ok()) throw wrote.error();
+          std::printf("wrote %d trace events to %s\n", wrote.value(),
+                      trace_path.c_str());
+        }
+      }
       else if ((s - start + 1) % 50 == 0)
         std::printf("  ...%llu/%llu seeds clean\n",
                     static_cast<unsigned long long>(s - start + 1),
