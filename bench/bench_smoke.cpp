@@ -13,6 +13,13 @@
 //   bench_smoke --compiled=1 --schedule=dynamic   vs
 //   bench_smoke --compiled=0 --schedule=static
 // at the same scale/threads.
+//
+// --overhead-ab runs the request-governance overhead A/B instead: each
+// pipeline timed ungoverned (no deadline, unlimited budget) and governed
+// (far-future deadline armed + large finite budget — the full bookkeeping
+// path with nothing ever tripping), writing BENCH_overhead.json and
+// asserting the governed/ungoverned geomean ratio stays within
+// --tolerance (default 1%).
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -24,8 +31,10 @@
 #include "model/cost.hpp"
 #include "pipelines/pipelines.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/governor.hpp"
 #include "support/cli.hpp"
 #include "support/stats.hpp"
+#include "support/timing.hpp"
 
 using namespace fusedp;
 
@@ -42,6 +51,99 @@ std::int64_t output_pixels_of(const Pipeline& pl) {
   std::int64_t px = 0;
   for (int s : pl.outputs()) px += pl.stage(s).domain.volume();
   return px;
+}
+
+// In-process governance-overhead A/B.  Both arms run the identical executor
+// configuration; the governed arm adds exactly what a real governed request
+// pays when nothing trips: one armed (but far-future) deadline sampled per
+// tile, plus governor bookkeeping on every workspace/arena growth under a
+// budget that always admits.
+int run_overhead_ab(const Cli& cli, const ExecOptions& opts,
+                    std::int64_t scale, int samples, int runs,
+                    const MachineModel& machine) {
+  const double tolerance = cli.get_double("tolerance", 0.01);
+  const std::string out_path =
+      bench::bench_out_path(cli, "BENCH_overhead.json");
+
+  struct AbResult {
+    std::string name;
+    double base_ms = 0.0;
+    double governed_ms = 0.0;
+    double ratio = 0.0;
+  };
+  std::vector<AbResult> results;
+  double log_sum = 0.0;
+
+  const char* keys[] = {"blur", "unsharp", "harris", "pyramid"};
+  ResourceGovernor& gov = ResourceGovernor::instance();
+  for (const char* key : keys) {
+    const PipelineSpec spec = make_benchmark(key, scale);
+    const Pipeline& pl = *spec.pipeline;
+    const CostModel model(pl, machine);
+    IncFusion inc(pl, model);
+    const Grouping g = inc.run();
+    const std::vector<Buffer> inputs = spec.make_inputs();
+    Executor ex(pl, g, opts);
+    Workspace ws;
+
+    // Ungoverned arm: no deadline pointer, unlimited budget.
+    gov.set_budget(0);
+    ex.run(inputs, ws);  // warm-up
+    const RunStats base = measure_min_of_averages(
+        [&] { ex.run(inputs, ws); }, samples, runs);
+
+    // Governed arm: far-future deadline + a budget that always admits.
+    gov.set_budget(std::int64_t{1} << 40);
+    const Deadline dl = Deadline::after(3600.0);
+    ex.run(inputs, ws, nullptr, &dl);  // warm-up
+    const RunStats governed = measure_min_of_averages(
+        [&] { ex.run(inputs, ws, nullptr, &dl); }, samples, runs);
+    gov.set_budget(0);
+
+    AbResult r;
+    r.name = key;
+    r.base_ms = base.min_avg_ms;
+    r.governed_ms = governed.min_avg_ms;
+    r.ratio = r.governed_ms / r.base_ms;
+    log_sum += std::log(r.ratio);
+    results.push_back(r);
+    std::fprintf(stderr, "  %-12s base %9.3f ms  governed %9.3f ms  x%.4f\n",
+                 key, r.base_ms, r.governed_ms, r.ratio);
+  }
+  const double geomean =
+      std::exp(log_sum / static_cast<double>(results.size()));
+  const bool pass = geomean <= 1.0 + tolerance;
+  std::fprintf(stderr,
+               "  governance overhead geomean: x%.4f (tolerance x%.4f) -> "
+               "%s\n",
+               geomean, 1.0 + tolerance, pass ? "PASS" : "FAIL");
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "bench_smoke: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n"
+      << "  \"bench\": \"governance_overhead_ab\",\n"
+      << bench::provenance_json(machine, &opts, "  ")
+      << "  \"scale\": " << scale << ",\n"
+      << "  \"samples\": " << samples << ",\n"
+      << "  \"runs\": " << runs << ",\n"
+      << "  \"tolerance\": " << tolerance << ",\n"
+      << "  \"pipelines\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const AbResult& r = results[i];
+    out << "    {\"name\": \"" << r.name << "\", \"base_ms\": " << r.base_ms
+        << ", \"governed_ms\": " << r.governed_ms
+        << ", \"ratio\": " << r.ratio << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"geomean_ratio\": " << geomean << ",\n"
+      << "  \"pass\": " << (pass ? "true" : "false") << "\n"
+      << "}\n";
+  std::fprintf(stderr, "bench_smoke: wrote %s\n", out_path.c_str());
+  return pass ? 0 : 1;
 }
 
 }  // namespace
@@ -78,6 +180,9 @@ int main(int argc, char** argv) {
                static_cast<long long>(scale), threads, samples, runs,
                mode_str.c_str(), compiled ? 1 : 0, vector_backend ? 1 : 0,
                allow_fma ? 1 : 0, sched_str.c_str());
+
+  if (cli.has("overhead-ab"))
+    return run_overhead_ab(cli, opts, scale, samples, runs, machine);
 
   const char* keys[] = {"blur",        "unsharp", "harris", "bilateral",
                         "interpolate", "campipe", "pyramid"};

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "fusion/dp.hpp"
+#include "fusion/grouping.hpp"
 #include "fusion/halide_auto.hpp"
 #include "fusion/polymage_greedy.hpp"
 #include "support/timing.hpp"
@@ -71,6 +72,15 @@ Result<bool> validate_options(const Options& opts) {
         "(compiled = true, mode = kRow)");
   if (opts.deadline_seconds < 0.0)
     return invalid("Options::deadline_seconds must be >= 0 (0 = no deadline)");
+  if (opts.run_deadline_seconds < 0.0)
+    return invalid(
+        "Options::run_deadline_seconds must be >= 0 (0 = no deadline)");
+  if (opts.max_run_attempts < 1) {
+    std::ostringstream os;
+    os << "Options::max_run_attempts must be >= 1 (got "
+       << opts.max_run_attempts << ")";
+    return invalid(os.str());
+  }
   const bool uses_dp =
       opts.scheduler == Scheduler::kAuto || opts.scheduler == Scheduler::kDp;
   if (uses_dp && opts.max_states == 0)
@@ -131,6 +141,60 @@ observe::Observer* Session::effective_observer() const {
   if (tee_ != nullptr) return tee_.get();
   if (collector_ != nullptr) return collector_.get();
   return opts_.observer;
+}
+
+// The degradation ladder, leanest-last.  Every rung computes bit-identical
+// outputs (the vector backend and superop fusion are bit-exact transforms;
+// the unfused schedule changes only evaluation order across group
+// boundaries, which the executor's overlapped-tiling semantics make
+// value-neutral), so degrading trades only speed for robustness.
+void Session::build_rungs() {
+  rungs_.clear();
+  ExecOptions base = opts_.exec();
+  if (base.vector_backend && base.superop_fusion) {
+    FallbackRung r;
+    r.label = "no-superops";
+    r.exec = base;
+    r.exec.superop_fusion = false;
+    r.exec.allow_fma = false;  // FMA contraction is a superop transform
+    rungs_.push_back(std::move(r));
+  }
+  if (base.vector_backend) {
+    FallbackRung r;
+    r.label = "no-vector";
+    r.exec = base;
+    r.exec.vector_backend = false;
+    r.exec.superop_fusion = false;
+    r.exec.allow_fma = false;
+    rungs_.push_back(std::move(r));
+  }
+  {
+    FallbackRung r;
+    r.label = "unfused";
+    r.exec = base;
+    r.exec.vector_backend = false;
+    r.exec.superop_fusion = false;
+    r.exec.allow_fma = false;
+    r.unfused = true;
+    rungs_.push_back(std::move(r));
+  }
+}
+
+Executor* Session::attempt_executor(std::size_t i) {
+  if (i == 0) return exec_.get();
+  const std::size_t ri = i - 1;
+  if (ri >= rungs_.size()) return nullptr;  // ladder exhausted
+  FallbackRung& r = rungs_[ri];
+  if (r.executor == nullptr) {
+    if (r.unfused) {
+      CostModel model(*pl_, opts_.machine);
+      Grouping g = singleton_grouping(*pl_, model);
+      r.executor = std::make_unique<Executor>(*pl_, g, r.exec);
+    } else {
+      r.executor = std::make_unique<Executor>(*pl_, grouping_, r.exec);
+    }
+  }
+  return r.executor.get();
 }
 
 Result<Session> Session::open(const Pipeline& pl, Options opts) {
@@ -207,6 +271,7 @@ Result<Session> Session::open(const Pipeline& pl, Options opts) {
     s.collector_ = std::move(collector);
     s.tee_ = std::move(tee);
     s.exec_ = std::make_unique<Executor>(pl, s.grouping_, s.opts_.exec());
+    s.build_rungs();
     return Result<Session>(std::move(s));
   } catch (const Error& e) {
     return Result<Session>(e);
@@ -262,6 +327,7 @@ Result<Session> Session::open(const Pipeline& pl, const Grouping& grouping,
     s.collector_ = std::move(collector);
     s.tee_ = std::move(tee);
     s.exec_ = std::make_unique<Executor>(pl, s.grouping_, s.opts_.exec());
+    s.build_rungs();
     return Result<Session>(std::move(s));
   } catch (const Error& e) {
     return Result<Session>(e);
@@ -293,19 +359,74 @@ Result<double> Session::execute(const std::vector<Buffer>& inputs) {
       return Result<double>::failure(ErrorCode::kInvalidArgument, os.str());
     }
   }
-  try {
+  const Deadline deadline =
+      opts_.run_deadline_seconds > 0.0
+          ? Deadline::after(opts_.run_deadline_seconds)
+          : Deadline();
+  const Deadline* dl = deadline.armed() ? &deadline : nullptr;
+
+  // A failed attempt retries on the next rung of the degradation ladder
+  // when the failure is transient or config-induced: an injected fault or
+  // canary trip (the leaner rung sidesteps the faulty path), an allocation
+  // failure or budget rejection (the leaner rung needs less memory).  An
+  // expired deadline is terminal — no rung can un-expire the clock.
+  auto retryable = [](ErrorCode c) {
+    return c == ErrorCode::kInternal || c == ErrorCode::kAllocationFailed ||
+           c == ErrorCode::kResourceExhausted ||
+           c == ErrorCode::kFaultInjected;
+  };
+
+  observe::Observer* obs = effective_observer();
+  observe::RunReport report;
+  WallTimer total;
+  Error last(std::string("Session::execute: no attempts"),
+             ErrorCode::kInternal);
+  for (int attempt = 1; attempt <= opts_.max_run_attempts; ++attempt) {
+    observe::RunAttempt ra;
+    ra.index = attempt;
     WallTimer t;
-    exec_->run(inputs, ws_, effective_observer());
-    ran_ = true;
-    return t.seconds();
-  } catch (const Error& e) {
-    return Result<double>(e);
-  } catch (const std::bad_alloc&) {
-    return Result<double>::failure(ErrorCode::kAllocationFailed,
-                                   "Session::execute: out of memory");
-  } catch (const std::exception& e) {
-    return Result<double>::failure(ErrorCode::kInternal, e.what());
+    bool stop = false;
+    try {
+      Executor* ex = attempt_executor(static_cast<std::size_t>(attempt - 1));
+      if (ex == nullptr) break;  // ladder exhausted: report the last error
+      ra.config = attempt == 1
+                      ? "full"
+                      : rungs_[static_cast<std::size_t>(attempt - 2)].label;
+      ex->run(inputs, ws_, obs, dl);
+      ra.succeeded = true;
+      ra.seconds = t.seconds();
+      if (obs != nullptr) obs->on_run_attempt(ra);
+      report.attempts.push_back(ra);
+      report.succeeded = true;
+      report.degraded = attempt > 1;
+      report.final_config = report.attempts.back().config;
+      report.total_seconds = total.seconds();
+      report_ = std::move(report);
+      ran_ = true;
+      return ra.seconds;
+    } catch (const Error& e) {
+      last = e;
+    } catch (const std::bad_alloc&) {
+      last = Error(std::string("Session::execute: out of memory"),
+                   ErrorCode::kAllocationFailed);
+    } catch (const std::exception& e) {
+      last = Error(std::string(e.what()), ErrorCode::kInternal);
+    }
+    if (ra.config.empty()) ra.config = "full";
+    ra.seconds = t.seconds();
+    ra.code = error_code_name(last.code());
+    ra.detail = last.what();
+    if (obs != nullptr) obs->on_run_attempt(ra);
+    report.attempts.push_back(std::move(ra));
+    stop = !retryable(last.code());
+    if (stop) break;
   }
+  report.succeeded = false;
+  if (!report.attempts.empty())
+    report.final_config = report.attempts.back().config;
+  report.total_seconds = total.seconds();
+  report_ = std::move(report);
+  return Result<double>(last);
 }
 
 Result<std::vector<Buffer>> Session::run(const std::vector<Buffer>& inputs) {

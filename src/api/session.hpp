@@ -77,6 +77,24 @@ struct Options {
   std::int64_t greedy_t2 = 128;
   double greedy_tolerance = 0.4;
 
+  // --- Request governance ---
+  // Per-request wall-clock deadline for execute()/run(), in seconds
+  // (0 = none).  Checked cooperatively at tile boundaries: an overrunning
+  // request terminates with kDeadlineExceeded and the session workspace
+  // stays reusable.  Distinct from deadline_seconds, which bounds the
+  // schedule *search*.
+  double run_deadline_seconds = 0.0;
+  // Execution-time degradation ladder: when > 1, a retryable failure
+  // (injected fault, canary trip, allocation failure, resource-budget
+  // rejection) retries the request on progressively leaner configurations —
+  // superop fusion off, then the vector backend off, then an unfused
+  // schedule — up to this many total attempts.  Every rung is bit-identical
+  // by construction, so a degraded success returns the same pixels.
+  // kDeadlineExceeded never retries (the clock that expired is still
+  // expired).  Each attempt is streamed to the observer as a RunAttempt and
+  // summarized in last_report().
+  int max_run_attempts = 1;
+
   // --- Observability ---
   // Attach the session's own TraceCollector: schedule-ladder attempts and
   // per-group measurements accumulate into a RunTrace per execute(),
@@ -119,6 +137,11 @@ class Session {
   // Executes the pipeline; results land in the session workspace (see
   // output()).  Returns wall seconds for the run.  The workspace is reused
   // across calls, so repeated execute() measures a warm plan.
+  //
+  // Honors Options::run_deadline_seconds and, on retryable coded failures,
+  // walks the degradation ladder up to Options::max_run_attempts attempts
+  // (see last_report() for the attempt-by-attempt post-mortem).  On
+  // success, the returned seconds are the successful attempt's wall time.
   Result<double> execute(const std::vector<Buffer>& inputs);
 
   // execute() + copy of the output buffers (pipeline output order).
@@ -146,9 +169,29 @@ class Session {
   // Predicted-vs-measured per-group report of the last run.
   Result<observe::Report> report() const;
 
+  // Attempt-by-attempt post-mortem of the most recent execute()/run():
+  // every degradation-ladder attempt with its config, outcome, coded error
+  // and wall time.  Empty before the first execute().
+  const observe::RunReport& last_report() const { return report_; }
+
  private:
   Session(const Pipeline& pl, Options opts, Grouping grouping,
           Diagnostics diag);
+
+  // One fallback rung of the degradation ladder (the primary attempt runs
+  // on exec_).  Executors are built lazily on the first failure that
+  // reaches the rung and cached for later requests.
+  struct FallbackRung {
+    std::string label;
+    ExecOptions exec;
+    bool unfused = false;  // re-schedule as singleton groups
+    std::unique_ptr<Executor> executor;
+  };
+
+  void build_rungs();
+  // The executor for 0-based attempt index `i` (0 = primary); nullptr once
+  // the ladder is exhausted.  Lazily constructs fallback executors.
+  Executor* attempt_executor(std::size_t i);
 
   const Pipeline* pl_;
   Options opts_;
@@ -158,7 +201,9 @@ class Session {
   std::unique_ptr<observe::TraceCollector> collector_;
   std::unique_ptr<observe::TeeObserver> tee_;
   std::unique_ptr<Executor> exec_;
+  std::vector<FallbackRung> rungs_;
   Workspace ws_;
+  observe::RunReport report_;
   bool ran_ = false;
 
   observe::Observer* effective_observer() const;

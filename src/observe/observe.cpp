@@ -1,5 +1,7 @@
 #include "observe/observe.hpp"
 
+#include <cstdio>
+
 namespace fusedp::observe {
 
 void TraceCollector::on_schedule_attempt(const ScheduleAttempt& attempt) {
@@ -34,6 +36,44 @@ void TraceCollector::on_run_end(const RunRecord& run) {
   t.meta = run.meta;
   t.seconds = run.seconds;
   t.complete = true;
+}
+
+void TraceCollector::on_run_attempt(const RunAttempt& attempt) {
+  // Attempts attach to the most recent trace: a failed attempt annotates
+  // the (incomplete) trace it aborted; a pre-run failure (e.g. rejected
+  // workspace admission) synthesizes an anonymous trace to carry it.
+  if (runs_.empty()) {
+    runs_.emplace_back();
+    runs_.back().schedule = schedule_;
+  }
+  runs_.back().attempts.push_back(attempt);
+}
+
+std::string run_report_to_string(const RunReport& report) {
+  std::string out = "run report: ";
+  if (report.attempts.empty()) {
+    out += "no attempts\n";
+    return out;
+  }
+  out += report.succeeded ? "ok" : "failed";
+  out += " after " + std::to_string(report.attempts.size()) + " attempt" +
+         (report.attempts.size() == 1 ? "" : "s");
+  if (report.degraded) out += " (degraded to " + report.final_config + ")";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", report.total_seconds);
+  out += ", " + std::string(buf) + " s total\n";
+  for (const RunAttempt& a : report.attempts) {
+    std::snprintf(buf, sizeof(buf), "%.6f", a.seconds);
+    out += "  attempt " + std::to_string(a.index) + " [" + a.config + "]: ";
+    if (a.succeeded) {
+      out += "ok";
+    } else {
+      out += "fail " + a.code;
+      if (!a.detail.empty()) out += ": " + a.detail;
+    }
+    out += " (" + std::string(buf) + " s)\n";
+  }
+  return out;
 }
 
 }  // namespace fusedp::observe

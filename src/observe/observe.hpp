@@ -83,6 +83,32 @@ struct RunRecord {
   double seconds = 0.0;  // whole-run wall time
 };
 
+// One rung of the Session's execution-time degradation ladder: a single
+// Executor::run attempt under one configuration.  A request that succeeds
+// first try produces exactly one attempt; a faulting or resource-starved
+// request produces one attempt per rung tried (superops off → vector
+// backend off → unfused), each streamed to the observer as it concludes.
+struct RunAttempt {
+  int index = 0;          // 1-based attempt number within the request
+  std::string config;     // rung label: "full" / "no-superops" / ...
+  bool succeeded = false;
+  std::string code;    // error-code name when !succeeded
+  std::string detail;  // failure message when !succeeded
+  double seconds = 0.0;
+};
+
+// The per-request summary: every attempt in order plus the terminal state.
+struct RunReport {
+  std::vector<RunAttempt> attempts;
+  bool succeeded = false;
+  bool degraded = false;     // succeeded on a fallback rung
+  std::string final_config;  // rung of the last attempt
+  double total_seconds = 0.0;
+};
+
+// Human-readable attempt ladder (one line per attempt) for `--report`.
+std::string run_report_to_string(const RunReport& report);
+
 // The sink interface.  Default implementations do nothing, so a sink
 // overrides only what it wants.  Callbacks arrive on the serial (calling)
 // thread; the executor never invokes a sink from inside a parallel region.
@@ -100,6 +126,8 @@ class Observer {
   virtual void on_run_begin(const RunMeta& meta) { (void)meta; }
   virtual void on_group_end(const GroupRecord& group) { (void)group; }
   virtual void on_run_end(const RunRecord& run) { (void)run; }
+  // One degradation-ladder attempt concluded (success or coded failure).
+  virtual void on_run_attempt(const RunAttempt& attempt) { (void)attempt; }
 };
 
 // Everything one run produced, ready for export (chrome trace) or joining
@@ -108,6 +136,10 @@ struct RunTrace {
   RunMeta meta;
   std::vector<ScheduleAttempt> schedule;  // ladder attempts, in order
   std::vector<GroupRecord> groups;        // in execution order
+  // Degradation-ladder attempts observed against this trace (a failed
+  // attempt leaves the trace incomplete; the retry's groups follow in the
+  // next trace).
+  std::vector<RunAttempt> attempts;
   double seconds = 0.0;
   bool complete = false;  // on_run_end seen
 };
@@ -124,6 +156,7 @@ class TraceCollector : public Observer {
   void on_run_begin(const RunMeta& meta) override;
   void on_group_end(const GroupRecord& group) override;
   void on_run_end(const RunRecord& run) override;
+  void on_run_attempt(const RunAttempt& attempt) override;
 
   // The most recent (possibly still incomplete) run; nullptr before any.
   const RunTrace* last() const { return runs_.empty() ? nullptr : &runs_.back(); }
@@ -161,6 +194,10 @@ class TeeObserver : public Observer {
   void on_run_end(const RunRecord& r) override {
     if (a_ != nullptr) a_->on_run_end(r);
     if (b_ != nullptr) b_->on_run_end(r);
+  }
+  void on_run_attempt(const RunAttempt& at) override {
+    if (a_ != nullptr) a_->on_run_attempt(at);
+    if (b_ != nullptr) b_->on_run_attempt(at);
   }
 
  private:

@@ -87,6 +87,34 @@ void ensure_buffer(Buffer& b, const std::vector<std::int64_t>& extents) {
 
 }  // namespace
 
+// Charges the governor for what prepare() is about to hold.  `target_floats`
+// is the simulated post-prepare footprint; the delta over the current charge
+// is admitted before a single float is allocated, so a budget rejection
+// propagates with the workspace bit-for-bit unchanged.
+void Workspace::admit(std::int64_t target_floats) {
+  const std::int64_t current =
+      allocated_floats() * static_cast<std::int64_t>(sizeof(float));
+  const std::int64_t target =
+      target_floats * static_cast<std::int64_t>(sizeof(float));
+  // Admission only ever grows the charge here; shrinks are settled by
+  // resync_charge() after the allocations have actually happened.
+  charge_.adjust_to(std::max(current, std::max(target, charge_.bytes())));
+}
+
+// Settles the charge to the bytes actually held — after a successful
+// prepare (simulation and reality agree, but re-deriving is cheap and
+// self-correcting) and after a failed one (part-done allocations).  Only
+// ever shrinks or holds the charge post-admit, so it cannot throw.
+void Workspace::resync_charge() noexcept {
+  try {
+    charge_.adjust_to(allocated_floats() *
+                      static_cast<std::int64_t>(sizeof(float)));
+  } catch (...) {
+    // Unreachable growth rejection; keep the (over-)charge rather than leak
+    // accounting.
+  }
+}
+
 // Exception safety: views_ are invalidated up front and only re-published
 // after every allocation has succeeded, so a bad_alloc mid-prepare leaves
 // the workspace with no half-initialized (dangling or stale) views — it
@@ -94,37 +122,76 @@ void ensure_buffer(Buffer& b, const std::vector<std::int64_t>& extents) {
 void Workspace::prepare(const ExecutablePlan& plan) {
   const Pipeline& pl = *plan.pipeline;
   const std::size_t n = static_cast<std::size_t>(pl.num_stages());
+  // Simulate the post-prepare footprint: materialized stages end up at
+  // their domain volume (reused or freshly allocated); everything else —
+  // stale buffers from a previous plan, pooled slots — is kept as-is.
+  std::int64_t target = 0;
+  for (int s = 0; s < pl.num_stages(); ++s) {
+    const std::size_t si = static_cast<std::size_t>(s);
+    if (plan.materialized[si])
+      target += pl.stage(s).domain.volume();
+    else if (si < buffers_.size())
+      target += buffers_[si].volume();
+  }
+  for (const Buffer& b : slots_) target += b.volume();
+  admit(target);  // throws kResourceExhausted before any allocation
+
   views_.assign(n, BufferView{});
   buffers_.resize(n);
-  for (int s = 0; s < pl.num_stages(); ++s) {
-    if (!plan.materialized[static_cast<std::size_t>(s)]) continue;
-    ensure_buffer(buffers_[static_cast<std::size_t>(s)],
-                  pl.stage(s).domain.extents());
+  try {
+    for (int s = 0; s < pl.num_stages(); ++s) {
+      if (!plan.materialized[static_cast<std::size_t>(s)]) continue;
+      ensure_buffer(buffers_[static_cast<std::size_t>(s)],
+                    pl.stage(s).domain.extents());
+    }
+  } catch (...) {
+    resync_charge();
+    throw;
   }
   for (int s = 0; s < pl.num_stages(); ++s)
     if (plan.materialized[static_cast<std::size_t>(s)])
       views_[static_cast<std::size_t>(s)] =
           buffers_[static_cast<std::size_t>(s)].view();
+  resync_charge();
 }
 
 void Workspace::prepare(const ExecutablePlan& plan,
                         const StorageAssignment& storage) {
   const Pipeline& pl = *plan.pipeline;
   const std::size_t n = static_cast<std::size_t>(pl.num_stages());
+  std::int64_t target = 0;
+  for (std::size_t i = 0; i < storage.slot_floats.size(); ++i) {
+    const std::int64_t have = i < slots_.size() ? slots_[i].volume() : 0;
+    target += std::max(have, storage.slot_floats[i]);
+  }
+  for (int s = 0; s < pl.num_stages(); ++s) {
+    const std::size_t si = static_cast<std::size_t>(s);
+    if (plan.materialized[si] && storage.slot[si] < 0)
+      target += pl.stage(s).domain.volume();
+    else if (si < buffers_.size())
+      target += buffers_[si].volume();
+  }
+  admit(target);
+
   views_.assign(n, BufferView{});
   buffers_.resize(n);
   slots_.resize(storage.slot_floats.size());
-  for (std::size_t i = 0; i < slots_.size(); ++i)
-    if (slots_[i].empty() || slots_[i].volume() < storage.slot_floats[i]) {
-      FUSEDP_FAULT_POINT("workspace.prepare");
-      Buffer fresh({storage.slot_floats[i]});
-      slots_[i] = std::move(fresh);
+  try {
+    for (std::size_t i = 0; i < slots_.size(); ++i)
+      if (slots_[i].empty() || slots_[i].volume() < storage.slot_floats[i]) {
+        FUSEDP_FAULT_POINT("workspace.prepare");
+        Buffer fresh({storage.slot_floats[i]});
+        slots_[i] = std::move(fresh);
+      }
+    for (int s = 0; s < pl.num_stages(); ++s) {
+      if (!plan.materialized[static_cast<std::size_t>(s)]) continue;
+      if (storage.slot[static_cast<std::size_t>(s)] < 0)
+        ensure_buffer(buffers_[static_cast<std::size_t>(s)],
+                      pl.stage(s).domain.extents());
     }
-  for (int s = 0; s < pl.num_stages(); ++s) {
-    if (!plan.materialized[static_cast<std::size_t>(s)]) continue;
-    if (storage.slot[static_cast<std::size_t>(s)] < 0)
-      ensure_buffer(buffers_[static_cast<std::size_t>(s)],
-                    pl.stage(s).domain.extents());
+  } catch (...) {
+    resync_charge();
+    throw;
   }
   for (int s = 0; s < pl.num_stages(); ++s) {
     if (!plan.materialized[static_cast<std::size_t>(s)]) continue;
@@ -137,6 +204,7 @@ void Workspace::prepare(const ExecutablePlan& plan,
           slots_[static_cast<std::size_t>(slot)].data(), pl.stage(s).domain);
     }
   }
+  resync_charge();
 }
 
 std::int64_t Workspace::allocated_floats() const {
@@ -173,8 +241,19 @@ std::string joined_stage_names(const Pipeline& pl, const GroupPlan& g) {
 
 }  // namespace
 
+namespace {
+
+// Serial-side deadline probe, used before reduction groups (which have no
+// tile boundaries to sample at).
+void check_deadline(const Deadline* deadline) {
+  if (deadline != nullptr && deadline->expired())
+    throw Error("run deadline exceeded", ErrorCode::kDeadlineExceeded);
+}
+
+}  // namespace
+
 void Executor::run(const std::vector<Buffer>& inputs, Workspace& ws,
-                   observe::Observer* obs) const {
+                   observe::Observer* obs, const Deadline* deadline) const {
   FUSEDP_CHECK_CODE(static_cast<int>(inputs.size()) == pl_->num_inputs(),
                     ErrorCode::kInvalidArgument, "input count mismatch");
   for (int i = 0; i < pl_->num_inputs(); ++i)
@@ -190,10 +269,12 @@ void Executor::run(const std::vector<Buffer>& inputs, Workspace& ws,
   if (obs == nullptr) {
     // Unobserved fast path: no clock reads, no records, bit-identical work.
     for (const GroupPlan& g : plan_.groups) {
-      if (g.is_reduction)
+      if (g.is_reduction) {
+        check_deadline(deadline);
         run_reduction(g, inputs, ws);
-      else
-        run_group(g, inputs, ws, nullptr, nullptr, false);
+      } else {
+        run_group(g, inputs, ws, nullptr, nullptr, false, deadline);
+      }
     }
     return;
   }
@@ -222,13 +303,14 @@ void Executor::run(const std::vector<Buffer>& inputs, Workspace& ws,
     }
     rec.t_begin = epoch.seconds();
     if (g.is_reduction) {
+      check_deadline(deadline);
       run_reduction(g, inputs, ws);
       const std::int64_t vol = pl_->stage(g.stages.first()).domain.volume();
       rec.tiles_run = 1;
       rec.computed_elems = vol;
       rec.owned_elems = vol;
     } else {
-      run_group(g, inputs, ws, &rec, &epoch, want_tiles);
+      run_group(g, inputs, ws, &rec, &epoch, want_tiles, deadline);
     }
     rec.t_end = epoch.seconds();
     rec.seconds = rec.t_end - rec.t_begin;
@@ -300,7 +382,8 @@ struct ThreadLog {
 
 void Executor::run_group(const GroupPlan& g, const std::vector<Buffer>& inputs,
                          Workspace& ws, observe::GroupRecord* rec,
-                         const WallTimer* epoch, bool want_tiles) const {
+                         const WallTimer* epoch, bool want_tiles,
+                         const Deadline* deadline) const {
   const Pipeline& pl = *pl_;
   const int ncls = g.align.num_classes;
   const std::int64_t total = g.total_tiles;
@@ -371,6 +454,13 @@ void Executor::run_group(const GroupPlan& g, const std::vector<Buffer>& inputs,
       if (!thread_ok || cancelled.load(std::memory_order_relaxed)) return;
       const double t_begin = log != nullptr ? epoch->seconds() : 0.0;
       try {
+        // Cooperative cancellation: one steady_clock read per tile when a
+        // deadline is armed.  The throw rides the same latch as any tile
+        // fault — remaining tiles become no-ops, the region joins, and the
+        // serial side rethrows the coded error with the workspace intact.
+        if (deadline != nullptr && deadline->expired())
+          throw Error("run deadline exceeded at tile " + std::to_string(t),
+                      ErrorCode::kDeadlineExceeded);
         FUSEDP_FAULT_POINT("executor.tile_eval");
         // Decode tile index into a reference-space box.
         Box tile;

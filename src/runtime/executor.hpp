@@ -11,6 +11,7 @@
 
 #include "observe/observe.hpp"
 #include "runtime/eval.hpp"
+#include "runtime/governor.hpp"
 #include "runtime/plan.hpp"
 #include "storage/liveness.hpp"
 #include "support/timing.hpp"
@@ -71,6 +72,12 @@ struct ExecOptions {
 // Holds the full-size buffers of materialized stages.  With pooling,
 // non-output intermediates become dense views into shared slot storage;
 // pipeline outputs always keep dedicated buffers.
+//
+// The workspace's full footprint is admitted at the ResourceGovernor
+// *before* prepare() allocates anything: a budget rejection surfaces as a
+// coded kResourceExhausted error with the workspace unchanged — still
+// holding (and still charged for) whatever it allocated previously, still
+// reusable for a leaner retry.
 class Workspace {
  public:
   void prepare(const ExecutablePlan& plan);
@@ -91,9 +98,16 @@ class Workspace {
   std::int64_t allocated_floats() const;
 
  private:
+  // Charges the governor for the post-prepare footprint (throws
+  // kResourceExhausted on rejection, leaving the workspace untouched) and
+  // re-syncs the charge to the true allocation afterwards.
+  void admit(std::int64_t target_floats);
+  void resync_charge() noexcept;
+
   std::vector<Buffer> buffers_;  // dedicated, indexed by stage id
   std::vector<Buffer> slots_;    // pooled storage
   std::vector<BufferView> views_;
+  GovernedCharge charge_;  // this workspace's bytes held at the governor
 };
 
 class Executor {
@@ -109,8 +123,18 @@ class Executor {
   // (serial) thread.  With `obs == nullptr` no clock is read and no log is
   // allocated — the tile loop pays one pointer test — and outputs are
   // bit-identical either way (instrumentation never touches the compute).
+  //
+  // A non-null armed `deadline` is sampled cooperatively at every tile
+  // boundary (and before each reduction group): once expired, remaining
+  // tiles become no-ops via the cancellation latch and the run terminates
+  // with a coded kDeadlineExceeded error.  The deadline is deliberately NOT
+  // checked at entry, so even an already-expired request prepares `ws` and
+  // fails through the tile path — the workspace stays reusable and an
+  // immediate re-run without the deadline is bit-identical to an
+  // undisturbed run.
   void run(const std::vector<Buffer>& inputs, Workspace& ws,
-           observe::Observer* obs = nullptr) const;
+           observe::Observer* obs = nullptr,
+           const Deadline* deadline = nullptr) const;
 
   const ExecutablePlan& plan() const { return plan_; }
 
@@ -122,7 +146,8 @@ class Executor {
   // `epoch` is the run-relative clock (non-null iff rec is).
   void run_group(const GroupPlan& g, const std::vector<Buffer>& inputs,
                  Workspace& ws, observe::GroupRecord* rec,
-                 const WallTimer* epoch, bool want_tiles) const;
+                 const WallTimer* epoch, bool want_tiles,
+                 const Deadline* deadline) const;
   void run_reduction(const GroupPlan& g, const std::vector<Buffer>& inputs,
                      Workspace& ws) const;
 

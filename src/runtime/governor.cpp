@@ -1,0 +1,127 @@
+#include "runtime/governor.hpp"
+
+#include "support/memhook.hpp"
+#include "support/status.hpp"
+
+namespace fusedp {
+
+namespace {
+
+void hook_charge(std::int64_t bytes) { ResourceGovernor::instance().charge(bytes); }
+void hook_uncharge(std::int64_t bytes) {
+  ResourceGovernor::instance().uncharge(bytes);
+}
+
+}  // namespace
+
+ResourceGovernor& ResourceGovernor::instance() {
+  // Leaky singleton: never destroyed, so arenas releasing charges during
+  // static destruction (or after main returns) stay safe.
+  static ResourceGovernor* g = new ResourceGovernor();
+  return *g;
+}
+
+ResourceGovernor::ResourceGovernor() {
+  detail::mem_charge.store(&hook_charge, std::memory_order_release);
+  detail::mem_uncharge.store(&hook_uncharge, std::memory_order_release);
+}
+
+void ResourceGovernor::set_budget(std::int64_t bytes,
+                                  double max_queue_wait_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  budget_ = bytes < 0 ? 0 : bytes;
+  if (max_queue_wait_seconds < 0) max_queue_wait_seconds = 0;
+  max_wait_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double>(max_queue_wait_seconds));
+}
+
+std::int64_t ResourceGovernor::budget() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return budget_;
+}
+
+void ResourceGovernor::charge(std::int64_t bytes) {
+  if (bytes <= 0) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  auto fits = [&] { return budget_ == 0 || used_ + bytes <= budget_; };
+  if (!fits()) {
+    // Bounded backoff: another request releasing memory wakes us; if the
+    // budget still cannot admit us within the window, reject with a coded
+    // error instead of blocking the Session indefinitely.
+    ++waits_;
+    const auto deadline = std::chrono::steady_clock::now() + max_wait_;
+    while (!fits()) {
+      if (released_.wait_until(lock, deadline) == std::cv_status::timeout &&
+          !fits()) {
+        ++rejections_;
+        const std::int64_t used = used_, budget = budget_;
+        lock.unlock();
+        throw Error("memory budget exhausted: " + std::to_string(used) +
+                        " bytes in use of " + std::to_string(budget) +
+                        "-byte budget, requested " + std::to_string(bytes) +
+                        " more",
+                    ErrorCode::kResourceExhausted);
+      }
+    }
+  }
+  used_ += bytes;
+  if (used_ > high_water_) high_water_ = used_;
+}
+
+void ResourceGovernor::uncharge(std::int64_t bytes) noexcept {
+  if (bytes <= 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    used_ -= bytes;
+    if (used_ < 0) used_ = 0;  // defensive: mismatched uncharge
+  }
+  released_.notify_all();
+}
+
+std::int64_t ResourceGovernor::used() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return used_;
+}
+
+std::int64_t ResourceGovernor::high_water() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return high_water_;
+}
+
+std::uint64_t ResourceGovernor::rejections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejections_;
+}
+
+std::uint64_t ResourceGovernor::waits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waits_;
+}
+
+void ResourceGovernor::reset_for_test() {
+  std::lock_guard<std::mutex> lock(mu_);
+  budget_ = 0;
+  max_wait_ = std::chrono::milliseconds(50);
+  high_water_ = used_;
+  rejections_ = 0;
+  waits_ = 0;
+}
+
+void GovernedCharge::adjust_to(std::int64_t target_bytes) {
+  if (target_bytes < 0) target_bytes = 0;
+  if (target_bytes > bytes_) {
+    ResourceGovernor::instance().charge(target_bytes - bytes_);  // may throw
+  } else if (target_bytes < bytes_) {
+    ResourceGovernor::instance().uncharge(bytes_ - target_bytes);
+  }
+  bytes_ = target_bytes;
+}
+
+void GovernedCharge::release() noexcept {
+  if (bytes_ > 0) {
+    ResourceGovernor::instance().uncharge(bytes_);
+    bytes_ = 0;
+  }
+}
+
+}  // namespace fusedp

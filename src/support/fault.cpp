@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <mutex>
+#include <shared_mutex>
 
 namespace fusedp {
 
@@ -9,16 +10,22 @@ std::atomic<bool> FaultInjector::active_{false};
 
 namespace {
 
-// Armed-point state.  Mutated only under `mu` (and only while tests are
-// single-threaded in arm/disarm); read in hit(), which also locks — fault
-// points are only slow once armed, never in production runs.
-std::mutex mu;
+// Armed-point state.  The name/code/mode fields are written only under the
+// exclusive side of `mu` (arm/disarm); hit() takes the shared side, so any
+// number of threads — e.g. many concurrent Sessions inside a chaos soak —
+// can interrogate the armed point at once without a data race on the
+// string.  The countdown, hit counter, and fired latch are atomics, so the
+// hot path never serializes hits against each other: with `skip = n`
+// exactly one thread observes the countdown crossing zero and wins the
+// fired-latch exchange, even under concurrent arming from another thread
+// (the writer blocks until in-flight readers drain).
+std::shared_mutex mu;
 std::string armed_point;
 ErrorCode armed_code = ErrorCode::kFaultInjected;
-std::int64_t countdown = 0;  // hits to ignore before firing
-std::uint64_t hit_count = 0;
-bool fired = false;
 bool corrupt_mode = false;  // arm_corrupt: flip a bit instead of throwing
+std::atomic<std::int64_t> countdown{0};  // hits to ignore before firing
+std::atomic<std::uint64_t> hit_count{0};
+std::atomic<bool> fired{false};
 
 // One-time FUSEDP_FAULT=<point>[:<skip>] pickup at process start.
 const bool env_armed = [] {
@@ -37,57 +44,57 @@ const bool env_armed = [] {
 }  // namespace
 
 void FaultInjector::arm(const std::string& point, ErrorCode code, int skip) {
-  std::lock_guard<std::mutex> lock(mu);
+  std::unique_lock<std::shared_mutex> lock(mu);
   armed_point = point;
   armed_code = code;
-  countdown = skip;
-  hit_count = 0;
-  fired = false;
   corrupt_mode = false;
+  countdown.store(skip, std::memory_order_relaxed);
+  hit_count.store(0, std::memory_order_relaxed);
+  fired.store(false, std::memory_order_release);
   active_.store(!point.empty(), std::memory_order_release);
 }
 
 void FaultInjector::arm_corrupt(const std::string& point, int skip) {
-  std::lock_guard<std::mutex> lock(mu);
+  std::unique_lock<std::shared_mutex> lock(mu);
   armed_point = point;
   armed_code = ErrorCode::kFaultInjected;
-  countdown = skip;
-  hit_count = 0;
-  fired = false;
   corrupt_mode = true;
+  countdown.store(skip, std::memory_order_relaxed);
+  hit_count.store(0, std::memory_order_relaxed);
+  fired.store(false, std::memory_order_release);
   active_.store(!point.empty(), std::memory_order_release);
 }
 
 void FaultInjector::disarm() {
-  std::lock_guard<std::mutex> lock(mu);
+  std::unique_lock<std::shared_mutex> lock(mu);
   armed_point.clear();
-  fired = false;
-  hit_count = 0;
   corrupt_mode = false;
+  hit_count.store(0, std::memory_order_relaxed);
+  fired.store(false, std::memory_order_release);
   active_.store(false, std::memory_order_release);
 }
 
 bool FaultInjector::armed() {
-  std::lock_guard<std::mutex> lock(mu);
-  return !armed_point.empty() && !fired;
+  std::shared_lock<std::shared_mutex> lock(mu);
+  return !armed_point.empty() && !fired.load(std::memory_order_acquire);
 }
 
 std::uint64_t FaultInjector::hits() {
-  std::lock_guard<std::mutex> lock(mu);
-  return hit_count;
+  return hit_count.load(std::memory_order_relaxed);
 }
 
 void FaultInjector::hit(const char* point) {
   ErrorCode code;
   std::string name;
   {
-    std::lock_guard<std::mutex> lock(mu);
-    if (fired || corrupt_mode || armed_point != point) return;
-    ++hit_count;
-    if (countdown-- > 0) return;
-    // Fire exactly once: later hits of this arming (other threads, retries)
-    // pass through untouched.
-    fired = true;
+    std::shared_lock<std::shared_mutex> lock(mu);
+    if (corrupt_mode || armed_point != point) return;
+    if (fired.load(std::memory_order_acquire)) return;
+    hit_count.fetch_add(1, std::memory_order_relaxed);
+    if (countdown.fetch_sub(1, std::memory_order_acq_rel) > 0) return;
+    // Fire exactly once: the latch makes later hits of this arming (other
+    // threads racing past the countdown, retries) pass through untouched.
+    if (fired.exchange(true, std::memory_order_acq_rel)) return;
     code = armed_code;
     name = armed_point;
   }
@@ -95,12 +102,12 @@ void FaultInjector::hit(const char* point) {
 }
 
 bool FaultInjector::corrupt_now(const char* point) {
-  std::lock_guard<std::mutex> lock(mu);
-  if (fired || !corrupt_mode || armed_point != point) return false;
-  ++hit_count;
-  if (countdown-- > 0) return false;
-  fired = true;  // corrupt exactly once per arming
-  return true;
+  std::shared_lock<std::shared_mutex> lock(mu);
+  if (!corrupt_mode || armed_point != point) return false;
+  if (fired.load(std::memory_order_acquire)) return false;
+  hit_count.fetch_add(1, std::memory_order_relaxed);
+  if (countdown.fetch_sub(1, std::memory_order_acq_rel) > 0) return false;
+  return !fired.exchange(true, std::memory_order_acq_rel);  // corrupt once
 }
 
 }  // namespace fusedp

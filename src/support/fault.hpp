@@ -10,9 +10,13 @@
 //
 // Disarmed cost is a single relaxed atomic load per fault point, so the
 // hooks stay compiled into release builds.  Arming is global (one point at
-// a time) and thread-safe: the countdown is decremented atomically, so with
-// `skip = n` exactly one thread fires on the (n+1)-th hit even when the
-// point sits inside an OpenMP parallel loop.
+// a time) and fully thread-safe: hit bookkeeping is lock-free (atomic hit
+// counter, atomic countdown, an atomic fired latch), so with `skip = n`
+// exactly one thread fires on the (n+1)-th hit even when the point sits
+// inside an OpenMP parallel loop or many concurrent Sessions hammer the
+// same site (the chaos soak re-arms points while other threads are mid-
+// hit; readers take the shared side of a shared_mutex so arm/disarm never
+// races the point-name comparison).
 //
 // Environment arming (picked up at first hit check):
 //   FUSEDP_FAULT=<point>          fire on the first hit of <point>

@@ -1,0 +1,8 @@
+#include "support/memhook.hpp"
+
+namespace fusedp::detail {
+
+std::atomic<MemChargeFn> mem_charge{nullptr};
+std::atomic<MemChargeFn> mem_uncharge{nullptr};
+
+}  // namespace fusedp::detail

@@ -13,6 +13,7 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kAllocationFailed: return "allocation-failed";
     case ErrorCode::kIoError: return "io-error";
     case ErrorCode::kFaultInjected: return "fault-injected";
+    case ErrorCode::kResourceExhausted: return "resource-exhausted";
   }
   return "unknown";
 }

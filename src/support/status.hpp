@@ -19,10 +19,15 @@ namespace fusedp {
 // about them, not by where they were raised:
 //  * kInvalidPipeline / kInvalidSchedule / kInvalidArgument — caller bug or
 //    bad input; retrying cannot help.
-//  * kSearchBudgetExhausted / kDeadlineExceeded — the schedule search hit a
-//    resource valve; a cheaper tier (bounded DP, greedy, unfused) can still
-//    produce a valid schedule.
+//  * kSearchBudgetExhausted / kDeadlineExceeded — a search or execution hit
+//    a resource valve; a cheaper tier (bounded DP, greedy, unfused — or a
+//    degraded execution config) can still produce a valid result.
+//    kDeadlineExceeded is also the terminal state of a run whose per-request
+//    deadline expired mid-execution (Options::run_deadline_seconds).
 //  * kAllocationFailed — out of memory; shrinking the problem may help.
+//  * kResourceExhausted — the process-wide ResourceGovernor rejected an
+//    allocation that would exceed the configured memory budget; retrying
+//    later (after other requests release memory) or shrinking may help.
 //  * kIoError — filesystem trouble loading/saving schedules.
 //  * kFaultInjected — raised only by an armed test FaultInjector.
 //  * kInternal — invariant violation inside FuseDP itself.
@@ -36,6 +41,7 @@ enum class ErrorCode : std::uint8_t {
   kAllocationFailed,
   kIoError,
   kFaultInjected,
+  kResourceExhausted,
 };
 
 // Stable lowercase name, e.g. "deadline-exceeded" (for logs and the CLI).

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <chrono>
+#include <limits>
 
 namespace fusedp {
 
@@ -18,6 +19,39 @@ class WallTimer {
  private:
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
+};
+
+// A per-request wall-clock deadline.  Default-constructed deadlines are
+// unarmed (never expire); Deadline::after(s) arms one `s` seconds from now.
+// The executor samples expired() cooperatively at tile boundaries — one
+// steady_clock read per tile when armed, a single pointer test when no
+// deadline is attached — and terminates the run with a coded
+// kDeadlineExceeded error through the same cancellation latch that handles
+// tile faults, so the Workspace stays reusable.
+class Deadline {
+ public:
+  Deadline() = default;  // unarmed: never expires
+
+  static Deadline after(double seconds) {
+    Deadline d;
+    d.armed_ = true;
+    d.at_ = clock::now() + std::chrono::duration_cast<clock::duration>(
+                               std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  bool armed() const { return armed_; }
+  bool expired() const { return armed_ && clock::now() >= at_; }
+  // Seconds until expiry (negative once expired); +inf when unarmed.
+  double remaining_seconds() const {
+    if (!armed_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(at_ - clock::now()).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point at_{};
+  bool armed_ = false;
 };
 
 }  // namespace fusedp

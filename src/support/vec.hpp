@@ -20,6 +20,7 @@
 #include <memory>
 #include <new>
 
+#include "support/memhook.hpp"
 #include "support/status.hpp"
 
 #if defined(_OPENMP)
@@ -42,21 +43,73 @@ inline std::size_t pad_row_floats(std::size_t n) {
 // Growth-only aligned scratch: reallocation never copies or zero-fills.
 // Safe for the evaluators because every element of a row/region is written
 // before anything reads it.
+//
+// Growth is metered through the process memhooks (admission *before* the
+// allocation), so a ResourceGovernor budget turns a would-be OOM into a
+// coded kResourceExhausted throw that leaves the arena's existing block —
+// and therefore the surrounding Workspace — fully usable.  Each arena
+// uncharges exactly the bytes it charged, so arming the governor midway
+// through the process never double-counts pre-existing arenas.
 class ScratchArena {
  public:
+  ScratchArena() = default;
+  ScratchArena(ScratchArena&& other) noexcept
+      : data_(std::move(other.data_)),
+        cap_(other.cap_),
+        charged_(other.charged_) {
+    other.cap_ = 0;
+    other.charged_ = 0;
+  }
+  ScratchArena& operator=(ScratchArena&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::move(other.data_);
+      cap_ = other.cap_;
+      charged_ = other.charged_;
+      other.cap_ = 0;
+      other.charged_ = 0;
+    }
+    return *this;
+  }
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+  ~ScratchArena() { release(); }
+
   float* ensure(std::size_t n) {
     if (n > cap_) {
-      data_.reset();  // free before allocating the replacement
       const std::size_t bytes = pad_row_floats(n) * sizeof(float);
+      // Admission first: a rejected charge throws before the old block is
+      // freed, so the arena stays usable at its current capacity.  The old
+      // and new charges briefly overlap — a deliberate overcount that keeps
+      // the "budget covers the post-growth footprint" invariant simple.
+      const std::int64_t add =
+          detail::charge_bytes(static_cast<std::int64_t>(bytes));
+      data_.reset();  // free before allocating the replacement
       void* p = std::aligned_alloc(kRowAlignBytes, bytes);
-      if (p == nullptr) throw std::bad_alloc();
+      if (p == nullptr) {
+        detail::uncharge_bytes(add);
+        detail::uncharge_bytes(charged_);
+        charged_ = 0;
+        cap_ = 0;
+        throw std::bad_alloc();
+      }
+      detail::uncharge_bytes(charged_);
+      charged_ = add;
       data_.reset(static_cast<float*>(p));
       cap_ = n;
     }
     return data_.get();
   }
+  // Frees the block and returns its charge to the governor.
+  void release() noexcept {
+    data_.reset();
+    cap_ = 0;
+    detail::uncharge_bytes(charged_);
+    charged_ = 0;
+  }
   float* data() { return data_.get(); }
   std::size_t capacity() const { return cap_; }
+  std::int64_t charged_bytes() const { return charged_; }
 
  private:
   struct FreeDeleter {
@@ -64,6 +117,7 @@ class ScratchArena {
   };
   std::unique_ptr<float, FreeDeleter> data_;
   std::size_t cap_ = 0;
+  std::int64_t charged_ = 0;  // bytes this arena holds at the governor
 };
 
 // ---------------------------------------------------------------------------

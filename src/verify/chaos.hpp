@@ -1,0 +1,65 @@
+// Chaos soak: many concurrent Sessions under injected faults, random
+// per-request deadlines and a constrained process-wide memory budget.
+//
+// The harness proves the request-governance invariants hold under fire:
+// every request terminates in a coded state (success, deadline-exceeded,
+// resource-exhausted, fault-injected, ...), no exception ever escapes the
+// Session API uncoded, no crash / hang / leak, and every *successful*
+// request — including ones that succeeded on a degradation-ladder rung —
+// returns outputs bit-identical to the scalar golden reference.
+//
+// Fault points armed here are throwing points only (executor.tile_eval,
+// executor.scratch_alloc, workspace.prepare); silent-corruption faults are
+// the differential verifier's domain and would — correctly — break the
+// bit-identity check this harness enforces.
+//
+// Shared by tools/fusedp_chaos.cpp (CLI, exit code) and
+// bench/bench_chaos.cpp (BENCH_chaos.json artifact).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fusedp::verify {
+
+struct ChaosOptions {
+  int sessions = 8;         // concurrent worker threads
+  int requests = 5000;      // total requests across all workers
+  double fault_rate = 0.3;  // chance a request arms a throwing fault point
+  double deadline_rate = 0.3;  // chance a request carries a tight deadline
+  // Process-wide Workspace+ScratchArena budget while the soak runs
+  // (0 = unlimited).  References are computed before the budget is armed.
+  std::int64_t memory_budget_bytes = 0;
+  double max_seconds = 0.0;  // wall-clock cap, 0 = none
+  std::uint64_t seed = 1;
+  int pipeline_pool = 12;    // distinct generated pipelines to cycle over
+  int max_attempts = 3;      // degradation-ladder depth per request
+  bool verify_outputs = true;  // bit-compare successes vs scalar reference
+};
+
+struct ChaosStats {
+  std::int64_t requests = 0;   // requests actually issued
+  std::int64_t successes = 0;  // ok, outputs verified (when enabled)
+  std::int64_t degraded_successes = 0;  // ok on a fallback rung
+  std::int64_t deadline_exceeded = 0;
+  std::int64_t resource_exhausted = 0;
+  std::int64_t fault_injected = 0;
+  std::int64_t allocation_failed = 0;
+  std::int64_t other_coded = 0;  // any other coded terminal state
+  std::int64_t attempts = 0;     // run attempts across all requests
+  // Invariant violations: any non-zero entry fails the soak.
+  std::int64_t mismatches = 0;  // success whose outputs differ from reference
+  std::int64_t uncoded = 0;     // exception escaped the Session API
+  double seconds = 0.0;
+  std::int64_t governor_high_water = 0;  // bytes, while the soak ran
+
+  // Every request reached a coded terminal state and verified.
+  bool clean() const { return mismatches == 0 && uncoded == 0; }
+  std::string summary() const;
+  std::string to_json(int indent = 2) const;
+};
+
+// Runs the soak and restores the governor budget (to unlimited) on return.
+ChaosStats run_chaos(const ChaosOptions& opts);
+
+}  // namespace fusedp::verify

@@ -1,0 +1,121 @@
+// FaultInjector thread-safety: many threads hammering an armed point must
+// produce exactly one throw (the fired latch), precise hit accounting, and
+// no data races while another thread concurrently arms/disarms.  The TSan
+// CI leg runs this file specifically.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "support/fault.hpp"
+
+namespace fusedp {
+namespace {
+
+TEST(FaultConcurrencyTest, ExactlyOneThrowAcrossThreads) {
+  constexpr int kThreads = 8;
+  constexpr int kHitsPerThread = 200;
+  FaultInjector::arm("concurrency.point", ErrorCode::kFaultInjected, 0);
+
+  std::atomic<int> throws{0};
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      for (int i = 0; i < kHitsPerThread; ++i) {
+        try {
+          FaultInjector::hit("concurrency.point");
+        } catch (const Error& e) {
+          EXPECT_EQ(e.code(), ErrorCode::kFaultInjected);
+          throws.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+
+  EXPECT_EQ(throws.load(), 1);  // the fired latch admits exactly one
+  EXPECT_GE(FaultInjector::hits(), 1u);
+  FaultInjector::disarm();
+}
+
+TEST(FaultConcurrencyTest, CountdownSkipsAreHonoredUnderContention) {
+  constexpr int kThreads = 6;
+  constexpr int kHitsPerThread = 100;
+  constexpr int kSkip = 40;
+  FaultInjector::arm("concurrency.skip", ErrorCode::kFaultInjected, kSkip);
+
+  std::atomic<int> throws{0};
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      for (int i = 0; i < kHitsPerThread; ++i) {
+        try {
+          FaultInjector::hit("concurrency.skip");
+        } catch (const Error&) {
+          throws.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+
+  // More total hits than the skip count, so the fault fired — once.  At
+  // least skip+1 hits were counted before the latch closed (counting stops
+  // once fired).
+  EXPECT_EQ(throws.load(), 1);
+  EXPECT_GE(FaultInjector::hits(), static_cast<std::uint64_t>(kSkip + 1));
+  FaultInjector::disarm();
+}
+
+TEST(FaultConcurrencyTest, ConcurrentArmDisarmHitIsRaceFree) {
+  std::atomic<bool> stop{false};
+  std::thread armer([&] {
+    int round = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      FaultInjector::arm("concurrency.race", ErrorCode::kFaultInjected,
+                         round % 3);
+      FaultInjector::disarm();
+      ++round;
+    }
+  });
+
+  std::vector<std::thread> hitters;
+  for (int t = 0; t < 4; ++t) {
+    hitters.emplace_back([&] {
+      for (int i = 0; i < 5000; ++i) {
+        try {
+          FaultInjector::hit("concurrency.race");
+          FaultInjector::hit("some.other.point");  // name mismatch path
+        } catch (const Error& e) {
+          EXPECT_EQ(e.code(), ErrorCode::kFaultInjected);
+        }
+      }
+    });
+  }
+  for (std::thread& th : hitters) th.join();
+  stop.store(true, std::memory_order_release);
+  armer.join();
+  FaultInjector::disarm();  // leave no armed state for later tests
+}
+
+TEST(FaultConcurrencyTest, CorruptModeNeverThrowsAndFiresOnce) {
+  FaultInjector::arm_corrupt("concurrency.corrupt", 0);
+  std::atomic<int> fired{0};
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 6; ++t) {
+    pool.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        if (FaultInjector::corrupt_now("concurrency.corrupt"))
+          fired.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+  EXPECT_EQ(fired.load(), 1);
+  FaultInjector::disarm();
+}
+
+}  // namespace
+}  // namespace fusedp

@@ -1,0 +1,180 @@
+// ResourceGovernor admission control: bookkeeping, budget rejection with a
+// coded error, bounded-backoff queueing, RAII charges, and the metered
+// ScratchArena / Workspace integration (admission before allocation, state
+// intact after a rejection).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "pipelines/pipelines.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/governor.hpp"
+#include "support/vec.hpp"
+#include "test_util.hpp"
+
+namespace fusedp {
+namespace {
+
+// The governor is process-global; every test leaves it unlimited.
+class GovernorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ResourceGovernor::instance().reset_for_test();
+    ResourceGovernor::instance().set_budget(0);
+  }
+  void TearDown() override {
+    ResourceGovernor::instance().set_budget(0);
+    ResourceGovernor::instance().reset_for_test();
+  }
+};
+
+TEST_F(GovernorTest, ChargeUnchargeAndHighWater) {
+  ResourceGovernor& gov = ResourceGovernor::instance();
+  const std::int64_t base = gov.used();
+  gov.charge(1000);
+  EXPECT_EQ(gov.used(), base + 1000);
+  gov.charge(500);
+  EXPECT_EQ(gov.used(), base + 1500);
+  EXPECT_GE(gov.high_water(), base + 1500);
+  gov.uncharge(1500);
+  EXPECT_EQ(gov.used(), base);
+  EXPECT_GE(gov.high_water(), base + 1500);  // high-water sticks
+}
+
+TEST_F(GovernorTest, BudgetRejectionIsCodedAndLeavesUsageUnchanged) {
+  ResourceGovernor& gov = ResourceGovernor::instance();
+  const std::int64_t base = gov.used();
+  gov.set_budget(base + 1000, /*max_queue_wait_seconds=*/0.0);
+  gov.charge(800);
+  try {
+    gov.charge(800);  // would overshoot
+    FAIL() << "expected kResourceExhausted";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kResourceExhausted);
+  }
+  EXPECT_EQ(gov.used(), base + 800);  // rejected charge not applied
+  EXPECT_GE(gov.rejections(), 1u);
+  gov.uncharge(800);
+}
+
+TEST_F(GovernorTest, QueuedChargeAdmittedWhenMemoryIsReleased) {
+  ResourceGovernor& gov = ResourceGovernor::instance();
+  const std::int64_t base = gov.used();
+  gov.set_budget(base + 1000, /*max_queue_wait_seconds=*/2.0);
+  gov.charge(900);
+  bool admitted = false;
+  std::thread waiter([&] {
+    gov.charge(500);  // must queue until the 900 is released
+    admitted = true;
+    gov.uncharge(500);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  gov.uncharge(900);
+  waiter.join();
+  EXPECT_TRUE(admitted);
+  EXPECT_GE(gov.waits(), 1u);
+  EXPECT_EQ(gov.used(), base);
+}
+
+TEST_F(GovernorTest, GovernedChargeAdjustsAndReleasesOnDestruction) {
+  ResourceGovernor& gov = ResourceGovernor::instance();
+  const std::int64_t base = gov.used();
+  {
+    GovernedCharge c;
+    c.adjust_to(4096);
+    EXPECT_EQ(c.bytes(), 4096);
+    EXPECT_EQ(gov.used(), base + 4096);
+    c.adjust_to(1024);  // shrink releases the delta
+    EXPECT_EQ(gov.used(), base + 1024);
+  }
+  EXPECT_EQ(gov.used(), base);  // destructor released the rest
+}
+
+TEST_F(GovernorTest, GovernedChargeKeepsOldChargeOnRejectedGrow) {
+  ResourceGovernor& gov = ResourceGovernor::instance();
+  const std::int64_t base = gov.used();
+  gov.set_budget(base + 2000, 0.0);
+  GovernedCharge c;
+  c.adjust_to(1500);
+  EXPECT_THROW(c.adjust_to(5000), Error);
+  EXPECT_EQ(c.bytes(), 1500);  // unchanged
+  EXPECT_EQ(gov.used(), base + 1500);
+  c.release();
+}
+
+TEST_F(GovernorTest, ScratchArenaGrowthIsMeteredAndRejectionKeepsArena) {
+  ResourceGovernor& gov = ResourceGovernor::instance();
+  const std::int64_t base = gov.used();
+  ScratchArena arena;
+  float* p = arena.ensure(1024);
+  ASSERT_NE(p, nullptr);
+  EXPECT_GE(gov.used(), base + 4096);  // 1024 floats charged
+  const std::size_t cap = arena.capacity();
+  const std::int64_t used_after_alloc = gov.used();
+
+  gov.set_budget(gov.used() + 1024, 0.0);  // too tight for any real growth
+  EXPECT_THROW(arena.ensure(1 << 20), Error);
+  // The rejection left the arena at its previous block, still usable, and
+  // the accounting unchanged.
+  EXPECT_EQ(arena.capacity(), cap);
+  EXPECT_EQ(arena.data(), p);
+  EXPECT_EQ(gov.used(), used_after_alloc);
+
+  gov.set_budget(0);
+  arena.release();
+  EXPECT_EQ(gov.used(), base);  // release returned exactly what was charged
+}
+
+TEST_F(GovernorTest, ScratchArenaMoveTransfersCharge) {
+  ResourceGovernor& gov = ResourceGovernor::instance();
+  const std::int64_t base = gov.used();
+  ScratchArena a;
+  a.ensure(512);
+  const std::int64_t charged = a.charged_bytes();
+  EXPECT_GT(charged, 0);
+  ScratchArena b(std::move(a));
+  EXPECT_EQ(a.charged_bytes(), 0);
+  EXPECT_EQ(b.charged_bytes(), charged);
+  EXPECT_EQ(gov.used(), base + charged);  // no double count
+  b.release();
+  EXPECT_EQ(gov.used(), base);
+}
+
+TEST_F(GovernorTest, WorkspaceAdmissionRejectsBeforeAllocatingAndRecovers) {
+  const PipelineSpec spec = make_unsharp(64, 96);
+  const Pipeline& pl = *spec.pipeline;
+  const std::vector<Buffer> inputs = spec.make_inputs();
+  const std::vector<Buffer> ref = run_reference(pl, inputs);
+
+  ResourceGovernor& gov = ResourceGovernor::instance();
+  ExecOptions opts;
+  opts.num_threads = 2;
+  Grouping g;
+  GroupSchedule gs;
+  for (int i = 0; i < pl.num_stages(); ++i) gs.stages = gs.stages.with(i);
+  gs.tile_sizes = {8, 32};
+  g.groups.push_back(gs);
+  Executor ex(pl, g, opts);
+  Workspace ws;
+
+  gov.set_budget(gov.used() + 1024, 0.0);  // nowhere near the footprint
+  try {
+    ex.run(inputs, ws);
+    FAIL() << "expected kResourceExhausted";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kResourceExhausted);
+  }
+
+  // Lifting the budget makes the same workspace complete cleanly and
+  // bit-identically: the rejection left it fully reusable.
+  gov.set_budget(0);
+  ex.run(inputs, ws);
+  for (int out : pl.outputs()) {
+    EXPECT_LT(testing::first_mismatch(ws.stage_buffer(out),
+                                      ref[static_cast<std::size_t>(out)]),
+              0);
+  }
+}
+
+}  // namespace
+}  // namespace fusedp

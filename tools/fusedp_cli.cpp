@@ -137,6 +137,14 @@ int cmd_run(const Cli& cli, const std::string& bench) {
   // The report only needs per-group aggregates; tile events are collected
   // only when a timeline is actually being exported.
   opts.trace_tiles = !trace_path.empty();
+  // Request governance: per-run deadline and degradation-ladder depth.
+  opts.run_deadline_seconds = cli.get_double("run-deadline-ms", 0.0) / 1e3;
+  opts.max_run_attempts = static_cast<int>(cli.get_int("attempts", 1));
+  // Process-wide Workspace/ScratchArena budget (0 = unlimited): overruns
+  // surface as resource-exhausted (exit code 6) instead of OOM.
+  const std::int64_t budget_mb = cli.get_int("mem-budget-mb", 0);
+  if (budget_mb > 0)
+    ResourceGovernor::instance().set_budget(budget_mb * (1 << 20));
 
   Result<Session> opened = Session::open(pl, g, opts);
   if (!opened.ok()) throw opened.error();
@@ -162,6 +170,9 @@ int cmd_run(const Cli& cli, const std::string& bench) {
     if (!rep.ok()) throw rep.error();
     std::printf("\n%s", observe::report_to_string(rep.value()).c_str());
     std::printf("\n%s", plan_to_string(session.plan(), session.trace()).c_str());
+    // The degradation-ladder post-mortem of the most recent execute().
+    std::printf("\n%s",
+                observe::run_report_to_string(session.last_report()).c_str());
   }
 
   if (cli.has("verify")) {
@@ -196,15 +207,19 @@ void usage() {
       "--scheduler=dp|auto|greedy|hauto|manual\n"
       "       --threads=T --runs=R --verify --pooled --save=F --load=F\n"
       "       --deadline-ms=D --max-states=S   (--scheduler=auto budgets)\n"
+      "       --run-deadline-ms=D  (per-request execution deadline)\n"
+      "       --attempts=N         (degradation-ladder depth, default 1)\n"
+      "       --mem-budget-mb=N    (workspace/arena budget, 0 = unlimited)\n"
       "       --trace=FILE (chrome trace_event JSON of the measured run)\n"
-      "       --report     (per-group predicted-vs-measured table)\n"
+      "       --report     (per-group predicted-vs-measured table + attempt "
+      "ladder)\n"
       "exit codes: 0 ok, 2 usage, 3 invalid input, 4 budget/deadline "
-      "exhausted, 5 internal\n");
+      "exhausted, 5 internal, 6 resource budget exhausted\n");
 }
 
 // Scripted callers dispatch on the exit code, so each error-code family
 // maps to a distinct one: usage=2, invalid input=3, budget/deadline=4,
-// internal (and everything unexpected)=5.
+// internal (and everything unexpected)=5, resource budget=6.
 int exit_code_of(ErrorCode code) {
   switch (code) {
     case ErrorCode::kInvalidPipeline:
@@ -215,6 +230,8 @@ int exit_code_of(ErrorCode code) {
     case ErrorCode::kSearchBudgetExhausted:
     case ErrorCode::kDeadlineExceeded:
       return 4;
+    case ErrorCode::kResourceExhausted:
+      return 6;
     case ErrorCode::kInternal:
     case ErrorCode::kAllocationFailed:
     case ErrorCode::kFaultInjected:

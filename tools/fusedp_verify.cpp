@@ -31,7 +31,8 @@ void usage() {
       "                     [--groupings=G] [--threads=T] [--max-stages=M]\n"
       "                     [--max-extent=E] [--trace=F (with --replay)]\n"
       "exit codes: 0 all seeds clean, 1 divergence found, 2 usage,\n"
-      "            3 invalid input, 4 budget exhausted, 5 internal\n");
+      "            3 invalid input, 4 budget/deadline exhausted, 5 internal,\n"
+      "            6 resource budget exhausted\n");
 }
 
 int exit_code_of(ErrorCode code) {
@@ -44,6 +45,8 @@ int exit_code_of(ErrorCode code) {
     case ErrorCode::kSearchBudgetExhausted:
     case ErrorCode::kDeadlineExceeded:
       return 4;
+    case ErrorCode::kResourceExhausted:
+      return 6;
     default:
       return 5;
   }
