@@ -27,6 +27,7 @@ BenchConfig BenchConfig::from_cli(const Cli& cli, MachineModel machine) {
   cfg.exec.tile_schedule = cli.get_env("schedule", "dynamic") == "static"
                                ? TileSchedule::kStatic
                                : TileSchedule::kDynamic;
+  cfg.exec.pool_backend = cli.get_int_env("pool-backend", 0) != 0;
   return cfg;
 }
 
@@ -105,6 +106,7 @@ std::string exec_options_json(const ExecOptions& opts, const char* indent) {
                              ? "\"dynamic\""
                              : "\"static\"");
   field("pooled_storage", opts.pooled_storage ? "true" : "false");
+  field("pool_backend", opts.pool_backend ? "true" : "false");
   return s;
 }
 

@@ -6,6 +6,8 @@
 //   FUSEDP_RUNS     runs per sample (paper: 500, default 2)
 //   FUSEDP_THREADS  the "16 cores" column's thread count (default 16)
 //   FUSEDP_TUNE     PolyMage-A tuner grid: "small" (default) or "paper"
+// `--pool-backend=1` routes timed runs through the persistent work-stealing
+// pool instead of the OpenMP region (same outputs, different executor).
 #pragma once
 
 #include <string>

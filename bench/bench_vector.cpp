@@ -8,19 +8,28 @@
 // bit-identical (asserted continuously by tests/test_compile.cpp); this
 // bench only measures the execution-strategy difference.
 //
+// Besides the whole-pipeline numbers, the artifact carries a per-group
+// breakdown (observer-measured wall time per fused group, min over
+// `samples` observed runs) so a regression like campipe's vector slowdown
+// is attributable to the specific group that causes it instead of hiding
+// in the pipeline total.
+//
 //   --scale/--samples/--runs/--threads   as bench_smoke
 //   --fma=1          additionally contract fused mul-adds into real FMA
 //                    (changes rounding; pair with -DFUSEDP_NATIVE=ON)
 //   --out=PATH       artifact path (default: <repo root>/BENCH_vector.json)
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "fusion/incremental.hpp"
 #include "model/cost.hpp"
+#include "observe/observe.hpp"
 #include "pipelines/pipelines.hpp"
 #include "runtime/executor.hpp"
 #include "support/cli.hpp"
@@ -30,13 +39,48 @@ using namespace fusedp;
 
 namespace {
 
+struct GroupDelta {
+  std::string stages;      // comma-joined member stage names
+  double scalar_ms = 0.0;  // min observed group wall time, scalar-compiled
+  double vector_ms = 0.0;  // min observed group wall time, vector backend
+  double speedup() const { return scalar_ms / vector_ms; }
+};
+
 struct Row {
   std::string name;
   std::int64_t output_pixels = 0;
   double scalar_ns = 0.0;  // vector_backend = false
   double vector_ns = 0.0;  // vector_backend = true
   double speedup() const { return scalar_ns / vector_ns; }
+  std::vector<GroupDelta> groups;  // per-group attribution of the delta
 };
+
+// Per-group wall time (ms) of one executor configuration: min over
+// `samples` observed runs, in the plan's group execution order.  Observed
+// separately from the timed runs above so observation cost never pollutes
+// the headline numbers.
+std::vector<std::pair<std::string, double>> observed_group_ms(
+    const Pipeline& pl, const Grouping& g, const std::vector<Buffer>& inputs,
+    const ExecOptions& opts, int samples) {
+  Executor ex(pl, g, opts);
+  Workspace ws;
+  ex.run(inputs, ws);  // warm-up
+  std::vector<std::pair<std::string, double>> best;
+  observe::TraceCollector tc(/*keep_tiles=*/false);
+  for (int s = 0; s < samples; ++s) {
+    tc.clear();
+    ex.run(inputs, ws, &tc, nullptr);
+    const observe::RunTrace* tr = tc.last();
+    if (tr == nullptr) continue;
+    if (best.empty())
+      for (const observe::GroupRecord& gr : tr->groups)
+        best.emplace_back(gr.stages, gr.seconds * 1e3);
+    else
+      for (std::size_t i = 0; i < tr->groups.size() && i < best.size(); ++i)
+        best[i].second = std::min(best[i].second, tr->groups[i].seconds * 1e3);
+  }
+  return best;
+}
 
 std::int64_t output_pixels_of(const Pipeline& pl) {
   std::int64_t px = 0;
@@ -102,11 +146,34 @@ int main(int argc, char** argv) {
                                           runs, vector_opts) *
                   1e6 / px;
     log_speedup += std::log(r.speedup());
+
+    // Per-group attribution: the same grouping's fused groups, timed under
+    // both backends (min of `samples` observed runs each).
+    ExecOptions so = scalar_opts;
+    so.num_threads = threads;
+    ExecOptions vo = vector_opts;
+    vo.num_threads = threads;
+    const auto sg = observed_group_ms(pl, g, inputs, so, samples);
+    const auto vg = observed_group_ms(pl, g, inputs, vo, samples);
+    for (std::size_t i = 0; i < sg.size() && i < vg.size(); ++i) {
+      GroupDelta d;
+      d.stages = sg[i].first;
+      d.scalar_ms = sg[i].second;
+      d.vector_ms = vg[i].second;
+      r.groups.push_back(std::move(d));
+    }
+
     rows.push_back(r);
     std::fprintf(stderr,
                  "  %-12s scalar-compiled %8.3f ns/px   vector %8.3f ns/px "
                  "  %.2fx\n",
                  key, r.scalar_ns, r.vector_ns, r.speedup());
+    for (const GroupDelta& d : r.groups)
+      if (d.speedup() < 1.0)
+        std::fprintf(stderr,
+                     "    regressed group [%s]: scalar %8.3f ms  vector "
+                     "%8.3f ms  %.2fx\n",
+                     d.stages.c_str(), d.scalar_ms, d.vector_ms, d.speedup());
   }
   if (rows.empty()) {
     std::fprintf(stderr, "bench_vector: no pipeline matched --only=%s\n",
@@ -146,8 +213,16 @@ int main(int argc, char** argv) {
         << "\", \"output_pixels\": " << r.output_pixels
         << ", \"scalar_compiled_ns_per_pixel\": " << r.scalar_ns
         << ", \"vector_ns_per_pixel\": " << r.vector_ns
-        << ", \"speedup\": " << r.speedup() << "}"
-        << (i + 1 < rows.size() ? "," : "") << "\n";
+        << ", \"speedup\": " << r.speedup() << ", \"groups\": [\n";
+    for (std::size_t j = 0; j < r.groups.size(); ++j) {
+      const GroupDelta& d = r.groups[j];
+      out << "      {\"stages\": \"" << d.stages
+          << "\", \"scalar_ms\": " << d.scalar_ms
+          << ", \"vector_ms\": " << d.vector_ms
+          << ", \"speedup\": " << d.speedup() << "}"
+          << (j + 1 < r.groups.size() ? "," : "") << "\n";
+    }
+    out << "    ]}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ],\n"
       << "  \"geomean_speedup\": " << geo_speedup << "\n"

@@ -33,6 +33,7 @@ ExecOptions Options::exec() const {
   eo.tile_schedule = tile_schedule;
   eo.pooled_storage = pooled_storage;
   eo.guard_arena = guard_arena;
+  eo.pool_backend = pool_backend;
   return eo;
 }
 

@@ -63,6 +63,10 @@ struct Options {
   TileSchedule tile_schedule = TileSchedule::kDynamic;
   bool pooled_storage = false;
   bool guard_arena = false;
+  // Execute tile loops on the persistent work-stealing WorkPool instead of
+  // a per-run OpenMP region (see runtime/pool.hpp).  Bit-identical outputs;
+  // the serving front door (api/serve.hpp) always uses the pool.
+  bool pool_backend = false;
 
   // --- Scheduling ---
   Scheduler scheduler = Scheduler::kAuto;

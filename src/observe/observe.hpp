@@ -45,6 +45,14 @@ struct TileEvent {
   std::int64_t computed_elems = 0;
   std::int64_t owned_elems = 0;
   bool interior = false;  // took the translated-template fast path
+  // Work-stealing pool attribution (pool backend only; OpenMP leaves the
+  // defaults).  `worker` is the pool worker thread that ran the tile (-1 =
+  // the submitting thread), `stolen` marks a tile claimed from another
+  // lane's deque, and `queue_wait` is the seconds this tile's lane sat in
+  // the dispatch queue before starting (0 for the inline lane).
+  int worker = -1;
+  bool stolen = false;
+  double queue_wait = 0.0;
 };
 
 // One group's execution: static plan facts + merged measured counters.
@@ -67,6 +75,10 @@ struct GroupRecord {
   std::int64_t computed_elems = 0;
   std::int64_t owned_elems = 0;
   std::int64_t scratch_bytes = 0;  // arena high-water summed over threads
+  // Pool-backend counters (0 under OpenMP): cross-lane steal events in this
+  // group, and dispatch-queue wait summed over the group's lanes.
+  std::int64_t steals = 0;
+  double queue_wait_seconds = 0.0;
   // Per-tile events, in per-thread order (thread 0's tiles, then thread
   // 1's, ...); empty unless the sink asked for tiles.
   std::vector<TileEvent> tiles;

@@ -121,6 +121,8 @@ std::string chrome_trace_json(const RunTrace& trace) {
       << ", \"computed_elems\": " << g.computed_elems
       << ", \"owned_elems\": " << g.owned_elems
       << ", \"scratch_bytes\": " << g.scratch_bytes
+      << ", \"steals\": " << g.steals
+      << ", \"queue_wait_us\": " << micros(g.queue_wait_seconds)
       << ", \"row_registers\": " << g.row_registers
       << ", \"fused_superops\": " << g.fused_superops
       << ", \"reduction\": " << (g.is_reduction ? "true" : "false")
@@ -138,7 +140,10 @@ std::string chrome_trace_json(const RunTrace& trace) {
          << "\"group\": " << g.index
          << ", \"computed_elems\": " << t.computed_elems
          << ", \"owned_elems\": " << t.owned_elems
-         << ", \"interior\": " << (t.interior ? "true" : "false") << "}}";
+         << ", \"interior\": " << (t.interior ? "true" : "false")
+         << ", \"worker\": " << t.worker
+         << ", \"stolen\": " << (t.stolen ? "true" : "false")
+         << ", \"queue_wait_us\": " << micros(t.queue_wait) << "}}";
       event(te.str());
     }
   }

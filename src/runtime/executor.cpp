@@ -254,6 +254,17 @@ void check_deadline(const Deadline* deadline) {
 
 void Executor::run(const std::vector<Buffer>& inputs, Workspace& ws,
                    observe::Observer* obs, const Deadline* deadline) const {
+  RunKnobs knobs;
+  knobs.obs = obs;
+  knobs.deadline = deadline;
+  run(inputs, ws, knobs);
+}
+
+void Executor::run(const std::vector<Buffer>& inputs, Workspace& ws,
+                   const RunKnobs& knobs) const {
+  observe::Observer* obs = knobs.obs;
+  const Deadline* deadline = knobs.deadline;
+  const int lanes = knobs.lanes > 0 ? knobs.lanes : opts_.num_threads;
   FUSEDP_CHECK_CODE(static_cast<int>(inputs.size()) == pl_->num_inputs(),
                     ErrorCode::kInvalidArgument, "input count mismatch");
   for (int i = 0; i < pl_->num_inputs(); ++i)
@@ -273,7 +284,8 @@ void Executor::run(const std::vector<Buffer>& inputs, Workspace& ws,
         check_deadline(deadline);
         run_reduction(g, inputs, ws);
       } else {
-        run_group(g, inputs, ws, nullptr, nullptr, false, deadline);
+        run_group(g, inputs, ws, nullptr, nullptr, false, deadline, lanes,
+                  knobs.priority);
       }
     }
     return;
@@ -282,7 +294,7 @@ void Executor::run(const std::vector<Buffer>& inputs, Workspace& ws,
   observe::RunMeta meta;
   meta.pipeline = pl_->name();
   meta.num_groups = static_cast<int>(plan_.groups.size());
-  meta.num_threads = opts_.num_threads;
+  meta.num_threads = lanes;
   obs->on_run_begin(meta);
   const bool want_tiles = obs->want_tile_events();
 
@@ -310,7 +322,8 @@ void Executor::run(const std::vector<Buffer>& inputs, Workspace& ws,
       rec.computed_elems = vol;
       rec.owned_elems = vol;
     } else {
-      run_group(g, inputs, ws, &rec, &epoch, want_tiles, deadline);
+      run_group(g, inputs, ws, &rec, &epoch, want_tiles, deadline, lanes,
+                knobs.priority);
     }
     rec.t_end = epoch.seconds();
     rec.seconds = rec.t_end - rec.t_begin;
@@ -376,6 +389,8 @@ struct ThreadLog {
   std::int64_t computed_elems = 0;
   std::int64_t owned_elems = 0;
   std::int64_t scratch_bytes = 0;
+  std::int64_t steals = 0;    // pool backend: cross-lane steals by this lane
+  double queue_wait = 0.0;    // pool backend: dispatch-queue wait (seconds)
 };
 
 }  // namespace
@@ -383,13 +398,15 @@ struct ThreadLog {
 void Executor::run_group(const GroupPlan& g, const std::vector<Buffer>& inputs,
                          Workspace& ws, observe::GroupRecord* rec,
                          const WallTimer* epoch, bool want_tiles,
-                         const Deadline* deadline) const {
+                         const Deadline* deadline, int lanes,
+                         TaskPriority priority) const {
   const Pipeline& pl = *pl_;
   const int ncls = g.align.num_classes;
   const std::int64_t total = g.total_tiles;
   const bool observing = rec != nullptr;
+  const int nlanes = std::max(1, lanes);
   std::vector<ThreadLog> logs;
-  if (observing) logs.resize(static_cast<std::size_t>(opts_.num_threads));
+  if (observing) logs.resize(static_cast<std::size_t>(nlanes));
 
   // An exception escaping an OpenMP structured block is std::terminate, so
   // nothing may propagate out of the parallel region or the worksharing
@@ -412,15 +429,12 @@ void Executor::run_group(const GroupPlan& g, const std::vector<Buffer>& inputs,
   for (int s : g.stage_order)
     max_loads = std::max(max_loads, pl.stage(s).loads.size());
 
-#ifdef _OPENMP
-#pragma omp parallel num_threads(opts_.num_threads)
-#endif
-  {
-#ifdef _OPENMP
-    const int tid = omp_get_thread_num();
-#else
-    const int tid = 0;
-#endif
+  // One lane's whole life, shared verbatim by the OpenMP worksharing path
+  // and the pool claim loop: construct per-lane state, run tiles handed out
+  // by `drive` (which owns the iteration policy), record arena high-water.
+  // The tile body is identical on both paths, so outputs are bit-identical
+  // by construction — only who hands out the indices differs.
+  auto lane_main = [&](int tid, auto&& drive) {
     ThreadLog* log =
         observing && tid < static_cast<int>(logs.size())
             ? &logs[static_cast<std::size_t>(tid)]
@@ -450,7 +464,8 @@ void Executor::run_group(const GroupPlan& g, const std::vector<Buffer>& inputs,
       thread_ok = false;
     }
 
-    auto run_tile = [&](std::int64_t t) {
+    auto run_tile = [&](std::int64_t t, int worker, bool stolen,
+                        double queue_wait) {
       if (!thread_ok || cancelled.load(std::memory_order_relaxed)) return;
       const double t_begin = log != nullptr ? epoch->seconds() : 0.0;
       try {
@@ -670,6 +685,9 @@ void Executor::run_group(const GroupPlan& g, const std::vector<Buffer>& inputs,
             ev.computed_elems = computed;
             ev.owned_elems = owned;
             ev.interior = interior;
+            ev.worker = worker;
+            ev.stolen = stolen;
+            ev.queue_wait = queue_wait;
             log->tiles.push_back(std::move(ev));
           }
         }
@@ -678,19 +696,7 @@ void Executor::run_group(const GroupPlan& g, const std::vector<Buffer>& inputs,
       }
     };
 
-    // Two complete worksharing constructs: the branch condition is uniform
-    // across the team, so every thread picks the same one.
-#ifdef _OPENMP
-    if (opts_.tile_schedule == TileSchedule::kDynamic) {
-#pragma omp for schedule(dynamic)
-      for (std::int64_t t = 0; t < total; ++t) run_tile(t);
-    } else {
-#pragma omp for schedule(static)
-      for (std::int64_t t = 0; t < total; ++t) run_tile(t);
-    }
-#else
-    for (std::int64_t t = 0; t < total; ++t) run_tile(t);
-#endif
+    drive(run_tile);
 
     // Arena high-water per thread, read after the tile loop so growth-only
     // reallocation has settled.  No clock, no lock: each thread owns its
@@ -704,6 +710,55 @@ void Executor::run_group(const GroupPlan& g, const std::vector<Buffer>& inputs,
       log->scratch_bytes =
           floats * static_cast<std::int64_t>(sizeof(float));
     }
+  };
+
+  if (opts_.pool_backend) {
+    // Persistent work-stealing pool: one lane per logical thread, lane 0
+    // inline on this thread.  The executor keeps its own per-tile deadline
+    // probe (inside run_tile, same error text as the OpenMP path) and only
+    // hands the pool its cancellation latch, so a tile fault or deadline on
+    // any lane turns every remaining claim — own or stolen — into a no-op.
+    ParallelForOptions pfo;
+    pfo.lanes = nlanes;
+    pfo.priority = priority;
+    pfo.cancel = &cancelled;
+    WorkPool::instance().parallel_for(total, pfo, [&](LaneContext& lc) {
+      lane_main(lc.lane(), [&](auto& run_tile) {
+        for (std::int64_t t = lc.claim(); t >= 0; t = lc.claim())
+          run_tile(t, lc.worker(), lc.last_claim_stolen(),
+                   lc.queue_wait_seconds());
+        if (observing && lc.lane() < static_cast<int>(logs.size())) {
+          ThreadLog& l = logs[static_cast<std::size_t>(lc.lane())];
+          l.steals += lc.steals();
+          l.queue_wait += lc.queue_wait_seconds();
+        }
+      });
+    });
+  } else {
+#ifdef _OPENMP
+#pragma omp parallel num_threads(nlanes)
+    {
+      const int tid = omp_get_thread_num();
+      lane_main(tid, [&](auto& run_tile) {
+        // Two complete worksharing constructs: the branch condition is
+        // uniform across the team, so every thread picks the same one.
+        // Orphaned `omp for` binds to the enclosing parallel region.
+        if (opts_.tile_schedule == TileSchedule::kDynamic) {
+#pragma omp for schedule(dynamic)
+          for (std::int64_t t = 0; t < total; ++t)
+            run_tile(t, -1, false, 0.0);
+        } else {
+#pragma omp for schedule(static)
+          for (std::int64_t t = 0; t < total; ++t)
+            run_tile(t, -1, false, 0.0);
+        }
+      });
+    }
+#else
+    lane_main(0, [&](auto& run_tile) {
+      for (std::int64_t t = 0; t < total; ++t) run_tile(t, -1, false, 0.0);
+    });
+#endif
   }
 
   if (first_error != nullptr) rethrow_tile_error(first_error);
@@ -715,6 +770,8 @@ void Executor::run_group(const GroupPlan& g, const std::vector<Buffer>& inputs,
       rec->computed_elems += l.computed_elems;
       rec->owned_elems += l.owned_elems;
       rec->scratch_bytes += l.scratch_bytes;
+      rec->steals += l.steals;
+      rec->queue_wait_seconds += l.queue_wait;
       rec->tiles.insert(rec->tiles.end(),
                         std::make_move_iterator(l.tiles.begin()),
                         std::make_move_iterator(l.tiles.end()));

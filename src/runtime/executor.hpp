@@ -13,6 +13,7 @@
 #include "runtime/eval.hpp"
 #include "runtime/governor.hpp"
 #include "runtime/plan.hpp"
+#include "runtime/pool.hpp"
 #include "storage/liveness.hpp"
 #include "support/timing.hpp"
 
@@ -67,6 +68,28 @@ struct ExecOptions {
   // surfaces as a coded Error (kInternal) naming the register.  Costs one
   // cache line per register plus a canary sweep per tile.
   bool guard_arena = false;
+  // Run tile loops on the persistent process-wide WorkPool (work-stealing
+  // lanes, runtime/pool.hpp) instead of a per-run OpenMP parallel region.
+  // Outputs are bit-identical either way — tiles write disjoint owned
+  // slices, so execution order is irrelevant — and PR 6's cooperative
+  // deadline/cancellation and once-latch error semantics carry over exactly
+  // (the executor keeps its own per-tile deadline probe and error text).
+  // Off keeps the OpenMP region, which remains the A/B baseline.
+  bool pool_backend = false;
+};
+
+// Per-run overrides for Executor::run.  The serving front door varies these
+// per request (lanes and priority) over one shared Executor, which
+// ExecOptions — fixed at plan time — cannot express.
+struct RunKnobs {
+  observe::Observer* obs = nullptr;
+  const Deadline* deadline = nullptr;
+  // Parallelism width for this run (pool lanes or OpenMP team size);
+  // 0 means ExecOptions::num_threads.
+  int lanes = 0;
+  // Dispatch class for this run's pool tasks (pool backend only):
+  // interactive lanes are dequeued ahead of bulk lanes.
+  TaskPriority priority = TaskPriority::kInteractive;
 };
 
 // Holds the full-size buffers of materialized stages.  With pooling,
@@ -136,6 +159,12 @@ class Executor {
            observe::Observer* obs = nullptr,
            const Deadline* deadline = nullptr) const;
 
+  // As above, with per-run overrides (lanes, priority) on top of the
+  // observer and deadline.  Thread-safe for concurrent calls on one
+  // Executor as long as each call uses a distinct Workspace.
+  void run(const std::vector<Buffer>& inputs, Workspace& ws,
+           const RunKnobs& knobs) const;
+
   const ExecutablePlan& plan() const { return plan_; }
 
   // Storage assignment used when opts.pooled_storage is set.
@@ -147,7 +176,8 @@ class Executor {
   void run_group(const GroupPlan& g, const std::vector<Buffer>& inputs,
                  Workspace& ws, observe::GroupRecord* rec,
                  const WallTimer* epoch, bool want_tiles,
-                 const Deadline* deadline) const;
+                 const Deadline* deadline, int lanes,
+                 TaskPriority priority) const;
   void run_reduction(const GroupPlan& g, const std::vector<Buffer>& inputs,
                      Workspace& ws) const;
 

@@ -1,0 +1,177 @@
+// Persistent process-wide work-stealing thread pool.
+//
+// The OpenMP executor spins a parallel region up per run — the wrong shape
+// for serving many small concurrent requests, where region setup/teardown
+// and barrier costs dominate.  The WorkPool keeps a fixed set of plain
+// std::thread workers alive for the life of the process (a leaky singleton,
+// like the ResourceGovernor) and executes *jobs* on them:
+//
+//  * parallel_for(total, opts, body) runs `body` on `opts.lanes` lanes.
+//    Lane 0 executes inline on the submitting thread (so a 1-lane job is a
+//    plain loop with no cross-thread traffic at all); lanes 1..L-1 are
+//    dispatched to workers.  The job's tile indices [0, total) are block-
+//    partitioned into per-lane deques; a lane drains its own deque front-
+//    to-back and, when empty, steals the upper half of the richest-seen
+//    victim's remainder (classic range stealing).  A lane task that is
+//    still queued when the job finishes simply returns — its tiles have
+//    already been stolen by the active lanes — so a saturated pool degrades
+//    to fewer lanes, never to a stall.
+//
+//  * submit(priority, fn) enqueues a fire-and-forget task — the serving
+//    front door runs whole small requests this way.
+//
+// Priority: two dispatch queues, interactive ahead of bulk.  A worker out
+// of local work always takes interactive tasks first — per-request priority
+// preempts bulk work in the steal order (Benoit et al.'s bi-criteria
+// placement: latency-class work is placed before throughput-class work),
+// though never mid-tile (cooperative, task-granular preemption).
+//
+// Cancellation and errors mirror the OpenMP executor's semantics exactly:
+// LaneContext::claim() samples the job's deadline and external cancel latch
+// at task granularity (one steady_clock read per claim when armed), a lane
+// body's exception is captured in a once-latch, cancels the job's remaining
+// claims, and is rethrown on the submitting thread after every started lane
+// has joined.  Executors layer their own per-tile capture on top, so tile
+// outputs stay bit-identical to the OpenMP path in every failure mode.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <thread>
+#include <vector>
+
+#include "support/timing.hpp"
+
+namespace fusedp {
+
+// Dispatch class of a job or task.  Interactive work is always dequeued
+// before bulk work; within one job all lanes share the job's class.
+enum class TaskPriority : std::uint8_t {
+  kInteractive = 0,  // latency-sensitive: served first
+  kBulk = 1,         // throughput: served when no interactive work waits
+};
+
+namespace detail {
+struct PoolJob;
+}
+
+// Per-lane handle passed to a parallel_for body.  claim() hands out tile
+// indices until the job is exhausted or cancelled; the metadata accessors
+// feed the observability layer (worker id, queue wait, steal count).
+class LaneContext {
+ public:
+  int lane() const { return lane_; }
+  // Pool worker executing this lane; -1 = the submitting thread itself.
+  int worker() const { return worker_; }
+  // Seconds between job submission and this lane starting (dispatch-queue
+  // wait).  0 for lane 0, which starts inline.
+  double queue_wait_seconds() const { return queue_wait_; }
+
+  // Next tile index to execute, or -1 when none remain (job exhausted,
+  // cancelled, or deadline expired).  Never throws.
+  std::int64_t claim();
+  // True when the index returned by the latest claim() was stolen from
+  // another lane's deque rather than drawn from this lane's own range.
+  bool last_claim_stolen() const { return last_stolen_; }
+  // Steal events by this lane so far.
+  std::int64_t steals() const { return steals_; }
+
+ private:
+  friend class WorkPool;
+  LaneContext(detail::PoolJob* job, int lane, int worker, double queue_wait)
+      : job_(job), lane_(lane), worker_(worker), queue_wait_(queue_wait) {}
+
+  detail::PoolJob* job_;  // nullptr: serial fast path (lanes == 1)
+  int lane_;
+  int worker_;
+  double queue_wait_;
+  bool last_stolen_ = false;
+  std::int64_t steals_ = 0;
+  // Serial fast-path state (job_ == nullptr): a plain cursor plus the
+  // deadline/cancel probes, so a 1-lane job pays two branches per claim.
+  std::int64_t next_ = 0;
+  std::int64_t end_ = 0;
+  const Deadline* deadline_ = nullptr;
+  const std::atomic<bool>* cancel_ = nullptr;
+  bool deadline_hit_ = false;
+};
+
+struct ParallelForOptions {
+  int lanes = 1;  // parallelism width; lane 0 runs on the caller
+  TaskPriority priority = TaskPriority::kInteractive;
+  // Sampled at every claim(); expiry cancels remaining claims and
+  // parallel_for throws a coded kDeadlineExceeded after the join.
+  const Deadline* deadline = nullptr;
+  // External cancellation latch (e.g. the executor's once-latch flag):
+  // once true, claims return -1.  parallel_for does NOT throw for an
+  // external cancel — the owner of the latch owns the error.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+struct PoolStats {
+  int workers = 0;
+  std::uint64_t jobs = 0;            // parallel_for calls
+  std::uint64_t tasks_executed = 0;  // lane tasks + submitted tasks run
+  std::uint64_t steal_events = 0;    // cross-lane steals
+  std::uint64_t tiles_stolen = 0;    // tiles moved by those steals
+};
+
+class WorkPool {
+ public:
+  // The process-wide pool.  Starts with zero workers; ensure_workers grows
+  // it on demand.  Leaky singleton: never destroyed, workers park on the
+  // dispatch condvar for the life of the process.
+  static WorkPool& instance();
+
+  // Grows the worker set to at least `n` threads (never shrinks).
+  void ensure_workers(int n);
+  int workers() const;
+  PoolStats stats() const;
+
+  // Executes body(lane) on `opts.lanes` lanes over tiles [0, total).
+  // Blocks until every started lane finished and no tile remains
+  // unclaimed.  Rethrows the first exception any lane body threw; throws
+  // Error(kDeadlineExceeded) if opts.deadline expired mid-job.  With
+  // total <= 0 the body still runs once over an empty range (lane-level
+  // setup/teardown stays observable, matching the OpenMP executor's
+  // empty parallel region).
+  void parallel_for(std::int64_t total, const ParallelForOptions& opts,
+                    const std::function<void(LaneContext&)>& body);
+
+  // Fire-and-forget task at a priority.  `fn` must not throw (wrap it);
+  // an escaping exception terminates the process, same as a thread.
+  void submit(TaskPriority priority, std::function<void()> fn);
+
+  // Test hook: blocks until both dispatch queues are empty and every
+  // worker is parked.
+  void quiesce();
+
+ private:
+  WorkPool() = default;
+
+  void worker_main(int id);
+  // Pops the next task, interactive queue first.  Blocks; returns false
+  // only on shutdown (which never happens for the singleton).
+  bool pop_task(std::function<void()>* fn);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queues_[2];  // [interactive, bulk]
+  std::vector<std::thread> threads_;
+  int busy_ = 0;
+
+  std::atomic<std::uint64_t> jobs_{0};
+  std::atomic<std::uint64_t> tasks_executed_{0};
+  std::atomic<std::uint64_t> steal_events_{0};
+  std::atomic<std::uint64_t> tiles_stolen_{0};
+
+  friend class LaneContext;
+};
+
+}  // namespace fusedp

@@ -115,6 +115,10 @@ ChaosStats run_chaos(const ChaosOptions& opts) {
         // Random per-request configuration.
         Options o;
         o.num_threads = rng.next_bool(0.25) ? 2 : 1;
+        // Route a fraction of requests through the work-stealing pool, at
+        // >= 2 lanes so stealing and cross-request pool sharing both soak.
+        o.pool_backend = rng.next_bool(opts.pool_backend_rate);
+        if (o.pool_backend) o.num_threads = 2;
         o.scheduler = Scheduler::kGreedy;
         o.tile_schedule = rng.next_bool() ? TileSchedule::kDynamic
                                           : TileSchedule::kStatic;

@@ -27,6 +27,10 @@ struct ChaosOptions {
   int requests = 5000;      // total requests across all workers
   double fault_rate = 0.3;  // chance a request arms a throwing fault point
   double deadline_rate = 0.3;  // chance a request carries a tight deadline
+  // Chance a request executes on the work-stealing pool backend (at 2
+  // lanes) instead of the OpenMP region; the TSan leg raises this to soak
+  // pool parallelism specifically.
+  double pool_backend_rate = 0.25;
   // Process-wide Workspace+ScratchArena budget while the soak runs
   // (0 = unlimited).  References are computed before the budget is armed.
   std::int64_t memory_budget_bytes = 0;

@@ -152,14 +152,18 @@ Grouping singleton_untiled(const Pipeline& pl) {
 struct Cfg {
   const char* name;
   EvalMode mode;
-  bool compiled, vec, super;
+  bool compiled, vec, super, pool;
 };
 constexpr Cfg kConfigs[] = {
-    {"scalar-tiled", EvalMode::kScalar, false, false, false},
-    {"row-interp", EvalMode::kRow, false, false, false},
-    {"compiled-plain", EvalMode::kRow, true, false, false},
-    {"vector-nosuper", EvalMode::kRow, true, true, false},
-    {"vector", EvalMode::kRow, true, true, true},
+    {"scalar-tiled", EvalMode::kScalar, false, false, false, false},
+    {"row-interp", EvalMode::kRow, false, false, false, false},
+    {"compiled-plain", EvalMode::kRow, true, false, false, false},
+    {"vector-nosuper", EvalMode::kRow, true, true, false, false},
+    {"vector", EvalMode::kRow, true, true, true, false},
+    // Same mechanisms as "vector" but tiles claimed through the
+    // work-stealing pool (>= 2 lanes, so stealing actually happens): a
+    // divergence here indicts the pool executor path, nothing else.
+    {"vector-pool", EvalMode::kRow, true, true, true, true},
 };
 
 // Runs every backend config over one grouping, comparing each materialized
@@ -174,9 +178,11 @@ bool run_configs(const Pipeline& pl, const std::vector<Buffer>& inputs,
     opts.compiled = c.compiled;
     opts.vector_backend = c.vec;
     opts.superop_fusion = c.super;
+    opts.pool_backend = c.pool;
     opts.num_threads =
-        1 + static_cast<int>(rng.next_below(
-                static_cast<std::uint64_t>(std::max(1, max_threads))));
+        (c.pool ? 2 : 1) +
+        static_cast<int>(rng.next_below(
+            static_cast<std::uint64_t>(std::max(1, max_threads))));
     opts.tile_schedule =
         rng.next_bool() ? TileSchedule::kStatic : TileSchedule::kDynamic;
     opts.guard_arena = rng.next_bool(0.5);
@@ -229,6 +235,7 @@ bool run_configs(const Pipeline& pl, const std::vector<Buffer>& inputs,
         rng.next_bool() ? TileSchedule::kStatic : TileSchedule::kDynamic;
     sopts.guard_arena = rng.next_bool(0.5);
     sopts.pooled_storage = rng.next_bool(0.25);
+    sopts.pool_backend = rng.next_bool(0.25);
     sopts.collect_trace = true;
     sopts.trace_tiles = rng.next_bool();
 
@@ -293,7 +300,8 @@ std::string DivergenceRecord::to_string() const {
      << " superops=" << opts.superop_fusion << " fma=" << opts.allow_fma
      << " sched="
      << (opts.tile_schedule == TileSchedule::kDynamic ? "dynamic" : "static")
-     << " pooled=" << opts.pooled_storage << " guard=" << opts.guard_arena;
+     << " pooled=" << opts.pooled_storage << " guard=" << opts.guard_arena
+     << " pool_backend=" << opts.pool_backend;
   std::string sched = schedule;
   for (char& ch : sched)
     if (ch == '\n') ch = ';';

@@ -1,0 +1,345 @@
+// The persistent work-stealing pool: coverage (every tile exactly once,
+// any lane count), the serial fast path, exception capture and pool
+// survival, external-cancel and deadline semantics, interactive-before-bulk
+// dispatch order, steal accounting, and the bit-equality sweep of the
+// pool executor backend against the OpenMP region over adversarial tile
+// sizes.  The pool is a process-wide singleton, so these tests share
+// workers — each test must leave the pool quiesced and healthy.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fusion/incremental.hpp"
+#include "pipelines/pipelines.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/pool.hpp"
+#include "support/status.hpp"
+#include "support/timing.hpp"
+#include "test_util.hpp"
+#include "verify/pipegen.hpp"
+
+namespace fusedp {
+namespace {
+
+Grouping singletons_with_tiles(const Pipeline& pl,
+                               std::vector<std::int64_t> tiles) {
+  Grouping g;
+  for (int s = 0; s < pl.num_stages(); ++s) {
+    GroupSchedule gs;
+    gs.stages = NodeSet::single(s);
+    gs.tile_sizes = tiles;
+    g.groups.push_back(gs);
+  }
+  return g;
+}
+
+TEST(WorkPool, CoversEveryTileExactlyOnce) {
+  WorkPool& pool = WorkPool::instance();
+  for (const int lanes : {1, 2, 3, 4}) {
+    for (const std::int64_t total : {std::int64_t{0}, std::int64_t{1},
+                                     std::int64_t{5}, std::int64_t{64},
+                                     std::int64_t{1000}}) {
+      std::vector<std::atomic<int>> hits(static_cast<std::size_t>(total));
+      for (auto& h : hits) h.store(0);
+      ParallelForOptions opts;
+      opts.lanes = lanes;
+      pool.parallel_for(total, opts, [&](LaneContext& lc) {
+        for (std::int64_t t = lc.claim(); t >= 0; t = lc.claim()) {
+          ASSERT_GE(t, 0);
+          ASSERT_LT(t, total);
+          hits[static_cast<std::size_t>(t)].fetch_add(1);
+        }
+      });
+      for (std::int64_t t = 0; t < total; ++t)
+        EXPECT_EQ(hits[static_cast<std::size_t>(t)].load(), 1)
+            << "lanes=" << lanes << " total=" << total << " tile=" << t;
+    }
+  }
+}
+
+TEST(WorkPool, SerialFastPathRunsInline) {
+  WorkPool& pool = WorkPool::instance();
+  const std::thread::id caller = std::this_thread::get_id();
+  std::int64_t tiles = 0;
+  ParallelForOptions opts;
+  opts.lanes = 1;
+  pool.parallel_for(16, opts, [&](LaneContext& lc) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(lc.lane(), 0);
+    EXPECT_EQ(lc.worker(), -1);
+    EXPECT_EQ(lc.queue_wait_seconds(), 0.0);
+    for (std::int64_t t = lc.claim(); t >= 0; t = lc.claim()) ++tiles;
+    EXPECT_EQ(lc.steals(), 0);
+  });
+  EXPECT_EQ(tiles, 16);
+}
+
+TEST(WorkPool, ExceptionIsCapturedOnceAndPoolSurvives) {
+  WorkPool& pool = WorkPool::instance();
+  ParallelForOptions opts;
+  opts.lanes = 3;
+  std::atomic<std::int64_t> executed{0};
+  try {
+    pool.parallel_for(200, opts, [&](LaneContext& lc) {
+      for (std::int64_t t = lc.claim(); t >= 0; t = lc.claim()) {
+        if (t == 42) throw Error("planted tile fault", ErrorCode::kFaultInjected);
+        executed.fetch_add(1);
+      }
+    });
+    FAIL() << "exception was swallowed";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kFaultInjected);
+    EXPECT_NE(std::string(e.what()).find("planted tile fault"),
+              std::string::npos);
+  }
+  // The throw cancels outstanding claims: the job ends early.
+  EXPECT_LT(executed.load(), 200);
+
+  // The pool must be fully usable afterwards (no stuck workers, no latched
+  // error state).
+  std::atomic<std::int64_t> clean{0};
+  pool.parallel_for(100, opts, [&](LaneContext& lc) {
+    for (std::int64_t t = lc.claim(); t >= 0; t = lc.claim())
+      clean.fetch_add(1);
+  });
+  EXPECT_EQ(clean.load(), 100);
+}
+
+TEST(WorkPool, ExternalCancelSuppressesClaimsWithoutThrowing) {
+  WorkPool& pool = WorkPool::instance();
+  const std::atomic<bool> cancelled{true};
+  for (const int lanes : {1, 3}) {
+    ParallelForOptions opts;
+    opts.lanes = lanes;
+    opts.cancel = &cancelled;
+    std::atomic<std::int64_t> executed{0};
+    // External cancel is the owner's error to report: parallel_for itself
+    // must return normally with every claim suppressed.
+    pool.parallel_for(50, opts, [&](LaneContext& lc) {
+      for (std::int64_t t = lc.claim(); t >= 0; t = lc.claim())
+        executed.fetch_add(1);
+    });
+    EXPECT_EQ(executed.load(), 0) << "lanes=" << lanes;
+  }
+}
+
+TEST(WorkPool, DeadlineCancelsMidJobAcrossLanes) {
+  WorkPool& pool = WorkPool::instance();
+  for (const int lanes : {1, 3}) {
+    const Deadline dl = Deadline::after(2e-3);
+    ParallelForOptions opts;
+    opts.lanes = lanes;
+    opts.deadline = &dl;
+    std::atomic<std::int64_t> executed{0};
+    try {
+      pool.parallel_for(10000, opts, [&](LaneContext& lc) {
+        for (std::int64_t t = lc.claim(); t >= 0; t = lc.claim()) {
+          executed.fetch_add(1);
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+      });
+      FAIL() << "deadline did not fire (lanes=" << lanes << ")";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kDeadlineExceeded);
+    }
+    EXPECT_GT(executed.load(), 0) << "lanes=" << lanes;
+    EXPECT_LT(executed.load(), 10000) << "lanes=" << lanes;
+  }
+}
+
+TEST(WorkPool, InteractiveDispatchedBeforeBulk) {
+  WorkPool& pool = WorkPool::instance();
+  pool.ensure_workers(1);
+  const int workers = pool.workers();
+  ASSERT_GE(workers, 1);
+
+  // Park every worker: W-1 on the hold gate, the last one on its own gate.
+  // Once all are parked both queues are empty, so the bulk and interactive
+  // probes below are queued in a controlled state; releasing only the last
+  // worker forces one worker to drain both probes serially — and it must
+  // take the interactive one first even though bulk was submitted first.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool hold = true;
+  bool hold_last = true;
+  std::atomic<int> parked{0};
+  for (int i = 0; i < workers - 1; ++i) {
+    pool.submit(TaskPriority::kInteractive, [&] {
+      parked.fetch_add(1);
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return !hold; });
+    });
+  }
+  pool.submit(TaskPriority::kInteractive, [&] {
+    parked.fetch_add(1);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return !hold_last; });
+  });
+  while (parked.load() < workers)
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+
+  std::vector<std::string> order;
+  std::mutex order_mu;
+  pool.submit(TaskPriority::kBulk, [&] {
+    std::lock_guard<std::mutex> lock(order_mu);
+    order.push_back("bulk");
+  });
+  pool.submit(TaskPriority::kInteractive, [&] {
+    std::lock_guard<std::mutex> lock(order_mu);
+    order.push_back("interactive");
+  });
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    hold_last = false;
+  }
+  cv.notify_all();
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(order_mu);
+      if (order.size() == 2) break;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    hold = false;
+  }
+  cv.notify_all();
+  pool.quiesce();
+
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "interactive");
+  EXPECT_EQ(order[1], "bulk");
+}
+
+TEST(WorkPool, StealingMovesWorkFromASlowLane) {
+  WorkPool& pool = WorkPool::instance();
+  ParallelForOptions opts;
+  opts.lanes = 2;
+  std::atomic<std::int64_t> steals{0};
+  std::atomic<std::int64_t> executed{0};
+  // Lane 0 owns the first half of the range and dawdles on every tile it
+  // runs; lane 1 drains its own half quickly and must steal from lane 0's
+  // remainder to keep the job work-conserving.
+  pool.parallel_for(64, opts, [&](LaneContext& lc) {
+    for (std::int64_t t = lc.claim(); t >= 0; t = lc.claim()) {
+      executed.fetch_add(1);
+      if (lc.lane() == 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(300));
+    }
+    steals.fetch_add(lc.steals());
+  });
+  EXPECT_EQ(executed.load(), 64);
+  EXPECT_GT(steals.load(), 0);
+}
+
+TEST(WorkPool, StatsAdvance) {
+  WorkPool& pool = WorkPool::instance();
+  const PoolStats before = pool.stats();
+  ParallelForOptions opts;
+  opts.lanes = 2;
+  pool.parallel_for(32, opts, [&](LaneContext& lc) {
+    for (std::int64_t t = lc.claim(); t >= 0; t = lc.claim()) {
+    }
+  });
+  const PoolStats after = pool.stats();
+  EXPECT_GT(after.jobs, before.jobs);
+  EXPECT_GE(after.tasks_executed, before.tasks_executed);
+  EXPECT_GE(after.workers, 1);
+}
+
+// The acceptance sweep: the pool executor backend must be bit-identical to
+// the OpenMP region over tile shapes chosen to stress the claim/steal
+// partition — per-pixel tiles (maximal tile count, heavy stealing),
+// single-row strips, non-dividing odd shapes, and one tile covering the
+// whole domain (no parallelism to find).
+TEST(PoolExecutor, BitIdenticalToOpenMPOverAdversarialTileSizes) {
+  const std::vector<std::vector<std::int64_t>> tile_shapes = {
+      {1, 1}, {1, 64}, {3, 7}, {1024, 1024}};
+  for (const std::uint64_t seed : {1ull, 4ull, 11ull}) {
+    const auto pl = verify::generate_pipeline(seed);
+    const auto inputs = verify::generate_inputs(*pl, seed);
+    for (const auto& tiles : tile_shapes) {
+      const Grouping g = singletons_with_tiles(*pl, tiles);
+      ExecOptions openmp;
+      openmp.num_threads = 3;
+      ExecOptions pooled = openmp;
+      pooled.pool_backend = true;
+      const auto want = run_pipeline(*pl, g, inputs, openmp);
+      const auto got = run_pipeline(*pl, g, inputs, pooled);
+      ASSERT_EQ(want.size(), got.size());
+      for (std::size_t o = 0; o < want.size(); ++o)
+        EXPECT_TRUE(testing::buffers_equal(want[o], got[o]))
+            << "seed " << seed << " tiles {" << tiles[0] << "," << tiles[1]
+            << "} output " << o;
+    }
+  }
+}
+
+// Same sweep on a real paper pipeline under its chosen schedule, across
+// lane widths (including width 1: the serial fast path must also be
+// bit-identical, not just fast).
+TEST(PoolExecutor, BitIdenticalOnPaperPipelineAcrossLaneWidths) {
+  const PipelineSpec spec = make_benchmark("unsharp", 16);
+  const Pipeline& pl = *spec.pipeline;
+  const CostModel model(pl, MachineModel::host());
+  IncFusion inc(pl, model);
+  const Grouping g = inc.run();
+  const std::vector<Buffer> inputs = spec.make_inputs();
+  ExecOptions openmp;
+  openmp.num_threads = 2;
+  const auto want = run_pipeline(pl, g, inputs, openmp);
+  for (const int lanes : {1, 2, 4}) {
+    ExecOptions pooled = openmp;
+    pooled.pool_backend = true;
+    pooled.num_threads = lanes;
+    const auto got = run_pipeline(pl, g, inputs, pooled);
+    ASSERT_EQ(want.size(), got.size());
+    for (std::size_t o = 0; o < want.size(); ++o)
+      EXPECT_TRUE(testing::buffers_equal(want[o], got[o]))
+          << "lanes " << lanes << " output " << o;
+  }
+}
+
+// PR 6 semantics through the pool backend: the executor's own per-tile
+// deadline probe still produces its exact error contract, and the workspace
+// remains reusable afterwards (re-run without the deadline is clean).
+TEST(PoolExecutor, ExecutorDeadlineContractCarriesOver) {
+  const PipelineSpec spec = make_benchmark("harris", 8);
+  const Pipeline& pl = *spec.pipeline;
+  const CostModel model(pl, MachineModel::host());
+  IncFusion inc(pl, model);
+  const Grouping g = inc.run();
+  const std::vector<Buffer> inputs = spec.make_inputs();
+  ExecOptions opts;
+  opts.num_threads = 2;
+  opts.pool_backend = true;
+  const Executor ex(pl, g, opts);
+  Workspace ws;
+  const Deadline dl = Deadline::after(-1.0);  // already expired
+  try {
+    ex.run(inputs, ws, nullptr, &dl);
+    FAIL() << "expired deadline did not fire through the pool backend";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kDeadlineExceeded);
+    EXPECT_NE(std::string(e.what()).find("run deadline exceeded"),
+              std::string::npos)
+        << e.what();
+  }
+  // The workspace survives the cancelled run.
+  ex.run(inputs, ws);
+  const auto want = run_pipeline(pl, g, inputs, ExecOptions{});
+  for (std::size_t o = 0; o < want.size(); ++o)
+    EXPECT_TRUE(testing::buffers_equal(
+        ws.stage_buffer(pl.outputs()[static_cast<int>(o)]), want[o]));
+}
+
+}  // namespace
+}  // namespace fusedp

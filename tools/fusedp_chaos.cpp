@@ -1,9 +1,9 @@
 // fusedp_chaos: the chaos soak as a standalone tool.
 //
 //   fusedp_chaos [--sessions=8] [--requests=5000] [--fault-rate=0.3]
-//                [--deadline-rate=0.3] [--budget-mb=64] [--seconds=0]
-//                [--seed=1] [--pool=12] [--max-attempts=3] [--no-verify]
-//                [--out=chaos.json]
+//                [--deadline-rate=0.3] [--pool-backend=0.25] [--budget-mb=64]
+//                [--seconds=0] [--seed=1] [--pool=12] [--max-attempts=3]
+//                [--no-verify] [--out=chaos.json]
 //
 // Soaks N concurrent Sessions over randomly generated pipelines under
 // injected faults, random per-request deadlines and a constrained memory
@@ -24,7 +24,8 @@ int main(int argc, char** argv) {
         "                    [--deadline-rate=F] [--budget-mb=N | "
         "--budget-kb=N]\n"
         "                    [--seconds=F] [--seed=N] [--pool=N]\n"
-        "                    [--max-attempts=N] [--no-verify] [--out=PATH]\n");
+        "                    [--pool-backend=F] [--max-attempts=N]\n"
+        "                    [--no-verify] [--out=PATH]\n");
     return 0;
   }
 
@@ -33,6 +34,9 @@ int main(int argc, char** argv) {
   opts.requests = static_cast<int>(cli.get_int("requests", 5000));
   opts.fault_rate = cli.get_double("fault-rate", 0.3);
   opts.deadline_rate = cli.get_double("deadline-rate", 0.3);
+  // Fraction of requests on the work-stealing pool backend (--pool is the
+  // generated-pipeline pool size, a different knob).
+  opts.pool_backend_rate = cli.get_double("pool-backend", 0.25);
   // --budget-kb exists because the generated-pipeline pool is small: a
   // budget that actually binds is well under 1 MB.
   opts.memory_budget_bytes = cli.has("budget-kb")
