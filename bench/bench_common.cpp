@@ -102,6 +102,9 @@ std::string exec_options_json(const ExecOptions& opts, const char* indent) {
   field("compiled", opts.compiled ? "true" : "false");
   field("vector_backend", opts.vector_backend ? "true" : "false");
   field("allow_fma", opts.allow_fma ? "true" : "false");
+  field("fast_transcendentals",
+        opts.fast_transcendentals ? "true" : "false");
+  field("never_pessimize", opts.never_pessimize ? "true" : "false");
   field("tile_schedule", opts.tile_schedule == TileSchedule::kDynamic
                              ? "\"dynamic\""
                              : "\"static\"");

@@ -14,9 +14,17 @@
 // is attributable to the specific group that causes it instead of hiding
 // in the pipeline total.
 //
+// Groups that measure slower under the vector backend additionally land in
+// a machine-readable `regressions` array with a suspected cause
+// (libm-fallback / gather-bound / fusion-pessimized) from the
+// never-pessimize benefit model, so CI and tools/bench_compare.py can gate
+// on them without re-deriving the attribution.
+//
 //   --scale/--samples/--runs/--threads   as bench_smoke
 //   --fma=1          additionally contract fused mul-adds into real FMA
 //                    (changes rounding; pair with -DFUSEDP_NATIVE=ON)
+//   --fastmath=1     enable ExecOptions::fast_transcendentals (approximate
+//                    exp/log/pow; not bit-exact against libm)
 //   --out=PATH       artifact path (default: <repo root>/BENCH_vector.json)
 #include <algorithm>
 #include <cmath>
@@ -31,6 +39,7 @@
 #include "model/cost.hpp"
 #include "observe/observe.hpp"
 #include "pipelines/pipelines.hpp"
+#include "runtime/benefit.hpp"
 #include "runtime/executor.hpp"
 #include "support/cli.hpp"
 #include "support/stats.hpp"
@@ -44,6 +53,19 @@ struct GroupDelta {
   double scalar_ms = 0.0;  // min observed group wall time, scalar-compiled
   double vector_ms = 0.0;  // min observed group wall time, vector backend
   double speedup() const { return scalar_ms / vector_ms; }
+};
+
+// One entry of the machine-readable `regressions` array: a group that
+// measured slower under the vector backend, attributed to a suspected
+// cause so the artifact names the mechanism, not just the number.
+struct Regression {
+  std::string pipeline;
+  std::string stages;
+  double speedup = 0.0;
+  double delta_ms = 0.0;  // vector_ms - scalar_ms (positive = loss)
+  BenefitCause cause = BenefitCause::kNone;
+  bool gate_measured = false;  // never-pessimize micro-measured this group
+  bool gate_demoted = false;   // ...and demoted it to the plain form
 };
 
 struct Row {
@@ -88,6 +110,40 @@ std::int64_t output_pixels_of(const Pipeline& pl) {
   return px;
 }
 
+std::string joined_names(const Pipeline& pl, const GroupPlan& g) {
+  std::string names;
+  for (int s : g.stage_order) {
+    if (!names.empty()) names += ",";
+    names += pl.stage(s).name;
+  }
+  return names;
+}
+
+// Attributes a regressed group: the never-pessimize verdict's cause when
+// the gate flagged it, else a fresh static profile, else (measured slower
+// with no static excuse) fusion-pessimized.
+Regression attribute(const Pipeline& pl, const ExecutablePlan& plan,
+                     const char* pipeline, const GroupDelta& d,
+                     bool fastmath) {
+  Regression reg;
+  reg.pipeline = pipeline;
+  reg.stages = d.stages;
+  reg.speedup = d.speedup();
+  reg.delta_ms = d.vector_ms - d.scalar_ms;
+  reg.cause = BenefitCause::kFusionPessimized;
+  for (const GroupPlan& g : plan.groups) {
+    if (joined_names(pl, g) != d.stages) continue;
+    reg.gate_measured = g.verdict.measured;
+    reg.gate_demoted = g.verdict.demoted;
+    BenefitCause c = g.verdict.cause;
+    if (c == BenefitCause::kNone)
+      c = analyze_group_benefit(plan, g, fastmath).cause;
+    if (c != BenefitCause::kNone) reg.cause = c;
+    break;
+  }
+  return reg;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -99,6 +155,7 @@ int main(int argc, char** argv) {
   const int threads =
       static_cast<int>(cli.get_int_env("threads", machine.cores));
   const bool allow_fma = cli.get_int_env("fma", 0) != 0;
+  const bool fastmath = cli.get_int_env("fastmath", 0) != 0;
   const std::string only = cli.get_env("only", "");
   const std::string out_path =
       bench::bench_out_path(cli, "BENCH_vector.json");
@@ -114,16 +171,18 @@ int main(int argc, char** argv) {
   ExecOptions vector_opts = base;
   vector_opts.vector_backend = true;
   vector_opts.allow_fma = allow_fma;
+  vector_opts.fast_transcendentals = fastmath;
 
   std::fprintf(stderr,
                "bench_vector: scale=%lld threads=%d samples=%d runs=%d "
-               "fma=%d\n",
+               "fma=%d fastmath=%d\n",
                static_cast<long long>(scale), threads, samples, runs,
-               allow_fma ? 1 : 0);
+               allow_fma ? 1 : 0, fastmath ? 1 : 0);
 
   const char* keys[] = {"blur",        "unsharp", "harris", "bilateral",
                         "interpolate", "campipe", "pyramid"};
   std::vector<Row> rows;
+  std::vector<Regression> regressions;
   double log_speedup = 0.0;
   for (const char* key : keys) {
     if (!only.empty() && only != key) continue;
@@ -168,12 +227,21 @@ int main(int argc, char** argv) {
                  "  %-12s scalar-compiled %8.3f ns/px   vector %8.3f ns/px "
                  "  %.2fx\n",
                  key, r.scalar_ns, r.vector_ns, r.speedup());
-    for (const GroupDelta& d : r.groups)
-      if (d.speedup() < 1.0)
-        std::fprintf(stderr,
-                     "    regressed group [%s]: scalar %8.3f ms  vector "
-                     "%8.3f ms  %.2fx\n",
-                     d.stages.c_str(), d.scalar_ms, d.vector_ms, d.speedup());
+    // Regression attribution reads the vector executor's plan: the
+    // never-pessimize verdicts plus the static benefit profile name a
+    // suspected cause for every group that measured slower.
+    const Executor vex(pl, g, vo);
+    for (const GroupDelta& d : r.groups) {
+      if (d.speedup() >= 1.0) continue;
+      Regression reg = attribute(pl, vex.plan(), key, d, fastmath);
+      std::fprintf(stderr,
+                   "    regressed group [%s]: scalar %8.3f ms  vector "
+                   "%8.3f ms  %.2fx  (%s%s)\n",
+                   d.stages.c_str(), d.scalar_ms, d.vector_ms, d.speedup(),
+                   benefit_cause_name(reg.cause),
+                   reg.gate_demoted ? ", gate-demoted" : "");
+      regressions.push_back(std::move(reg));
+    }
   }
   if (rows.empty()) {
     std::fprintf(stderr, "bench_vector: no pipeline matched --only=%s\n",
@@ -223,6 +291,18 @@ int main(int argc, char** argv) {
           << (j + 1 < r.groups.size() ? "," : "") << "\n";
     }
     out << "    ]}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"regressions\": [\n";
+  for (std::size_t i = 0; i < regressions.size(); ++i) {
+    const Regression& reg = regressions[i];
+    out << "    {\"pipeline\": \"" << reg.pipeline << "\", \"stages\": \""
+        << reg.stages << "\", \"speedup\": " << reg.speedup
+        << ", \"delta_ms\": " << reg.delta_ms << ", \"cause\": \""
+        << benefit_cause_name(reg.cause) << "\", \"gate_measured\": "
+        << (reg.gate_measured ? "true" : "false") << ", \"gate_demoted\": "
+        << (reg.gate_demoted ? "true" : "false") << "}"
+        << (i + 1 < regressions.size() ? "," : "") << "\n";
   }
   out << "  ],\n"
       << "  \"geomean_speedup\": " << geo_speedup << "\n"

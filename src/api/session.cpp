@@ -30,6 +30,8 @@ ExecOptions Options::exec() const {
   eo.vector_backend = vector_backend;
   eo.superop_fusion = superop_fusion;
   eo.allow_fma = allow_fma;
+  eo.fast_transcendentals = fast_transcendentals;
+  eo.never_pessimize = never_pessimize;
   eo.tile_schedule = tile_schedule;
   eo.pooled_storage = pooled_storage;
   eo.guard_arena = guard_arena;
@@ -70,6 +72,16 @@ Result<bool> validate_options(const Options& opts) {
   if (opts.allow_fma && (!opts.compiled || opts.mode == EvalMode::kScalar))
     return invalid(
         "Options::allow_fma requires the compiled row backend "
+        "(compiled = true, mode = kRow)");
+  if (opts.fast_transcendentals && !opts.vector_backend)
+    return invalid(
+        "Options::fast_transcendentals requires the vector backend "
+        "(vector_backend = false): the approximate exp/log/pow kernels are "
+        "a vector-backend transformation");
+  if (opts.fast_transcendentals &&
+      (!opts.compiled || opts.mode == EvalMode::kScalar))
+    return invalid(
+        "Options::fast_transcendentals requires the compiled row backend "
         "(compiled = true, mode = kRow)");
   if (opts.deadline_seconds < 0.0)
     return invalid("Options::deadline_seconds must be >= 0 (0 = no deadline)");
@@ -158,6 +170,9 @@ void Session::build_rungs() {
     r.exec = base;
     r.exec.superop_fusion = false;
     r.exec.allow_fma = false;  // FMA contraction is a superop transform
+    // Degraded runs must be bit-identical to the reference, so the
+    // approximate kernels are dropped along with FMA.
+    r.exec.fast_transcendentals = false;
     rungs_.push_back(std::move(r));
   }
   if (base.vector_backend) {
@@ -167,6 +182,7 @@ void Session::build_rungs() {
     r.exec.vector_backend = false;
     r.exec.superop_fusion = false;
     r.exec.allow_fma = false;
+    r.exec.fast_transcendentals = false;
     rungs_.push_back(std::move(r));
   }
   {
@@ -176,6 +192,7 @@ void Session::build_rungs() {
     r.exec.vector_backend = false;
     r.exec.superop_fusion = false;
     r.exec.allow_fma = false;
+    r.exec.fast_transcendentals = false;
     r.unfused = true;
     rungs_.push_back(std::move(r));
   }

@@ -60,6 +60,15 @@ struct Options {
   bool vector_backend = true;
   bool superop_fusion = true;
   bool allow_fma = false;        // requires the vector backend
+  // Approximate exp/log/pow kernels (runtime/fastmath.hpp) instead of
+  // scalar libm: ULP-bounded deviation from the bit-exact reference, so it
+  // is opt-in like allow_fma and likewise requires the vectorized compiled
+  // row backend.
+  bool fast_transcendentals = false;
+  // Plan-time micro-measured fusion gate (see ExecOptions::never_pessimize):
+  // demotes vector/superop group compilations that lose to the plain form.
+  // Value-neutral; on by default.
+  bool never_pessimize = true;
   TileSchedule tile_schedule = TileSchedule::kDynamic;
   bool pooled_storage = false;
   bool guard_arena = false;

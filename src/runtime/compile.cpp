@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "ir/box.hpp"
+#include "runtime/fastmath.hpp"
 #include "support/fault.hpp"
 
 namespace fusedp {
@@ -921,6 +922,28 @@ const float* CompiledRowEvaluator::eval_load(const CompiledLoad& cl,
           out[i] = p[static_cast<std::int64_t>((i + r0) >> 1) * stride];
         return out;
       }
+      if (vm.num == 1 && vm.den > 2) {
+        // General upsampling (the bilateral slice's den=8 grid axes): the
+        // index floor((y+pre)/den)+offset is piecewise constant over runs
+        // of `den` elements, so the row is a sequence of broadcast fills
+        // (the first run is den-r0 long, the rest full).  Each fill
+        // vectorizes; the indices are exactly the stepper's.
+        const std::int64_t t0 = y0_ + vm.pre;
+        std::int64_t q = floor_div(t0, vm.den);
+        std::size_t run = static_cast<std::size_t>(vm.den - (t0 - q * vm.den));
+        const float* p = p0 + vm.offset * stride;
+        std::size_t i = 0;
+        while (i < n_) {
+          const std::size_t end = std::min(n_, i + run);
+          const float v = p[q * stride];
+          FUSEDP_SIMD
+          for (std::size_t j = i; j < end; ++j) out[j] = v;
+          i = end;
+          run = static_cast<std::size_t>(vm.den);
+          ++q;
+        }
+        return out;
+      }
     }
     AffineStepper coord(y0_, vm.num, vm.den, vm.pre, vm.offset);
     for (std::size_t i = 0; i < n_; ++i, coord.step())
@@ -1051,9 +1074,13 @@ const float* CompiledRowEvaluator::eval_load(const CompiledLoad& cl,
         i_lo = ceil_div(plo - k0, vm.num) - y0_;
         i_hi1 = floor_div(phi - k0, vm.num) - y0_ + 1;
         closed = true;
-      } else if (vm.num == 1 && vm.den == 2) {
-        i_lo = 2 * (plo - vm.offset) - y0_ - vm.pre;
-        i_hi1 = 2 * (phi - vm.offset) + 1 - y0_ - vm.pre + 1;
+      } else if (vm.num == 1 && vm.den >= 2) {
+        // floor((y0+i+pre)/den)+offset crosses plo at the first i with
+        // y0+i+pre >= den*(plo-offset) and exceeds phi at the first i with
+        // y0+i+pre >= den*(phi-offset+1); for den = 2 this is exactly the
+        // former specialized bound.
+        i_lo = vm.den * (plo - vm.offset) - y0_ - vm.pre;
+        i_hi1 = vm.den * (phi - vm.offset + 1) - y0_ - vm.pre;
         closed = true;
       }
       if (closed) {
@@ -1072,7 +1099,7 @@ const float* CompiledRowEvaluator::eval_load(const CompiledLoad& cl,
           float* outb = out + i_lo;
           FUSEDP_SIMD
           for (std::int64_t i = 0; i < body; ++i) outb[i] = p[i * st];
-        } else {
+        } else if (vm.den == 2) {
           const std::int64_t t0 = y0_ + i_lo + vm.pre;
           const std::int64_t q0 = floor_div(t0, 2);
           const std::int64_t r0 = t0 - 2 * q0;
@@ -1082,6 +1109,26 @@ const float* CompiledRowEvaluator::eval_load(const CompiledLoad& cl,
           FUSEDP_SIMD
           for (std::int64_t i = 0; i < body; ++i)
             outb[i] = p[((i + r0) >> 1) * stride];
+        } else {
+          // den > 2 interior: run-segmented broadcast fills, as in the
+          // unclamped kernel (the interior is clamp-free by construction).
+          const std::int64_t t0 = y0_ + i_lo + vm.pre;
+          std::int64_t q = floor_div(t0, vm.den);
+          std::size_t run =
+              static_cast<std::size_t>(vm.den - (t0 - q * vm.den));
+          const float* p = p0 + vm.offset * stride;
+          const std::size_t body = static_cast<std::size_t>(i_hi1 - i_lo);
+          float* outb = out + i_lo;
+          std::size_t i = 0;
+          while (i < body) {
+            const std::size_t end = std::min(body, i + run);
+            const float v = p[q * stride];
+            FUSEDP_SIMD
+            for (std::size_t j = i; j < end; ++j) outb[j] = v;
+            i = end;
+            run = static_cast<std::size_t>(vm.den);
+            ++q;
+          }
         }
         if (i_hi1 < nn) {
           const float hi_val = p0[phi * stride];
@@ -1158,6 +1205,30 @@ const float* CompiledRowEvaluator::eval_load(const CompiledLoad& cl,
           v = v < lo ? lo : (v > hi ? hi : v);
           off[i] = (t == 0 ? 0 : off[i]) + v * st;
         }
+      } else if (a.num == 1) {
+        // Upsampled axis (the bilateral slice reads its den=8 grid axes
+        // here): floor((y+pre)/den)+offset is constant over runs of `den`
+        // elements, so clamp once per run and fill with a vectorizable
+        // inner loop instead of the serial stepper.  Index math matches
+        // the fallback element for element.
+        const std::int64_t t0 = y0_ + a.pre;
+        std::int64_t q = floor_div(t0, a.den);
+        std::size_t run = static_cast<std::size_t>(a.den - (t0 - q * a.den));
+        std::size_t i = 0;
+        while (i < n_) {
+          const std::size_t end = std::min(n_, i + run);
+          const std::int64_t v = clamp_i64(q + a.offset, lo, hi) * st;
+          if (t == 0) {
+            FUSEDP_SIMD
+            for (std::size_t j = i; j < end; ++j) off[j] = v;
+          } else {
+            FUSEDP_SIMD
+            for (std::size_t j = i; j < end; ++j) off[j] += v;
+          }
+          i = end;
+          run = static_cast<std::size_t>(a.den);
+          ++q;
+        }
       } else {
         AffineStepper coord(y0_, a.num, a.den, a.pre, a.offset);
         for (std::size_t i = 0; i < n_; ++i, coord.step()) {
@@ -1189,7 +1260,8 @@ void CompiledRowEvaluator::eval_row(const CompiledStage& cs,
                                     const unsigned char* load_clamped,
                                     const std::int64_t* base, std::int64_t y0,
                                     std::int64_t y1, float* out,
-                                    bool allow_fma) {
+                                    bool allow_fma,
+                                    bool fast_transcendentals) {
   n_ = static_cast<std::size_t>(y1 - y0 + 1);
   base_ = base;
   y0_ = y0;
@@ -1317,8 +1389,10 @@ void CompiledRowEvaluator::eval_row(const CompiledStage& cs,
           dst[j] = a[j] != 0.0f ? b[j] : c[j];
         break;
       }
-// SIMD-safe unary ops; kExp/kLog stay unannotated so the compiler keeps the
-// scalar libm calls (bit-exactness policy: no vector math library).
+// SIMD-safe unary ops.  kExp/kLog default to unannotated scalar libm loops
+// (bit-exactness policy: no vector math library); with the opt-in
+// fast_transcendentals flag they dispatch to the branch-free polynomial
+// kernels in runtime/fastmath.hpp, which inline into omp-simd loops.
 #define FUSEDP_UNARY_CASE(OP)                                              \
   case Op::OP: {                                                           \
     const float* a = row(o.a);                                             \
@@ -1326,17 +1400,22 @@ void CompiledRowEvaluator::eval_row(const CompiledStage& cs,
     for (std::size_t j = 0; j < n_; ++j)                                   \
       dst[j] = apply_unary(Op::OP, a[j]);                                  \
   } break;
-#define FUSEDP_UNARY_CASE_LIBM(OP)                                         \
+#define FUSEDP_UNARY_CASE_LIBM(OP, FAST)                                   \
   case Op::OP: {                                                           \
     const float* a = row(o.a);                                             \
-    for (std::size_t j = 0; j < n_; ++j)                                   \
-      dst[j] = apply_unary(Op::OP, a[j]);                                  \
+    if (fast_transcendentals) {                                            \
+      FUSEDP_SIMD                                                          \
+      for (std::size_t j = 0; j < n_; ++j) dst[j] = FAST(a[j]);            \
+    } else {                                                               \
+      for (std::size_t j = 0; j < n_; ++j)                                 \
+        dst[j] = apply_unary(Op::OP, a[j]);                                \
+    }                                                                      \
   } break;
       FUSEDP_UNARY_CASE(kNeg)
       FUSEDP_UNARY_CASE(kAbs)
       FUSEDP_UNARY_CASE(kSqrt)
-      FUSEDP_UNARY_CASE_LIBM(kExp)
-      FUSEDP_UNARY_CASE_LIBM(kLog)
+      FUSEDP_UNARY_CASE_LIBM(kExp, fastmath::fast_exp)
+      FUSEDP_UNARY_CASE_LIBM(kLog, fastmath::fast_log)
       FUSEDP_UNARY_CASE(kFloor)
 #undef FUSEDP_UNARY_CASE
 #undef FUSEDP_UNARY_CASE_LIBM
@@ -1361,21 +1440,56 @@ void CompiledRowEvaluator::eval_row(const CompiledStage& cs,
     }                                                                      \
   } break;
 #define FUSEDP_BINARY_CASE(OP) FUSEDP_BINARY_BODY(OP, FUSEDP_SIMD)
-#define FUSEDP_BINARY_CASE_LIBM(OP) FUSEDP_BINARY_BODY(OP, )
       FUSEDP_BINARY_CASE(kAdd)
       FUSEDP_BINARY_CASE(kSub)
       FUSEDP_BINARY_CASE(kMul)
       FUSEDP_BINARY_CASE(kDiv)
       FUSEDP_BINARY_CASE(kMin)
       FUSEDP_BINARY_CASE(kMax)
-      FUSEDP_BINARY_CASE_LIBM(kPow)
+      case Op::kPow: {
+        // Scalar libm by default (bit-exactness), vectorizable polynomial
+        // kernel under fast_transcendentals — same imm-side forms as the
+        // generic binary body.
+        const float* a = row(o.a);
+        if (fast_transcendentals) {
+          if (o.imm_side == 0) {
+            const float* b = row(o.b);
+            FUSEDP_SIMD
+            for (std::size_t j = 0; j < n_; ++j)
+              dst[j] = fastmath::fast_pow(a[j], b[j]);
+          } else if (o.imm_side == 1) {
+            const float im = o.imm;
+            FUSEDP_SIMD
+            for (std::size_t j = 0; j < n_; ++j)
+              dst[j] = fastmath::fast_pow(a[j], im);
+          } else {
+            const float im = o.imm;
+            FUSEDP_SIMD
+            for (std::size_t j = 0; j < n_; ++j)
+              dst[j] = fastmath::fast_pow(im, a[j]);
+          }
+        } else {
+          if (o.imm_side == 0) {
+            const float* b = row(o.b);
+            for (std::size_t j = 0; j < n_; ++j)
+              dst[j] = apply_binary(Op::kPow, a[j], b[j]);
+          } else if (o.imm_side == 1) {
+            const float im = o.imm;
+            for (std::size_t j = 0; j < n_; ++j)
+              dst[j] = apply_binary(Op::kPow, a[j], im);
+          } else {
+            const float im = o.imm;
+            for (std::size_t j = 0; j < n_; ++j)
+              dst[j] = apply_binary(Op::kPow, im, a[j]);
+          }
+        }
+      } break;
       FUSEDP_BINARY_CASE(kLt)
       FUSEDP_BINARY_CASE(kLe)
       FUSEDP_BINARY_CASE(kEq)
       FUSEDP_BINARY_CASE(kAnd)
       FUSEDP_BINARY_CASE(kOr)
 #undef FUSEDP_BINARY_CASE
-#undef FUSEDP_BINARY_CASE_LIBM
 #undef FUSEDP_BINARY_BODY
     }
   }

@@ -209,7 +209,7 @@ class CompiledRowEvaluator {
   void eval_row(const CompiledStage& cs, const StageEvalCtx& ctx,
                 const unsigned char* load_clamped, const std::int64_t* base,
                 std::int64_t y0, std::int64_t y1, float* out,
-                bool allow_fma = false);
+                bool allow_fma = false, bool fast_transcendentals = false);
 
   // Guard-arena mode (ExecOptions::guard_arena): canary lines around every
   // row register; check_guards() throws a coded Error on a smash — the

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <new>
 
+#include "runtime/benefit.hpp"
 #include "support/fault.hpp"
 
 #ifdef _OPENMP
@@ -225,6 +226,13 @@ Executor::Executor(const Pipeline& pl, const Grouping& grouping,
       opts_(opts) {
   FUSEDP_CHECK_CODE(opts_.num_threads >= 1, ErrorCode::kInvalidArgument,
                     "need at least one thread");
+  // Cost-aware never-pessimize gate: vector-backend groups whose static
+  // profile casts doubt on the vector benefit are micro-measured and demoted
+  // back to the plain compiled form when they lose (runtime/benefit.hpp).
+  if (opts_.never_pessimize && opts_.compiled && opts_.vector_backend &&
+      opts_.mode == EvalMode::kRow) {
+    apply_never_pessimize(plan_, opts_.allow_fma, opts_.fast_transcendentals);
+  }
   if (opts_.pooled_storage) storage_ = assign_storage(plan_);
 }
 
@@ -625,7 +633,8 @@ void Executor::run_group(const GroupPlan& g, const std::vector<Buffer>& inputs,
             for_each_row(req, [&](std::int64_t* c) {
               float* out = &out_view.at(c);
               crowev.eval_row(cs, ctx, load_clamped.data(), c, req.lo[last],
-                              req.hi[last], out, opts_.allow_fma);
+                              req.hi[last], out, opts_.allow_fma,
+                              opts_.fast_transcendentals);
             });
           } else if (opts_.mode == EvalMode::kRow) {
             for_each_row(req, [&](std::int64_t* c) {

@@ -58,6 +58,23 @@ struct ExecOptions {
   // capable ISA (-DFUSEDP_NATIVE=ON); otherwise std::fma falls back to the
   // correctly-rounded libm routine.
   bool allow_fma = false;
+  // Approximate transcendentals: replace the scalar libm exp/log/pow calls
+  // in the compiled row kernels with the vectorizable polynomial
+  // approximations in runtime/fastmath.hpp.  Like allow_fma this is opt-in
+  // and trades bit-exactness with the scalar reference for speed: results
+  // differ by the approximation error (ULP-bounded, see fastmath.hpp and
+  // docs/performance.md), so the differential verifier compares this
+  // configuration through a tolerance rung instead of bit-equality.
+  // Requires the vectorized compiled backend.
+  bool fast_transcendentals = false;
+  // Cost-aware never-pessimize gate: after lowering, statically suspect
+  // groups (libm-bound or gather-bound, see runtime/benefit.hpp) are
+  // micro-measured — a few short row runs of the vector-compiled stages
+  // against the plain-compiled forms — and demoted back to the plain form
+  // when the vector choice loses.  Both forms are bit-identical, so this
+  // changes speed only, never values.  The verdicts are persisted on the
+  // plan (GroupPlan::verdict) and shown by the plan printer.
+  bool never_pessimize = true;
   TileSchedule tile_schedule = TileSchedule::kDynamic;
   // Share allocations between materialized intermediates with disjoint live
   // intervals (PolyMage-style storage optimization; see storage/liveness).

@@ -1,0 +1,156 @@
+// Vectorizable polynomial approximations of the transcendental kernels
+// (exp, log, pow, rsqrt) used by the compiled row evaluator when
+// ExecOptions::fast_transcendentals is on.
+//
+// Design constraints:
+//   * Branch-free bodies (selects only), so every function inlines cleanly
+//     into an omp-simd row loop — this is the whole point: the scalar libm
+//     calls these replace are the only non-vectorizable ops left in the
+//     compiled backend ("bit-exactness policy" in vec.hpp; that policy now
+//     applies only when fast_transcendentals is off).
+//   * Full-range input handling: +-0, denormals, NaN, +-Inf and the
+//     overflow/underflow boundaries all produce IEEE-consistent results
+//     (documented deviations: see each function).
+//   * float-only arithmetic, no libm in the hot path, no lookup tables.
+//
+// Accuracy (measured by tests/test_fastmath.cpp, asserted bounds are 2x
+// the observed worst case):
+//   fast_exp    <= 2 ulp on [-87.3, 88.7]; gradual underflow to denormals
+//                 below that; exact 1.0f at +-0.
+//   fast_log    <= 2 ulp on normals and denormals; exact +0.0f at 1.0f.
+//   fast_pow    relative error <= |b*ln a| * 2^-22 (error of the log feeds
+//               the exp multiplicatively); <= 1e-5 relative for the
+//               |b*log2(a)| <= 16 range covering the image pipelines.
+//   fast_rsqrt  relative error <= 5e-6 (Newton-refined estimate).
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace fusedp::fastmath {
+
+// e^x via 2^k * e^r range reduction (k = round(x/ln2), r in [-ln2/2, ln2/2])
+// and a degree-5 minimax polynomial for e^r.  The 2^k scale is applied in
+// two halves so k = 128 (just under the overflow boundary) and the gradual
+// underflow range down to 2^-149 both stay representable.  Deviation from
+// libm: inputs below -104 flush to +0 (libm agrees: exp(-104) == 0.0f).
+inline float fast_exp(float x) {
+  constexpr float kLog2e = 1.44269504088896341f;
+  constexpr float kLn2Hi = 0.693359375f;
+  constexpr float kLn2Lo = -2.12194440e-4f;
+  constexpr float kHi = 88.72283935546875f;   // exp(kHi) is the last finite
+  constexpr float kLo = -104.0f;              // below: result underflows to 0
+  const bool nan = std::isnan(x);
+  float cx = nan ? 0.0f : x;
+  cx = cx < kLo ? kLo : (cx > kHi ? kHi : cx);
+  const float kf = std::floor(cx * kLog2e + 0.5f);
+  const float r = (cx - kf * kLn2Hi) - kf * kLn2Lo;
+  float p = 1.9875691500e-4f;
+  p = p * r + 1.3981999507e-3f;
+  p = p * r + 8.3334519073e-3f;
+  p = p * r + 4.1665795894e-2f;
+  p = p * r + 1.6666665459e-1f;
+  p = p * r + 5.0000001201e-1f;
+  p = p * (r * r) + r + 1.0f;
+  // 2^k = 2^(k-k/2) * 2^(k/2); both halves have in-range biased exponents
+  // for every k in [-150, 128].
+  const std::int32_t k = static_cast<std::int32_t>(kf);
+  const std::int32_t kh = k >> 1;
+  const float s1 = std::bit_cast<float>((k - kh + 127) << 23);
+  const float s2 = std::bit_cast<float>((kh + 127) << 23);
+  float res = (p * s1) * s2;
+  res = x > kHi ? std::numeric_limits<float>::infinity() : res;
+  res = x < kLo ? 0.0f : res;
+  return nan ? x : res;
+}
+
+// Natural log via exponent/mantissa split (m in [sqrt(1/2), sqrt(2))) and
+// the Cephes degree-8 polynomial for log(1+f).  Denormals are normalized by
+// scaling with 2^23 first, so the full positive range is covered.
+// Specials: log(+-0) = -Inf, log(x<0) = NaN, log(+Inf) = +Inf, NaN -> NaN,
+// log(1) = +0 exactly.
+inline float fast_log(float x) {
+  constexpr float kLn2Hi = 0.693359375f;
+  constexpr float kLn2Lo = -2.12194440e-4f;
+  const bool nan = std::isnan(x);
+  const bool inf = std::isinf(x) && x > 0.0f;
+  const bool zero = x == 0.0f;
+  const bool neg = x < 0.0f;
+  const bool denorm = x > 0.0f && x < std::numeric_limits<float>::min();
+  const float xs = denorm ? x * 8388608.0f : x;  // * 2^23
+  const float ebias = denorm ? 23.0f : 0.0f;
+  // Keep the bit math defined on lanes whose result a select overrides.
+  const float xw = (nan || inf || zero || neg) ? 1.0f : xs;
+  const std::uint32_t bits = std::bit_cast<std::uint32_t>(xw);
+  float e = static_cast<float>(static_cast<std::int32_t>(bits >> 23) - 126);
+  float m = std::bit_cast<float>((bits & 0x007FFFFFu) | 0x3F000000u);
+  const bool low = m < 0.70710678118654752f;
+  m = low ? m + m : m;
+  e = low ? e - 1.0f : e;
+  const float f = m - 1.0f;
+  const float z = f * f;
+  float y = 7.0376836292e-2f;
+  y = y * f + -1.1514610310e-1f;
+  y = y * f + 1.1676998740e-1f;
+  y = y * f + -1.2420140846e-1f;
+  y = y * f + 1.4249322787e-1f;
+  y = y * f + -1.6668057665e-1f;
+  y = y * f + 2.0000714765e-1f;
+  y = y * f + -2.4999993993e-1f;
+  y = y * f + 3.3333331174e-1f;
+  y = y * f * z;
+  const float ef = e - ebias;
+  y += ef * kLn2Lo;
+  y -= 0.5f * z;
+  float res = f + y + ef * kLn2Hi;
+  res = zero ? -std::numeric_limits<float>::infinity() : res;
+  res = neg ? std::numeric_limits<float>::quiet_NaN() : res;
+  res = inf ? std::numeric_limits<float>::infinity() : res;
+  return nan ? x : res;
+}
+
+// a^b as exp(b * log|a|) with libm-consistent special cases: pow(x, 0) = 1
+// for every x (including NaN), pow(1, y) = 1 for every y, pow(0, y>0) = 0,
+// pow(0, y<0) = +Inf, and a negative base yields +-|a|^b for integer b
+// (sign from the exponent's parity) and NaN otherwise.  The relative error
+// grows with |b * ln a| (see header comment); the campipe gamma constants
+// (b = 1/2.2, a in [0, 1]) sit well under 1e-6.
+inline float fast_pow(float a, float b) {
+  const float aa = std::fabs(a);
+  float res = fast_exp(b * fast_log(aa));
+  // Negative base: defined only for integer exponents; odd ones flip sign.
+  const float bi = std::floor(b);
+  const bool b_int = bi == b && !std::isinf(b);
+  const float bh = bi * 0.5f;
+  const bool b_odd = b_int && bh != std::floor(bh);
+  const float neg_res =
+      b_int ? (b_odd ? -res : res) : std::numeric_limits<float>::quiet_NaN();
+  res = a < 0.0f ? neg_res : res;
+  res = a == 1.0f ? 1.0f : res;
+  res = b == 0.0f ? 1.0f : res;
+  return res;
+}
+
+// 1/sqrt(x) from the classic bit-shifted initial estimate plus two Newton
+// steps.  Specials: rsqrt(+0) = +Inf, rsqrt(-0) = -Inf, rsqrt(x<0) = NaN,
+// rsqrt(+Inf) = 0, NaN -> NaN.
+inline float fast_rsqrt(float x) {
+  const bool nan = std::isnan(x);
+  const bool zero = x == 0.0f;
+  const bool neg = x < 0.0f;
+  const bool inf = std::isinf(x) && x > 0.0f;
+  const float xw = (nan || zero || neg || inf) ? 1.0f : x;
+  float y = std::bit_cast<float>(
+      0x5F375A86u - (std::bit_cast<std::uint32_t>(xw) >> 1));
+  y = y * (1.5f - 0.5f * xw * y * y);
+  y = y * (1.5f - 0.5f * xw * y * y);
+  float res = y;
+  res = zero ? std::copysign(std::numeric_limits<float>::infinity(), x) : res;
+  res = neg ? std::numeric_limits<float>::quiet_NaN() : res;
+  res = inf ? 0.0f : res;
+  return nan ? x : res;
+}
+
+}  // namespace fusedp::fastmath

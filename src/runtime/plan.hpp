@@ -15,6 +15,30 @@
 
 namespace fusedp {
 
+// Why a group's vector-backend benefit is (or was) in doubt.  Shared by the
+// never-pessimize gate (runtime/benefit.hpp) and bench_vector's regression
+// attribution, so the cost feedback loop speaks one vocabulary.
+enum class BenefitCause : std::uint8_t {
+  kNone = 0,          // no static reason to doubt the vector compilation
+  kLibmFallback,      // transcendentals run as scalar libm calls inside the
+                      // vector backend (fast_transcendentals off)
+  kGatherBound,       // dominated by dynamic / upsampled gathers
+  kFusionPessimized,  // measured slower with no static excuse
+};
+
+const char* benefit_cause_name(BenefitCause c);
+
+// Outcome of the plan-time never-pessimize micro-measurement for one group
+// (see ExecOptions::never_pessimize and runtime/benefit.hpp).  Persisted on
+// the plan so the printer, benches and tests can read the decision back.
+struct GroupVerdict {
+  bool measured = false;   // the gate micro-measured this group
+  bool demoted = false;    // vector form lost; group recompiled plain
+  double vector_ms = 0.0;  // micro-measure wall time, vector compilation
+  double scalar_ms = 0.0;  // micro-measure wall time, plain compilation
+  BenefitCause cause = BenefitCause::kNone;
+};
+
 struct GroupPlan {
   NodeSet stages;
   AlignResult align;
@@ -30,6 +54,8 @@ struct GroupPlan {
   // Plan-time regions of the nominal full tile; when translatable, the
   // executor shifts these per tile instead of re-deriving them.
   RegionTemplate region_template;
+  // Never-pessimize gate verdict (default: not measured, not demoted).
+  GroupVerdict verdict;
 };
 
 struct ExecutablePlan {

@@ -215,14 +215,24 @@ std::unique_ptr<Pipeline> generate_pipeline(std::uint64_t seed,
     }
 
     // A short random post-op chain over the remaining unary/binary ops.
+    // The transcendental shapes keep their inputs in safe ranges (clamped
+    // exponents, positive log/pow bases) so values stay bounded through
+    // deep chains while still exercising the libm — and, on the differ's
+    // tolerance rung, the approximate — kernels.
     const int extras = static_cast<int>(rng.next_below(3));
     for (int e = 0; e < extras; ++e) {
-      switch (rng.next_below(7)) {
+      switch (rng.next_below(10)) {
         case 0: acc = min(acc, 1.5f); break;
         case 1: acc = max(acc, -1.5f); break;
         case 2: acc = abs(acc); break;
         case 3: acc = sqrt(abs(acc) + 0.25f); break;
         case 4: acc = floor(acc * 4.0f) * 0.25f; break;
+        case 7: acc = exp(min(max(acc, -4.0f), 4.0f)) * 0.25f; break;
+        case 8: acc = log(abs(acc) + 0.5f); break;
+        case 9:
+          acc = pow(abs(acc) + 0.25f,
+                    0.5f + 0.5f * static_cast<float>(rng.next_below(4)));
+          break;
         case 5:
           acc = acc + b.coord(srank - 1 -
                               static_cast<int>(rng.next_below(2))) *

@@ -45,6 +45,28 @@ TEST(OptionsValidationTest, RejectsFmaWithScalarMode) {
   EXPECT_FALSE(validate_options(o).ok());
 }
 
+TEST(OptionsValidationTest, RejectsFastTranscendentalsWithoutVectorBackend) {
+  Options o;
+  o.fast_transcendentals = true;
+  o.vector_backend = false;
+  Result<bool> r = validate_options(o);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(OptionsValidationTest, RejectsFastTranscendentalsWithScalarMode) {
+  Options o;
+  o.fast_transcendentals = true;
+  o.mode = EvalMode::kScalar;
+  EXPECT_FALSE(validate_options(o).ok());
+}
+
+TEST(OptionsValidationTest, AcceptsFastTranscendentalsOnVectorBackend) {
+  Options o;
+  o.fast_transcendentals = true;
+  EXPECT_TRUE(validate_options(o).ok());
+}
+
 TEST(OptionsValidationTest, RejectsNegativeDeadline) {
   Options o;
   o.deadline_seconds = -1.0;

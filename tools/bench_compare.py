@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Compare or gate fusedp BENCH_*.json artifacts.
+
+Two modes:
+
+  diff: compare a baseline artifact against a candidate and fail on
+        per-pipeline regressions beyond a threshold.
+
+            bench_compare.py diff BASE.json NEW.json [--threshold=0.05]
+
+        Pipelines are matched by name; the primary metric is the artifact's
+        per-pipeline ns/pixel (vector when present, else the per-thread ms
+        of scaling artifacts).  Exit 1 if any pipeline slows down by more
+        than the threshold fraction, with a per-pipeline report either way.
+
+  gate: enforce the never-pessimize invariant on a single BENCH_vector.json:
+        every pipeline's vector/scalar speedup must be >= --min-speedup
+        (default 1.00 — the vector backend must never lose end to end).
+
+            bench_compare.py gate BENCH_vector.json [--min-speedup=1.00]
+
+        Group-level regressions recorded in the artifact's `regressions`
+        array are reported with their suspected cause but only fail the
+        gate with --fail-on-group-regression (pipeline totals are the
+        contract; sub-ms group noise is attribution, not a failure).
+
+Exit codes: 0 clean, 1 regression / gate failure, 2 usage or bad artifact.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def pipeline_metrics(doc):
+    """name -> (metric, unit); lower is better for every metric emitted."""
+    out = {}
+    for p in doc.get("pipelines", []):
+        name = p.get("name")
+        if name is None:
+            continue
+        if "vector_ns_per_pixel" in p:
+            out[name] = (p["vector_ns_per_pixel"], "ns/px")
+        elif "ns_per_pixel" in p:
+            out[name] = (p["ns_per_pixel"], "ns/px")
+        elif "ms" in p:
+            out[name] = (p["ms"], "ms")
+    return out
+
+
+def cmd_diff(args):
+    base = pipeline_metrics(load(args.base))
+    cand = pipeline_metrics(load(args.candidate))
+    if not base or not cand:
+        print("bench_compare: no per-pipeline metrics found", file=sys.stderr)
+        return 2
+    failures = []
+    for name in sorted(base):
+        if name not in cand:
+            print(f"  {name:<12} missing from candidate")
+            continue
+        b, unit = base[name]
+        c, _ = cand[name]
+        if b <= 0:
+            continue
+        ratio = c / b
+        mark = ""
+        if ratio > 1.0 + args.threshold:
+            mark = "  REGRESSED"
+            failures.append((name, ratio))
+        elif ratio < 1.0 - args.threshold:
+            mark = "  improved"
+        print(f"  {name:<12} {b:10.3f} -> {c:10.3f} {unit}  "
+              f"({(ratio - 1.0) * 100.0:+.1f}%){mark}")
+    for name in sorted(set(cand) - set(base)):
+        print(f"  {name:<12} new in candidate")
+    if failures:
+        worst = max(failures, key=lambda f: f[1])
+        print(f"bench_compare: {len(failures)} pipeline(s) regressed beyond "
+              f"{args.threshold * 100:.0f}% (worst: {worst[0]} "
+              f"{(worst[1] - 1.0) * 100.0:+.1f}%)")
+        return 1
+    print("bench_compare: no pipeline regressed beyond "
+          f"{args.threshold * 100:.0f}%")
+    return 0
+
+
+def cmd_gate(args):
+    doc = load(args.artifact)
+    pipelines = doc.get("pipelines", [])
+    if not pipelines:
+        print("bench_compare: artifact has no pipelines", file=sys.stderr)
+        return 2
+    failed = []
+    for p in pipelines:
+        name = p.get("name", "?")
+        speedup = p.get("speedup")
+        if speedup is None:
+            print(f"bench_compare: pipeline {name} has no speedup field",
+                  file=sys.stderr)
+            return 2
+        ok = speedup >= args.min_speedup
+        print(f"  {name:<12} vector/scalar speedup {speedup:5.2f}x"
+              f"{'' if ok else '  BELOW GATE'}")
+        if not ok:
+            failed.append(name)
+    group_regs = doc.get("regressions", [])
+    for r in group_regs:
+        print(f"  group regression: {r.get('pipeline', '?')}"
+              f"[{r.get('stages', '?')}] {r.get('speedup', 0):.2f}x "
+              f"({r.get('delta_ms', 0):+.3f} ms, "
+              f"cause: {r.get('cause', '?')}"
+              f"{', gate-demoted' if r.get('gate_demoted') else ''})")
+    if args.fail_on_group_regression and group_regs:
+        failed.extend(f"{r.get('pipeline', '?')}[{r.get('stages', '?')}]"
+                      for r in group_regs)
+    geo = doc.get("geomean_speedup")
+    if geo is not None:
+        print(f"  geomean speedup: {geo:.2f}x")
+    if failed:
+        print(f"bench_compare: never-pessimize gate FAILED for: "
+              f"{', '.join(failed)} (min speedup {args.min_speedup:.2f}x)")
+        return 1
+    print(f"bench_compare: never-pessimize gate passed "
+          f"(all pipelines >= {args.min_speedup:.2f}x)")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = ap.add_subparsers(dest="mode", required=True)
+
+    d = sub.add_parser("diff", help="baseline vs candidate artifact")
+    d.add_argument("base")
+    d.add_argument("candidate")
+    d.add_argument("--threshold", type=float, default=0.05,
+                   help="allowed fractional slowdown per pipeline "
+                        "(default 0.05)")
+    d.set_defaults(func=cmd_diff)
+
+    g = sub.add_parser("gate", help="never-pessimize gate on BENCH_vector")
+    g.add_argument("artifact")
+    g.add_argument("--min-speedup", type=float, default=1.00,
+                   help="minimum per-pipeline vector/scalar speedup "
+                        "(default 1.00)")
+    g.add_argument("--fail-on-group-regression", action="store_true",
+                   help="also fail on group-level regressions")
+    g.set_defaults(func=cmd_gate)
+
+    args = ap.parse_args()
+    sys.exit(args.func(args))
+
+
+if __name__ == "__main__":
+    main()

@@ -188,8 +188,8 @@ int cmd_run(const Cli& cli, const std::string& bench) {
                             res.record.backend + ")");
     }
     std::printf(
-        "verified: %d executor configs bit-identical to the scalar "
-        "reference\n",
+        "verified: %d executor configs clean (bit-exact rungs + fastmath "
+        "tolerance rung)\n",
         res.runs);
   }
   return 0;

@@ -91,8 +91,10 @@ int main(int argc, char** argv) {
         return 1;
       }
       if (replay) {
-        std::printf("seed %llu clean: %d executor configs bit-identical\n",
-                    static_cast<unsigned long long>(s), res.runs);
+        std::printf(
+            "seed %llu clean: %d executor configs (bit-exact rungs + "
+            "fastmath tolerance rung)\n",
+            static_cast<unsigned long long>(s), res.runs);
         // Post-mortem timeline: re-execute the seed's pipeline through the
         // Session facade with the trace collector attached and export it.
         const std::string trace_path = cli.get("trace", "");
