@@ -6,6 +6,7 @@
 #include "fusion/incremental.hpp"
 #include "fusion/polymage_greedy.hpp"
 #include "runtime/executor.hpp"
+#include "support/fingerprint.hpp"
 #include "support/stats.hpp"
 
 namespace fusedp::bench {
@@ -115,15 +116,16 @@ std::string exec_options_json(const ExecOptions& opts, const char* indent) {
 
 std::string provenance_json(const MachineModel& machine,
                             const ExecOptions* exec, const char* indent) {
-#ifdef FUSEDP_GIT_SHA
-  const char* sha = FUSEDP_GIT_SHA;
-#else
-  const char* sha = "unknown";
-#endif
+  // Same source of truth as the persistent schedule cache's records:
+  // build_git_sha() and the machine fingerprint come from
+  // support/fingerprint, so an artifact and a cache entry produced by the
+  // same build are directly comparable.
   std::string in(indent);
   std::string s;
   s += in + "\"provenance\": {\n";
-  s += in + "  \"git_sha\": \"" + sha + "\",\n";
+  s += in + "  \"git_sha\": \"" + std::string(build_git_sha()) + "\",\n";
+  s += in + "  \"machine_fingerprint\": \"" + hex64(fingerprint(machine)) +
+       "\",\n";
   s += in + "  \"machine\": {\n";
   s += in + "    \"name\": \"" + machine.name + "\",\n";
   s += in + "    \"l1_bytes\": " + std::to_string(machine.l1_bytes) + ",\n";

@@ -1,6 +1,14 @@
 // Serving-scale traffic generator for the PipelineService front door: the
 // first bench that measures the system as a multi-tenant server rather than
-// a single-run executor.  Three phases, all written to BENCH_serve.json:
+// a single-run executor.  Four phases; 1-3 land in BENCH_serve.json, 0 in
+// its own BENCH_warmstart.json:
+//
+//  0. Warm-start A/B (gates the exit code): cold Session::open (empty
+//     schedule cache, full kAuto search under a deadline) vs. warm open
+//     (schedule served from the persistent find-db).  Asserts every warm
+//     open actually skipped the search (warm_start(), zero ladder
+//     attempts) and that warm-open p50 is under --warm-tolerance (default
+//     10%) of cold-open p50 per pipeline.
 //
 //  1. Overhead A/B (gates the exit code): each pipeline timed at ONE thread
 //     on the OpenMP executor vs. the work-stealing pool backend — the pool's
@@ -33,6 +41,12 @@
 //   --tolerance=F        overhead A/B gate (default 0.02)
 //   --only=KEY           serve a single pipeline
 //   --out=PATH           default: <repo root>/BENCH_serve.json
+//   --warm-out=PATH      default: <repo root>/BENCH_warmstart.json
+//   --warm-cold-reps=N   cold opens per pipeline (default 5)
+//   --warm-reps=N        warm opens per pipeline (default 15)
+//   --warm-tolerance=F   warm/cold open-latency gate (default 0.10)
+//   --warm-deadline=F    cold-open schedule-search deadline, s (default 1.0)
+//   --warmstart-only     run phase 0 alone (CI's warm-start leg)
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -43,7 +57,11 @@
 #include <thread>
 #include <vector>
 
+#include <cstdlib>
+#include <unistd.h>
+
 #include "api/serve.hpp"
+#include "api/session.hpp"
 #include "bench_common.hpp"
 #include "fusion/incremental.hpp"
 #include "model/cost.hpp"
@@ -107,6 +125,20 @@ struct OpenCell {
   double p99_ms = 0.0;
 };
 
+struct WarmCell {
+  std::string pipeline;
+  double cold_p50_ms = 0.0;
+  double cold_p99_ms = 0.0;
+  double warm_p50_ms = 0.0;
+  double warm_p99_ms = 0.0;
+  int warm_hits = 0;   // warm opens that actually served from the cache
+  int warm_reps = 0;
+  bool zero_search = true;  // every warm open had no ladder attempts/states
+  double ratio() const {
+    return cold_p50_ms > 0.0 ? warm_p50_ms / cold_p50_ms : 1.0;
+  }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -125,11 +157,157 @@ int main(int argc, char** argv) {
   const MachineModel machine = MachineModel::host();
   const int hw_cores = static_cast<int>(std::thread::hardware_concurrency());
 
+  const int warm_cold_reps =
+      static_cast<int>(cli.get_int("warm-cold-reps", 5));
+  const int warm_reps = static_cast<int>(cli.get_int("warm-reps", 15));
+  const double warm_tolerance = cli.get_double("warm-tolerance", 0.10);
+  const double warm_deadline = cli.get_double("warm-deadline", 1.0);
+  const bool warmstart_only = cli.has("warmstart-only");
+#ifdef FUSEDP_REPO_ROOT
+  const std::string warm_out_path = cli.get(
+      "warm-out", std::string(FUSEDP_REPO_ROOT) + "/BENCH_warmstart.json");
+#else
+  const std::string warm_out_path =
+      cli.get("warm-out", "BENCH_warmstart.json");
+#endif
+
   std::fprintf(stderr,
                "bench_serve: scale=%lld clients=%d requests=%d "
                "max-workers=%d (hardware cores: %d)\n",
                static_cast<long long>(scale), clients, requests, max_workers,
                hw_cores);
+
+  // ---- Phase 0: cold-open vs warm-open A/B through the schedule cache. ----
+  // Cold = empty cache directory, full kAuto ladder under --warm-deadline.
+  // Warm = the very same Options against the record the cold open stored.
+  // The memory tier is off so warm opens measure the cross-process path
+  // (shared lock + disk read + re-validation), not the in-process LRU.
+  std::vector<WarmCell> warm_cells;
+  bool warm_pass = true;
+  {
+    char dirbuf[] = "/tmp/fusedp_warmstart_XXXXXX";
+    const char* cache_dir = ::mkdtemp(dirbuf);
+    if (cache_dir == nullptr) {
+      std::fprintf(stderr, "bench_serve: mkdtemp failed\n");
+      return 1;
+    }
+    const char* warm_keys[] = {"harris", "campipe", "pyramid"};
+    for (const char* key : warm_keys) {
+      const PipelineSpec spec = make_benchmark(key, scale);
+      const Pipeline& pl = *spec.pipeline;
+      Options o;
+      o.scheduler = fusedp::Scheduler::kAuto;
+      o.deadline_seconds = warm_deadline;
+      o.cache_mode = findb::CacheMode::kReadWrite;
+      o.cache_dir = cache_dir;
+      o.cache_memory_entries = 0;
+
+      WarmCell cell;
+      cell.pipeline = key;
+      cell.warm_reps = warm_reps;
+      std::vector<double> cold_ms, warm_ms;
+      for (int rep = 0; rep < warm_cold_reps; ++rep) {
+        {
+          findb::FindDb db(o.findb_options());
+          (void)db.evict_all();
+        }
+        findb::FindDb::clear_memory_tier();
+        WallTimer t;
+        auto s = Session::open(pl, o);
+        const double ms = t.millis();
+        if (!s.ok()) {
+          std::fprintf(stderr, "bench_serve: cold open %s failed: %s\n", key,
+                       s.error().what());
+          warm_pass = false;
+          break;
+        }
+        if (s.value().warm_start()) warm_pass = false;  // cache was not empty
+        cold_ms.push_back(ms);
+      }
+      // The last cold open left its schedule in the cache; time warm opens
+      // against it and assert each one truly skipped the search.
+      for (int rep = 0; rep < warm_reps && warm_pass; ++rep) {
+        findb::FindDb::clear_memory_tier();
+        WallTimer t;
+        auto s = Session::open(pl, o);
+        const double ms = t.millis();
+        if (!s.ok()) {
+          std::fprintf(stderr, "bench_serve: warm open %s failed: %s\n", key,
+                       s.error().what());
+          warm_pass = false;
+          break;
+        }
+        if (s.value().warm_start()) ++cell.warm_hits;
+        if (!s.value().diagnostics().attempts.empty() ||
+            s.value().diagnostics().total_states != 0)
+          cell.zero_search = false;
+        warm_ms.push_back(ms);
+      }
+      cell.cold_p50_ms = percentile(cold_ms, 0.50);
+      cell.cold_p99_ms = percentile(cold_ms, 0.99);
+      cell.warm_p50_ms = percentile(warm_ms, 0.50);
+      cell.warm_p99_ms = percentile(warm_ms, 0.99);
+      const bool cell_pass = cell.warm_hits == warm_reps && cell.zero_search &&
+                             cell.ratio() < warm_tolerance;
+      if (!cell_pass) warm_pass = false;
+      std::fprintf(stderr,
+                   "  warmstart %-8s cold p50 %9.2f ms  warm p50 %7.3f ms  "
+                   "ratio %.4f  hits %d/%d%s -> %s\n",
+                   key, cell.cold_p50_ms, cell.warm_p50_ms, cell.ratio(),
+                   cell.warm_hits, warm_reps,
+                   cell.zero_search ? "" : "  (SEARCH RAN ON WARM OPEN)",
+                   cell_pass ? "PASS" : "FAIL");
+      warm_cells.push_back(std::move(cell));
+    }
+    const std::string cleanup = std::string("rm -rf '") + cache_dir + "'";
+    [[maybe_unused]] int rc = std::system(cleanup.c_str());
+  }
+
+  {
+    std::ofstream wout(warm_out_path);
+    if (!wout) {
+      std::fprintf(stderr, "bench_serve: cannot write %s\n",
+                   warm_out_path.c_str());
+      return 1;
+    }
+    wout << "{\n"
+         << "  \"bench\": \"warmstart\",\n"
+         << bench::provenance_json(machine, nullptr, "  ")
+         << "  \"scale\": " << scale << ",\n"
+         << "  \"cold_reps\": " << warm_cold_reps << ",\n"
+         << "  \"warm_reps\": " << warm_reps << ",\n"
+         << "  \"tolerance\": " << warm_tolerance << ",\n"
+         << "  \"cold_deadline_seconds\": " << warm_deadline << ",\n"
+         << "  \"note\": \"cold = Session::open with an empty schedule "
+            "cache (full kAuto ladder under the deadline); warm = same "
+            "options against the stored record, memory tier off so the "
+            "number is the cross-process disk path; hit counts require "
+            "warm_start() with zero ladder attempts and zero DP states\",\n"
+         << "  \"pipelines\": [\n";
+    for (std::size_t i = 0; i < warm_cells.size(); ++i) {
+      const WarmCell& c = warm_cells[i];
+      wout << "    {\"name\": \"" << c.pipeline
+           << "\", \"cold_open_p50_ms\": " << c.cold_p50_ms
+           << ", \"cold_open_p99_ms\": " << c.cold_p99_ms
+           << ", \"warm_open_p50_ms\": " << c.warm_p50_ms
+           << ", \"warm_open_p99_ms\": " << c.warm_p99_ms
+           << ", \"warm_cold_ratio\": " << c.ratio()
+           << ", \"warm_hits\": " << c.warm_hits
+           << ", \"warm_reps\": " << c.warm_reps << ", \"hit_rate\": "
+           << (c.warm_reps > 0
+                   ? static_cast<double>(c.warm_hits) /
+                         static_cast<double>(c.warm_reps)
+                   : 0.0)
+           << ", \"zero_search\": " << (c.zero_search ? "true" : "false")
+           << "}" << (i + 1 < warm_cells.size() ? "," : "") << "\n";
+    }
+    wout << "  ],\n"
+         << "  \"pass\": " << (warm_pass ? "true" : "false") << "\n"
+         << "}\n";
+    std::fprintf(stderr, "bench_serve: wrote %s (%s)\n",
+                 warm_out_path.c_str(), warm_pass ? "PASS" : "FAIL");
+  }
+  if (warmstart_only) return warm_pass ? 0 : 1;
 
   // ---- Phase 1: single-thread pool-vs-OpenMP overhead A/B. ----------------
   ExecOptions openmp_opts;
@@ -414,5 +592,5 @@ int main(int argc, char** argv) {
   out << "  ]\n"
       << "}\n";
   std::fprintf(stderr, "bench_serve: wrote %s\n", out_path.c_str());
-  return ab_pass ? 0 : 1;
+  return (ab_pass && warm_pass) ? 0 : 1;
 }

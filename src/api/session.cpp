@@ -1,5 +1,7 @@
 #include "api/session.hpp"
 
+#include <algorithm>
+#include <ctime>
 #include <sstream>
 #include <utility>
 
@@ -7,6 +9,8 @@
 #include "fusion/grouping.hpp"
 #include "fusion/halide_auto.hpp"
 #include "fusion/polymage_greedy.hpp"
+#include "fusion/serialize.hpp"
+#include "support/fingerprint.hpp"
 #include "support/timing.hpp"
 
 namespace fusedp {
@@ -48,6 +52,30 @@ AutoScheduleOptions Options::autoschedule() const {
   ao.greedy_t2 = greedy_t2;
   ao.greedy_tolerance = greedy_tolerance;
   return ao;
+}
+
+std::uint64_t Options::schedule_fingerprint() const {
+  Fnv64 h;
+  h.add_str("fusedp-options-v1");
+  h.add_i32(static_cast<std::int32_t>(scheduler));
+  h.add_u64(max_states);
+  h.add_i32(bounded_initial_limit);
+  h.add_i64(greedy_t1);
+  h.add_i64(greedy_t2);
+  h.add_f64(greedy_tolerance);
+  return h.digest();
+}
+
+findb::FindbOptions Options::findb_options() const {
+  findb::FindbOptions fo;
+  fo.dir = cache_dir;
+  fo.mode = cache_mode;
+  fo.lock_timeout_seconds = cache_lock_timeout_seconds;
+  fo.max_entries = cache_max_entries;
+  fo.max_bytes = cache_max_bytes;
+  fo.memory_entries = cache_memory_entries;
+  fo.git_sha = build_git_sha();
+  return fo;
 }
 
 namespace {
@@ -113,13 +141,22 @@ Result<bool> validate_options(const Options& opts) {
     return invalid("Options::greedy_t1/greedy_t2 must be positive tile sizes");
   if (uses_greedy && opts.greedy_tolerance < 0.0)
     return invalid("Options::greedy_tolerance must be >= 0");
-  if (opts.deadline_seconds > 0.0 && opts.scheduler != Scheduler::kAuto) {
+  if (opts.deadline_seconds > 0.0 && opts.scheduler != Scheduler::kAuto &&
+      opts.cache_mode == findb::CacheMode::kOff) {
     std::ostringstream os;
     os << "Options::deadline_seconds only bounds the Scheduler::kAuto "
           "ladder; with scheduler = "
        << scheduler_name(opts.scheduler) << " a deadline cannot be honored";
     return invalid(os.str());
   }
+  if (opts.cache_mode != findb::CacheMode::kOff && opts.cache_dir.empty())
+    return invalid("Options::cache_dir must be set when cache_mode is " +
+                   std::string(findb::cache_mode_name(opts.cache_mode)));
+  if (opts.cache_lock_timeout_seconds < 0.0)
+    return invalid("Options::cache_lock_timeout_seconds must be >= 0");
+  if (opts.cache_mode != findb::CacheMode::kOff &&
+      opts.cache_memory_entries < 0)
+    return invalid("Options::cache_memory_entries must be >= 0 (0 = off)");
   return true;
 }
 
@@ -215,6 +252,19 @@ Executor* Session::attempt_executor(std::size_t i) {
   return r.executor.get();
 }
 
+namespace {
+
+// Inverse of schedule_tier_name, for labeling a cache-served schedule's
+// diagnostics with the tier that originally found it.
+ScheduleTier tier_from_rung(const std::string& rung) {
+  if (rung == "full-dp") return ScheduleTier::kFullDp;
+  if (rung == "bounded-dp") return ScheduleTier::kBoundedDp;
+  if (rung == "unfused") return ScheduleTier::kUnfused;
+  return ScheduleTier::kGreedy;  // "greedy" and anything unrecognized
+}
+
+}  // namespace
+
 Result<Session> Session::open(const Pipeline& pl, Options opts) {
   if (Result<bool> pre = check_openable(pl, opts); !pre.ok())
     return pre.error();
@@ -233,6 +283,120 @@ Result<Session> Session::open(const Pipeline& pl, Options opts) {
                                            collector.get())
                                      : opts.observer;
 
+  // One clock for the whole open: the schedule-search deadline also bounds
+  // the cache probe and its lock wait, so a wedged or slow cache directory
+  // can never stall an open longer than a cache-off search would.
+  const Deadline open_deadline = opts.deadline_seconds > 0.0
+                                     ? Deadline::after(opts.deadline_seconds)
+                                     : Deadline();
+  const Deadline* odl = open_deadline.armed() ? &open_deadline : nullptr;
+
+  std::vector<observe::CacheEvent> cache_events;
+  auto emit = [&](observe::CacheEvent ev) {
+    if (obs != nullptr) obs->on_cache_event(ev);
+    cache_events.push_back(std::move(ev));
+  };
+
+  // --- Cache probe (storage/findb): hit => open with zero search ---------
+  std::unique_ptr<findb::FindDb> db;
+  findb::CacheKey key;
+  Grouping cached_grouping;
+  std::string cached_rung;
+  bool cached_hit = false;
+  double probe_seconds = 0.0;
+  if (opts.cache_mode != findb::CacheMode::kOff) {
+    try {
+      db = std::make_unique<findb::FindDb>(opts.findb_options());
+      key.pipeline_fp = fingerprint(pl);
+      key.machine_fp = fingerprint(opts.machine);
+      key.options_fp = opts.schedule_fingerprint();
+      findb::ProbeResult pr = db->probe(key, odl);
+      observe::CacheEvent ev;
+      ev.action = "probe";
+      ev.outcome = findb::probe_outcome_name(pr.outcome);
+      ev.from_memory = pr.from_memory;
+      ev.detail = pr.detail;
+      ev.seconds = pr.seconds;
+      probe_seconds = pr.seconds;
+      if (pr.outcome == findb::ProbeOutcome::kHit) {
+        // A hit is still untrusted bytes: the schedule text goes back
+        // through the hardened parser and grouping validation against
+        // *this* pipeline before anything executes.
+        Result<Grouping> g =
+            try_grouping_from_text(pl, pr.record.schedule_text);
+        if (g.ok()) {
+          cached_hit = true;
+          cached_grouping = std::move(g).value();
+          cached_rung = pr.record.rung;
+          // The schedule text carries no costs; restore the record's
+          // per-group predictions so reports stay populated on warm starts.
+          if (pr.record.predicted.size() == cached_grouping.groups.size()) {
+            double total = 0.0;
+            for (std::size_t i = 0; i < cached_grouping.groups.size(); ++i) {
+              cached_grouping.groups[i].cost = pr.record.predicted[i];
+              total += pr.record.predicted[i];
+            }
+            cached_grouping.total_cost = total;
+          }
+        } else {
+          ev.outcome = "invalid-schedule";
+          ev.detail = g.error().what();
+          if (opts.cache_mode == findb::CacheMode::kReadWrite)
+            (void)db->evict(key);
+        }
+      }
+      emit(std::move(ev));
+    } catch (...) {
+      // The cache must never break an open; an unexpected throw here
+      // behaves exactly like a miss.
+      observe::CacheEvent ev;
+      ev.action = "probe";
+      ev.outcome = "io-error";
+      ev.detail = "unexpected exception during cache probe";
+      emit(std::move(ev));
+      cached_hit = false;
+    }
+  }
+
+  if (cached_hit) {
+    try {
+      observe::ScheduleAttempt at;
+      at.tier = "cache";
+      at.succeeded = true;
+      at.seconds = probe_seconds;
+      std::ostringstream os;
+      os << cached_grouping.groups.size() << " groups from cache (found by "
+         << cached_rung << ")";
+      at.detail = os.str();
+      if (obs != nullptr) obs->on_schedule_attempt(at);
+
+      Diagnostics diag;
+      diag.tier = tier_from_rung(cached_rung);
+      diag.total_seconds = probe_seconds;  // no search ran
+      Session s(pl, std::move(opts), std::move(cached_grouping),
+                std::move(diag));
+      s.collector_ = std::move(collector);
+      s.tee_ = std::move(tee);
+      s.exec_ = std::make_unique<Executor>(pl, s.grouping_, s.opts_.exec());
+      s.build_rungs();
+      s.warm_start_ = true;
+      s.cache_events_ = std::move(cache_events);
+      return Result<Session>(std::move(s));
+    } catch (const Error& e) {
+      // The cached schedule parsed but failed plan construction (footprint
+      // checks, lowering): coded event, evict, fall through to a fresh
+      // search as if it had been a miss.
+      observe::CacheEvent ev;
+      ev.action = "probe";
+      ev.outcome = "invalid-schedule";
+      ev.detail = std::string("plan rejected cached schedule: ") + e.what();
+      emit(std::move(ev));
+      if (db != nullptr && opts.cache_mode == findb::CacheMode::kReadWrite)
+        (void)db->evict(key);
+      cached_hit = false;
+    }
+  }
+
   try {
     CostModel model(pl, opts.machine);
     Grouping grouping;
@@ -242,6 +406,12 @@ Result<Session> Session::open(const Pipeline& pl, Options opts) {
       case Scheduler::kAuto: {
         AutoScheduleOptions ao = opts.autoschedule();
         ao.observer = obs;
+        // The probe already spent part of the open deadline; the search
+        // gets what remains (an effectively-expired remainder makes the
+        // ladder fall through to its cheap tiers, same as any late start).
+        if (open_deadline.armed())
+          ao.deadline_seconds = std::max(1e-9,
+                                         open_deadline.remaining_seconds());
         ScheduleResult sr = auto_schedule(pl, model, ao);
         grouping = std::move(sr.grouping);
         diag = std::move(sr.diagnostics);
@@ -285,11 +455,37 @@ Result<Session> Session::open(const Pipeline& pl, Options opts) {
       obs->on_schedule_attempt(at);
     }
 
+    // Persist the freshly found schedule so the next open warm-starts.
+    // Store failures (lock contention, injected faults, a full disk) are
+    // coded events, never open failures — the session is already good.
+    if (db != nullptr && opts.cache_mode == findb::CacheMode::kReadWrite) {
+      findb::CacheRecord rec;
+      rec.pipeline = pl.name();
+      rec.git_sha = build_git_sha();
+      rec.rung = schedule_tier_name(diag.tier);
+      rec.created_unix = static_cast<std::int64_t>(::time(nullptr));
+      rec.predicted.reserve(grouping.groups.size());
+      for (const GroupSchedule& gs : grouping.groups)
+        rec.predicted.push_back(gs.cost);
+      rec.schedule_text = grouping_to_text(pl, grouping);
+      WallTimer store_timer;
+      Result<bool> st = db->store(key, rec, odl);
+      observe::CacheEvent ev;
+      ev.action = "store";
+      ev.outcome = st.ok() ? "stored" : "store-failed";
+      if (!st.ok())
+        ev.detail = std::string(error_code_name(st.code())) + ": " +
+                    st.error().what();
+      ev.seconds = store_timer.seconds();
+      emit(std::move(ev));
+    }
+
     Session s(pl, std::move(opts), std::move(grouping), std::move(diag));
     s.collector_ = std::move(collector);
     s.tee_ = std::move(tee);
     s.exec_ = std::make_unique<Executor>(pl, s.grouping_, s.opts_.exec());
     s.build_rungs();
+    s.cache_events_ = std::move(cache_events);
     return Result<Session>(std::move(s));
   } catch (const Error& e) {
     return Result<Session>(e);
@@ -346,6 +542,17 @@ Result<Session> Session::open(const Pipeline& pl, const Grouping& grouping,
     s.tee_ = std::move(tee);
     s.exec_ = std::make_unique<Executor>(pl, s.grouping_, s.opts_.exec());
     s.build_rungs();
+    // A caller-provided grouping overrides the cache: record that the cache
+    // was configured but deliberately not consulted.
+    if (s.opts_.cache_mode != findb::CacheMode::kOff) {
+      observe::CacheEvent ev;
+      ev.action = "probe";
+      ev.outcome = "bypass";
+      ev.detail = "caller-provided grouping";
+      observe::Observer* sobs = s.effective_observer();
+      if (sobs != nullptr) sobs->on_cache_event(ev);
+      s.cache_events_.push_back(std::move(ev));
+    }
     return Result<Session>(std::move(s));
   } catch (const Error& e) {
     return Result<Session>(e);
@@ -396,6 +603,9 @@ Result<double> Session::execute(const std::vector<Buffer>& inputs) {
 
   observe::Observer* obs = effective_observer();
   observe::RunReport report;
+  if (!cache_events_.empty())
+    report.cache_outcome = cache_events_.front().outcome;
+  report.warm_start = warm_start_;
   WallTimer total;
   Error last(std::string("Session::execute: no attempts"),
              ErrorCode::kInternal);

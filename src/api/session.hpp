@@ -32,6 +32,7 @@
 #include "fusion/autoschedule.hpp"
 #include "observe/trace.hpp"
 #include "runtime/executor.hpp"
+#include "storage/findb.hpp"
 
 namespace fusedp {
 
@@ -90,6 +91,27 @@ struct Options {
   std::int64_t greedy_t2 = 128;
   double greedy_tolerance = 0.4;
 
+  // --- Persistent schedule cache (storage/findb) ---
+  // With cache_mode != kOff, Session::open probes an on-disk cache keyed by
+  // (pipeline fingerprint, machine fingerprint, schedule-relevant options
+  // fingerprint) before searching: a hit re-validates the cached schedule
+  // text through the hardened parser and opens with zero DP search; any
+  // cache failure (corruption, version skew, stale build, lock timeout) is
+  // a coded, observable event that degrades to a fresh autoschedule.
+  // kReadWrite additionally persists freshly found schedules and evicts
+  // records that fail validation.  cache_dir must be set when the mode is
+  // not kOff.  The schedule-search deadline (deadline_seconds) bounds the
+  // cache probe and lock wait too, so a wedged cache cannot stall open.
+  findb::CacheMode cache_mode = findb::CacheMode::kOff;
+  std::string cache_dir;
+  // Compaction budgets for the cache directory (kReadWrite stores only).
+  std::int64_t cache_max_entries = 256;
+  std::int64_t cache_max_bytes = std::int64_t{16} << 20;
+  // Bound on waiting for the cache directory lock (seconds, >= 0).
+  double cache_lock_timeout_seconds = 0.5;
+  // In-process LRU hot tier, shared across sessions (records; 0 = off).
+  int cache_memory_entries = 32;
+
   // --- Request governance ---
   // Per-request wall-clock deadline for execute()/run(), in seconds
   // (0 = none).  Checked cooperatively at tile boundaries: an overrunning
@@ -124,6 +146,19 @@ struct Options {
   // scheduler-observer field is filled in by Session::open).
   ExecOptions exec() const;
   AutoScheduleOptions autoschedule() const;
+
+  // The schedule-relevant options digest used in the cache key: scheduler
+  // choice plus every knob that can change which grouping a search returns
+  // (state budgets, greedy tile parameters).  Deliberately excludes
+  // deadlines and run-governance knobs: a different deadline can only
+  // change *whether* the search finishes, and caching exists precisely to
+  // make the finished result independent of future deadlines.  Execution
+  // knobs (threads, backends) are also excluded — they change how a
+  // grouping runs, not which grouping wins.
+  std::uint64_t schedule_fingerprint() const;
+
+  // The findb configuration implied by the cache_* fields.
+  findb::FindbOptions findb_options() const;
 };
 
 // Validates `opts` as a whole; returns true or a coded kInvalidArgument
@@ -170,7 +205,16 @@ class Session {
   const Grouping& grouping() const { return grouping_; }
   const ExecutablePlan& plan() const { return exec_->plan(); }
   // Schedule-search post-mortem; empty attempts unless Scheduler::kAuto.
+  // A warm start has empty attempts and zero total_states: no search ran.
   const Diagnostics& diagnostics() const { return diag_; }
+
+  // True when the schedule came from the persistent cache (no search ran).
+  bool warm_start() const { return warm_start_; }
+  // Every cache interaction at open (probe, store, evictions), in order;
+  // empty when Options::cache_mode was kOff.
+  const std::vector<observe::CacheEvent>& cache_events() const {
+    return cache_events_;
+  }
 
   // The last run's trace; nullptr unless Options::collect_trace and at
   // least one execute() happened.
@@ -218,6 +262,8 @@ class Session {
   Workspace ws_;
   observe::RunReport report_;
   bool ran_ = false;
+  bool warm_start_ = false;
+  std::vector<observe::CacheEvent> cache_events_;
 
   observe::Observer* effective_observer() const;
 };

@@ -15,7 +15,15 @@ void TraceCollector::on_run_begin(const RunMeta& meta) {
   RunTrace t;
   t.meta = meta;
   t.schedule = schedule_;
+  t.cache = cache_;
   runs_.push_back(std::move(t));
+}
+
+void TraceCollector::on_cache_event(const CacheEvent& event) {
+  // Cache events describe how the session's schedule was obtained, so like
+  // schedule attempts they attach to every subsequent run's trace.
+  cache_.push_back(event);
+  if (!runs_.empty()) runs_.back().cache.push_back(event);
 }
 
 void TraceCollector::on_group_end(const GroupRecord& group) {
@@ -24,6 +32,7 @@ void TraceCollector::on_group_end(const GroupRecord& group) {
     // sink attached): synthesize an anonymous run so nothing is dropped.
     runs_.emplace_back();
     runs_.back().schedule = schedule_;
+    runs_.back().cache = cache_;
   }
   RunTrace& t = runs_.back();
   t.groups.push_back(group);
@@ -45,6 +54,7 @@ void TraceCollector::on_run_attempt(const RunAttempt& attempt) {
   if (runs_.empty()) {
     runs_.emplace_back();
     runs_.back().schedule = schedule_;
+    runs_.back().cache = cache_;
   }
   runs_.back().attempts.push_back(attempt);
 }
@@ -59,6 +69,10 @@ std::string run_report_to_string(const RunReport& report) {
   out += " after " + std::to_string(report.attempts.size()) + " attempt" +
          (report.attempts.size() == 1 ? "" : "s");
   if (report.degraded) out += " (degraded to " + report.final_config + ")";
+  if (!report.cache_outcome.empty()) {
+    out += ", cache " + report.cache_outcome;
+    if (report.warm_start) out += " (warm start)";
+  }
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.6f", report.total_seconds);
   out += ", " + std::string(buf) + " s total\n";

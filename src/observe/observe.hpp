@@ -95,6 +95,21 @@ struct RunRecord {
   double seconds = 0.0;  // whole-run wall time
 };
 
+// One persistent-schedule-cache interaction (storage/findb, reported by
+// Session::open).  Outcomes mirror findb::ProbeOutcome names ("hit",
+// "miss", "corrupt", "truncated", "version-skew", "stale-sha",
+// "key-mismatch", "lock-timeout", "io-error", "bypass") plus "stored" /
+// "store-failed" for writes and "invalid-schedule" for a hit whose
+// schedule text failed re-validation.  Plain strings keep this header
+// independent of the storage layer.
+struct CacheEvent {
+  std::string action;   // "probe" / "store" / "evict"
+  std::string outcome;
+  bool from_memory = false;  // served by the in-process LRU tier
+  std::string detail;        // cause for non-hit outcomes
+  double seconds = 0.0;      // wall time of the cache operation
+};
+
 // One rung of the Session's execution-time degradation ladder: a single
 // Executor::run attempt under one configuration.  A request that succeeds
 // first try produces exactly one attempt; a faulting or resource-starved
@@ -116,6 +131,11 @@ struct RunReport {
   bool degraded = false;     // succeeded on a fallback rung
   std::string final_config;  // rung of the last attempt
   double total_seconds = 0.0;
+  // How the session's schedule came to be: the cache probe outcome at open
+  // ("hit"/"miss"/... ; empty when the cache was off) and whether the
+  // schedule was served from the cache without any search.
+  std::string cache_outcome;
+  bool warm_start = false;
 };
 
 // Human-readable attempt ladder (one line per attempt) for `--report`.
@@ -140,6 +160,8 @@ class Observer {
   virtual void on_run_end(const RunRecord& run) { (void)run; }
   // One degradation-ladder attempt concluded (success or coded failure).
   virtual void on_run_attempt(const RunAttempt& attempt) { (void)attempt; }
+  // One schedule-cache interaction concluded (probe/store/evict).
+  virtual void on_cache_event(const CacheEvent& event) { (void)event; }
 };
 
 // Everything one run produced, ready for export (chrome trace) or joining
@@ -147,6 +169,7 @@ class Observer {
 struct RunTrace {
   RunMeta meta;
   std::vector<ScheduleAttempt> schedule;  // ladder attempts, in order
+  std::vector<CacheEvent> cache;          // cache interactions at open
   std::vector<GroupRecord> groups;        // in execution order
   // Degradation-ladder attempts observed against this trace (a failed
   // attempt leaves the trace incomplete; the retry's groups follow in the
@@ -169,6 +192,7 @@ class TraceCollector : public Observer {
   void on_group_end(const GroupRecord& group) override;
   void on_run_end(const RunRecord& run) override;
   void on_run_attempt(const RunAttempt& attempt) override;
+  void on_cache_event(const CacheEvent& event) override;
 
   // The most recent (possibly still incomplete) run; nullptr before any.
   const RunTrace* last() const { return runs_.empty() ? nullptr : &runs_.back(); }
@@ -178,6 +202,7 @@ class TraceCollector : public Observer {
  private:
   bool keep_tiles_;
   std::vector<ScheduleAttempt> schedule_;
+  std::vector<CacheEvent> cache_;
   std::vector<RunTrace> runs_;
 };
 
@@ -210,6 +235,10 @@ class TeeObserver : public Observer {
   void on_run_attempt(const RunAttempt& at) override {
     if (a_ != nullptr) a_->on_run_attempt(at);
     if (b_ != nullptr) b_->on_run_attempt(at);
+  }
+  void on_cache_event(const CacheEvent& ev) override {
+    if (a_ != nullptr) a_->on_cache_event(ev);
+    if (b_ != nullptr) b_->on_cache_event(ev);
   }
 
  private:

@@ -1,0 +1,80 @@
+#include "storage/lock.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include "support/fault.hpp"
+
+namespace fusedp::storage {
+
+FileLock& FileLock::operator=(FileLock&& o) noexcept {
+  if (this != &o) {
+    release();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void FileLock::release() {
+  if (fd_ >= 0) {
+    // close() drops the flock with it; no separate LOCK_UN needed.
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<FileLock> FileLock::acquire(const std::string& path, Type type,
+                                   double timeout_seconds,
+                                   const Deadline* deadline) {
+  // The injected fault must come back as a coded Result like every real
+  // lock failure — FindDb::probe's no-throw contract sits on top of this.
+  try {
+    FUSEDP_FAULT_POINT("lock.acquire");
+  } catch (const Error& e) {
+    return Result<FileLock>::failure(ErrorCode::kFaultInjected, e.what());
+  }
+  const int fd = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (fd < 0)
+    return Result<FileLock>::failure(
+        ErrorCode::kIoError, "FileLock: cannot open " + path + ": " +
+                                 std::strerror(errno));
+  const int op = type == Type::kExclusive ? LOCK_EX : LOCK_SH;
+  const Deadline local =
+      timeout_seconds > 0.0 ? Deadline::after(timeout_seconds) : Deadline();
+  // Backoff starts fine-grained (lock holders are usually quick record
+  // reads/writes) and grows to keep the spin cheap under long contention.
+  double sleep_us = 100.0;
+  for (;;) {
+    if (::flock(fd, op | LOCK_NB) == 0) return Result<FileLock>(FileLock(fd));
+    if (errno != EWOULDBLOCK && errno != EINTR) {
+      const int err = errno;
+      ::close(fd);
+      return Result<FileLock>::failure(
+          ErrorCode::kIoError,
+          "FileLock: flock " + path + ": " + std::strerror(err));
+    }
+    const bool timed_out = local.armed() && local.expired();
+    const bool deadline_hit =
+        deadline != nullptr && deadline->armed() && deadline->expired();
+    if (timed_out || deadline_hit || timeout_seconds <= 0.0) {
+      ::close(fd);
+      return Result<FileLock>::failure(
+          ErrorCode::kDeadlineExceeded,
+          std::string("FileLock: ") +
+              (deadline_hit ? "deadline expired waiting for "
+                            : "timed out waiting for ") +
+              path);
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::micro>(sleep_us));
+    if (sleep_us < 5000.0) sleep_us *= 2.0;
+  }
+}
+
+}  // namespace fusedp::storage

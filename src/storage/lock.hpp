@@ -1,0 +1,56 @@
+// Advisory file locking for the on-disk schedule cache (storage/findb).
+//
+// flock(2)-based, so it coordinates both threads within one process (flock
+// locks attach to the open file description — each FileLock opens its own
+// fd) and separate processes sharing a cache directory.  Acquisition is a
+// bounded non-blocking retry loop: a held lock never blocks a caller past
+// its timeout or past an armed Deadline (the autoschedule deadline bounds
+// cache probe time too), and a timeout is a *coded* outcome the cache
+// translates into "skip the cache, search fresh" — never a hang, never an
+// uncoded failure.
+//
+// Advisory means a crashed or malicious writer cannot corrupt readers
+// through the lock itself: the record checksums are what protect readers;
+// the lock only keeps well-behaved writers from wasting each other's work.
+// Locks release on close, so a killed process can never leave the cache
+// directory wedged.
+#pragma once
+
+#include <string>
+
+#include "support/status.hpp"
+#include "support/timing.hpp"
+
+namespace fusedp::storage {
+
+class FileLock {
+ public:
+  enum class Type : std::uint8_t {
+    kShared,     // concurrent readers
+    kExclusive,  // single writer
+  };
+
+  // Opens (creating if needed) `path` and acquires the flock.  Retries
+  // non-blockingly with a short backoff until `timeout_seconds` elapses or
+  // `deadline` (when armed) expires — whichever comes first.  Returns:
+  //   kDeadlineExceeded — lock held by someone else past the bound
+  //   kIoError          — open/flock failed for filesystem reasons
+  static Result<FileLock> acquire(const std::string& path, Type type,
+                                  double timeout_seconds,
+                                  const Deadline* deadline = nullptr);
+
+  FileLock(FileLock&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  FileLock& operator=(FileLock&& o) noexcept;
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+  ~FileLock() { release(); }
+
+  void release();
+  bool held() const { return fd_ >= 0; }
+
+ private:
+  explicit FileLock(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+}  // namespace fusedp::storage

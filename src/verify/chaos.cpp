@@ -8,6 +8,11 @@
 #include <utility>
 #include <vector>
 
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include "api/session.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/governor.hpp"
@@ -29,6 +34,58 @@ const char* const kFaultPoints[] = {
 };
 constexpr std::size_t kNumFaultPoints =
     sizeof(kFaultPoints) / sizeof(kFaultPoints[0]);
+
+// Cache-layer fault points: a failing disk read, a writer dying before the
+// temp file is written, and a writer killed at the commit fence (temp fully
+// written, rename never happens — the canonical crash-mid-write).  All must
+// resolve to coded probe/store outcomes, never a failed open.
+const char* const kCacheFaultPoints[] = {
+    "findb.read",
+    "findb.write",
+    "findb.commit",
+    "lock.acquire",
+};
+constexpr std::size_t kNumCacheFaultPoints =
+    sizeof(kCacheFaultPoints) / sizeof(kCacheFaultPoints[0]);
+
+// Hostile record damage: flip a byte or truncate a random *.fdb in `dir`,
+// deliberately without taking the directory lock — a crashed or byzantine
+// writer does not honor locks either; the CRC/byte-count headers are what
+// keep readers safe.
+void corrupt_random_record(const std::string& dir, Rng& rng) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  std::vector<std::string> files;
+  while (struct dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".fdb") == 0)
+      files.push_back(name);
+  }
+  ::closedir(d);
+  if (files.empty()) return;
+  const std::string path =
+      dir + "/" +
+      files[static_cast<std::size_t>(
+          rng.next_below(static_cast<std::uint64_t>(files.size())))];
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0 || st.st_size == 0) return;
+  if (rng.next_bool()) {
+    ::truncate(path.c_str(),
+               static_cast<off_t>(rng.next_below(
+                   static_cast<std::uint64_t>(st.st_size))));
+  } else {
+    const int fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
+    if (fd < 0) return;
+    const off_t off = static_cast<off_t>(
+        rng.next_below(static_cast<std::uint64_t>(st.st_size)));
+    unsigned char b = 0;
+    if (::pread(fd, &b, 1, off) == 1) {
+      b ^= 0xFFu;
+      (void)!::pwrite(fd, &b, 1, off);
+    }
+    ::close(fd);
+  }
+}
 
 struct PoolEntry {
   std::unique_ptr<Pipeline> pl;
@@ -59,6 +116,10 @@ void merge(ChaosStats& into, const ChaosStats& from) {
   into.allocation_failed += from.allocation_failed;
   into.other_coded += from.other_coded;
   into.attempts += from.attempts;
+  into.cache_requests += from.cache_requests;
+  into.cache_hits += from.cache_hits;
+  into.cache_faults += from.cache_faults;
+  into.cache_stores += from.cache_stores;
   into.mismatches += from.mismatches;
   into.uncoded += from.uncoded;
 }
@@ -132,6 +193,27 @@ ChaosStats run_chaos(const ChaosOptions& opts) {
           // enough that another fraction finishes: both paths soak.
           o.run_deadline_seconds = 2e-5 + rng.next_double() * 3e-3;
 
+        // Cache soak: route through the shared directory, then damage it.
+        const bool use_cache =
+            !opts.cache_dir.empty() && rng.next_bool(opts.cache_rate);
+        if (use_cache) {
+          o.cache_mode = findb::CacheMode::kReadWrite;
+          o.cache_dir = opts.cache_dir;
+          // Half the requests bypass the in-process hot tier so corrupted
+          // bytes actually reach the decoder instead of being shadowed by
+          // a previously validated memory copy.
+          if (rng.next_bool(0.5)) o.cache_memory_entries = 0;
+          // Short lock wait: contention must degrade, not serialize.
+          o.cache_lock_timeout_seconds = 0.05;
+          if (rng.next_bool(opts.cache_corrupt_rate))
+            corrupt_random_record(opts.cache_dir, rng);
+          if (rng.next_bool(opts.cache_fault_rate))
+            FaultInjector::arm(
+                kCacheFaultPoints[rng.next_below(kNumCacheFaultPoints)],
+                ErrorCode::kFaultInjected,
+                static_cast<int>(rng.next_below(8)));
+        }
+
         // Concurrent fault arming: the injector is global and thread-safe;
         // the armed point may well fire in another worker's request, which
         // is exactly the cross-request interference the soak wants.
@@ -143,6 +225,7 @@ ChaosStats run_chaos(const ChaosOptions& opts) {
         }
 
         ++local.requests;
+        if (use_cache) ++local.cache_requests;
         Result<Session> sr = Session::open(*e.pl, o);
         if (!sr.ok()) {
           // Coded open failure (e.g. allocation under a tight budget).
@@ -150,6 +233,18 @@ ChaosStats run_chaos(const ChaosOptions& opts) {
           continue;
         }
         Session s = std::move(sr).value();
+        if (use_cache) {
+          if (s.warm_start()) ++local.cache_hits;
+          for (const observe::CacheEvent& ev : s.cache_events()) {
+            if (ev.action == "store" && ev.outcome == "stored")
+              ++local.cache_stores;
+            // Anything that is not a clean hit/miss/bypass is a coded
+            // degradation the soak wants to see resolve to fresh search.
+            if (ev.action == "probe" && ev.outcome != "hit" &&
+                ev.outcome != "miss" && ev.outcome != "bypass")
+              ++local.cache_faults;
+          }
+        }
         Result<double> r = s.execute(e.inputs);
         local.attempts +=
             static_cast<std::int64_t>(s.last_report().attempts.size());
@@ -188,13 +283,13 @@ ChaosStats run_chaos(const ChaosOptions& opts) {
 }
 
 std::string ChaosStats::summary() const {
-  char buf[512];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "chaos: %lld requests in %.2f s (%lld attempts): %lld ok (%lld "
       "degraded), %lld deadline, %lld resource, %lld fault, %lld alloc, "
-      "%lld other; %lld mismatches, %lld uncoded; high-water %lld bytes -> "
-      "%s",
+      "%lld other; cache %lld probed / %lld warm / %lld degraded / %lld "
+      "stored; %lld mismatches, %lld uncoded; high-water %lld bytes -> %s",
       static_cast<long long>(requests), seconds,
       static_cast<long long>(attempts), static_cast<long long>(successes),
       static_cast<long long>(degraded_successes),
@@ -203,6 +298,10 @@ std::string ChaosStats::summary() const {
       static_cast<long long>(fault_injected),
       static_cast<long long>(allocation_failed),
       static_cast<long long>(other_coded),
+      static_cast<long long>(cache_requests),
+      static_cast<long long>(cache_hits),
+      static_cast<long long>(cache_faults),
+      static_cast<long long>(cache_stores),
       static_cast<long long>(mismatches), static_cast<long long>(uncoded),
       static_cast<long long>(governor_high_water),
       clean() ? "CLEAN" : "DIRTY");
@@ -226,6 +325,10 @@ std::string ChaosStats::to_json(int indent) const {
   out += field("allocation_failed", allocation_failed);
   out += field("other_coded", other_coded);
   out += field("attempts", attempts);
+  out += field("cache_requests", cache_requests);
+  out += field("cache_hits", cache_hits);
+  out += field("cache_faults", cache_faults);
+  out += field("cache_stores", cache_stores);
   out += field("mismatches", mismatches);
   out += field("uncoded", uncoded);
   out += field("governor_high_water_bytes", governor_high_water);

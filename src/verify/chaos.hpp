@@ -39,6 +39,19 @@ struct ChaosOptions {
   int pipeline_pool = 12;    // distinct generated pipelines to cycle over
   int max_attempts = 3;      // degradation-ladder depth per request
   bool verify_outputs = true;  // bit-compare successes vs scalar reference
+
+  // Persistent schedule-cache soak (storage/findb).  With a non-empty
+  // cache_dir, a fraction of requests open through a shared cache directory
+  // in readwrite mode while workers hostilely pre-corrupt records (bit
+  // flips, truncation), arm findb fault points (read failures,
+  // kill-mid-write at the commit fence) and race stores against probes.
+  // Invariants on top of the base soak: every cache failure resolves to a
+  // coded event plus a successful fresh autoschedule, and cache-served
+  // (warm-start) schedules still produce bit-identical outputs.
+  std::string cache_dir;             // empty = cache soak off
+  double cache_rate = 0.7;           // chance a request opens via the cache
+  double cache_corrupt_rate = 0.2;   // chance of pre-corrupting a record
+  double cache_fault_rate = 0.1;     // chance of arming a findb.* fault
 };
 
 struct ChaosStats {
@@ -51,6 +64,11 @@ struct ChaosStats {
   std::int64_t allocation_failed = 0;
   std::int64_t other_coded = 0;  // any other coded terminal state
   std::int64_t attempts = 0;     // run attempts across all requests
+  // Cache soak counters (0 unless ChaosOptions::cache_dir is set).
+  std::int64_t cache_requests = 0;  // requests that probed the cache
+  std::int64_t cache_hits = 0;      // warm starts (schedule from cache)
+  std::int64_t cache_faults = 0;    // coded degraded probes (corrupt, ...)
+  std::int64_t cache_stores = 0;    // fresh schedules persisted
   // Invariant violations: any non-zero entry fails the soak.
   std::int64_t mismatches = 0;  // success whose outputs differ from reference
   std::int64_t uncoded = 0;     // exception escaped the Session API

@@ -1,0 +1,217 @@
+// FindbRace: concurrency soaks for the persistent schedule cache — many
+// threads opening Sessions through one cache directory, raw FindDb
+// store/probe hammering, and a forked two-process writer/reader race.
+//
+// The invariants: no crash, no uncoded exception, every probe resolves to
+// a coded outcome, and every served schedule opens a working session.  The
+// TSan CI leg runs exactly this binary (suite name "FindbRace" keys the
+// ctest regex), so keep the fork test fork-before-threads: the children
+// are single-threaded and exit via _exit.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "api/session.hpp"
+#include "pipelines/pipelines.hpp"
+#include "storage/findb.hpp"
+#include "support/fingerprint.hpp"
+#include "test_util.hpp"
+
+namespace fusedp {
+namespace {
+
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char buf[] = "/tmp/fusedp_findb_race_XXXXXX";
+    char* p = ::mkdtemp(buf);
+    EXPECT_NE(p, nullptr);
+    path = p ? p : "";
+  }
+  ~TempDir() {
+    if (!path.empty()) {
+      std::string cmd = "rm -rf '" + path + "'";
+      [[maybe_unused]] int rc = std::system(cmd.c_str());
+    }
+  }
+};
+
+findb::CacheRecord small_record(const char* rung) {
+  findb::CacheRecord rec;
+  rec.pipeline = "race";
+  rec.rung = rung;
+  rec.predicted = {1.0};
+  rec.schedule_text = "fusedp-schedule v1\ngroups 1\n";
+  return rec;
+}
+
+// The two-process race MUST fork before any test in this binary spawns
+// threads (TSan and fork do not mix with live threads), so it runs first:
+// gtest executes tests in declaration order within a file.
+TEST(FindbRaceTest, TwoProcessWriterReaderRace) {
+  TempDir dir;
+  findb::FindDb::clear_memory_tier();
+  const findb::CacheKey key{0xAAAAAAAAAAAAAAAAull, 0xBBBBBBBBBBBBBBBBull,
+                            0xCCCCCCCCCCCCCCCCull};
+
+  findb::FindbOptions fo;
+  fo.dir = dir.path;
+  fo.mode = findb::CacheMode::kReadWrite;
+  fo.memory_entries = 0;  // every probe goes to disk: the race under test
+  fo.lock_timeout_seconds = 5.0;
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0) << "fork failed";
+  if (pid == 0) {
+    // Child: hammer stores of alternating records.  Plain _exit codes, no
+    // gtest machinery in the child.
+    findb::FindDb db(fo);
+    for (int i = 0; i < 200; ++i) {
+      auto st = db.store(key, small_record(i % 2 == 0 ? "greedy" : "full-dp"));
+      if (!st.ok() && st.error().code() != ErrorCode::kDeadlineExceeded)
+        ::_exit(10);  // only lock timeouts are acceptable store failures
+    }
+    ::_exit(0);
+  }
+
+  // Parent: probe continuously for as long as the writer lives.  Every
+  // probe must see kMiss (before the first store lands) or a fully valid
+  // kHit — never a torn or corrupt record.
+  findb::FindDb db(fo);
+  int hits = 0;
+  int status = 0;
+  bool child_done = false;
+  while (!child_done) {
+    const pid_t w = ::waitpid(pid, &status, WNOHANG);
+    ASSERT_NE(w, -1);
+    child_done = (w == pid);
+    findb::ProbeResult pr = db.probe(key);
+    if (pr.outcome == findb::ProbeOutcome::kHit) {
+      ++hits;
+      ASSERT_EQ(pr.record.pipeline, "race");
+      ASSERT_TRUE(pr.record.rung == "greedy" || pr.record.rung == "full-dp")
+          << pr.record.rung;
+    } else {
+      ASSERT_TRUE(pr.outcome == findb::ProbeOutcome::kMiss ||
+                  pr.outcome == findb::ProbeOutcome::kLockTimeout)
+          << findb::probe_outcome_name(pr.outcome) << ": " << pr.detail;
+    }
+  }
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0) << "child store failed uncoded";
+  // The child stored 200 times; the settled record must be a clean hit.
+  EXPECT_EQ(db.probe(key).outcome, findb::ProbeOutcome::kHit);
+  EXPECT_GT(hits, 0);
+}
+
+TEST(FindbRaceTest, ManyThreadsOneFindDb) {
+  TempDir dir;
+  findb::FindDb::clear_memory_tier();
+  findb::FindbOptions fo;
+  fo.dir = dir.path;
+  fo.mode = findb::CacheMode::kReadWrite;
+  fo.memory_entries = 4;
+  fo.max_entries = 8;  // compaction races with stores and probes
+  fo.lock_timeout_seconds = 5.0;
+  findb::FindDb db(fo);
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 60;
+  std::atomic<int> uncoded{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&db, &uncoded, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const findb::CacheKey key{static_cast<std::uint64_t>(i % 12) + 1,
+                                  2, 3};
+        try {
+          if ((t + i) % 3 == 0) {
+            (void)db.store(key, small_record("greedy"));
+          } else {
+            findb::ProbeResult pr = db.probe(key);
+            if (pr.outcome == findb::ProbeOutcome::kHit &&
+                pr.record.pipeline != "race")
+              ++uncoded;  // torn record served
+          }
+        } catch (...) {
+          ++uncoded;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(uncoded.load(), 0);
+  // Compaction kept the directory inside its budget throughout.
+  auto scan = db.scan();
+  ASSERT_TRUE(scan.ok());
+  EXPECT_LE(static_cast<std::int64_t>(scan.value().size()), fo.max_entries);
+  findb::FindDb::clear_memory_tier();
+}
+
+// The full stack under thread pressure: concurrent Session::opens sharing
+// one cache directory.  Exactly one cold search is not guaranteed (several
+// opens may race past a miss before the first store lands), but every open
+// must succeed and later opens must go warm.
+TEST(FindbRaceTest, ConcurrentSessionOpensShareOneCacheDir) {
+  TempDir dir;
+  findb::FindDb::clear_memory_tier();
+  PipelineSpec spec = make_benchmark("unsharp", 16);
+
+  auto opts = [&] {
+    Options o;
+    o.scheduler = Scheduler::kGreedy;
+    o.cache_mode = findb::CacheMode::kReadWrite;
+    o.cache_dir = dir.path;
+    o.cache_lock_timeout_seconds = 5.0;
+    return o;
+  }();
+
+  constexpr int kThreads = 6;
+  std::atomic<int> failures{0};
+  std::atomic<int> warm{0};
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        auto s = Session::open(*spec.pipeline, opts);
+        if (!s.ok()) {
+          ++failures;
+          return;
+        }
+        if (s.value().warm_start()) ++warm;
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+
+  // Steady state: the next open is warm and bit-identical to cache-off.
+  auto warm_open = Session::open(*spec.pipeline, opts);
+  ASSERT_TRUE(warm_open.ok()) << warm_open.error().what();
+  Session warm_s = std::move(warm_open).value();
+  EXPECT_TRUE(warm_s.warm_start());
+
+  Options off;
+  off.scheduler = Scheduler::kGreedy;
+  auto ref = Session::open(*spec.pipeline, off);
+  ASSERT_TRUE(ref.ok());
+  Session ref_s = std::move(ref).value();
+  const std::vector<Buffer> inputs = spec.make_inputs();
+  auto a = ref_s.run(inputs);
+  auto b = warm_s.run(inputs);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (std::size_t i = 0; i < a.value().size(); ++i)
+    EXPECT_TRUE(testing::buffers_equal(a.value()[i], b.value()[i]));
+  findb::FindDb::clear_memory_tier();
+}
+
+}  // namespace
+}  // namespace fusedp

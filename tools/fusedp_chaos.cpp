@@ -3,7 +3,14 @@
 //   fusedp_chaos [--sessions=8] [--requests=5000] [--fault-rate=0.3]
 //                [--deadline-rate=0.3] [--pool-backend=0.25] [--budget-mb=64]
 //                [--seconds=0] [--seed=1] [--pool=12] [--max-attempts=3]
+//                [--cache=DIR] [--cache-rate=0.7] [--cache-corrupt-rate=0.2]
+//                [--cache-fault-rate=0.1]
 //                [--no-verify] [--out=chaos.json]
+//
+// --cache=DIR additionally soaks the persistent schedule cache: requests
+// share the directory in readwrite mode while the harness corrupts records,
+// kills writers mid-commit (fault injection) and races stores — every cache
+// failure must resolve to a coded event plus a fresh autoschedule.
 //
 // Soaks N concurrent Sessions over randomly generated pipelines under
 // injected faults, random per-request deadlines and a constrained memory
@@ -25,6 +32,8 @@ int main(int argc, char** argv) {
         "--budget-kb=N]\n"
         "                    [--seconds=F] [--seed=N] [--pool=N]\n"
         "                    [--pool-backend=F] [--max-attempts=N]\n"
+        "                    [--cache=DIR] [--cache-rate=F]\n"
+        "                    [--cache-corrupt-rate=F] [--cache-fault-rate=F]\n"
         "                    [--no-verify] [--out=PATH]\n");
     return 0;
   }
@@ -47,6 +56,10 @@ int main(int argc, char** argv) {
   opts.pipeline_pool = static_cast<int>(cli.get_int("pool", 12));
   opts.max_attempts = static_cast<int>(cli.get_int("max-attempts", 3));
   opts.verify_outputs = !cli.has("no-verify");
+  opts.cache_dir = cli.get("cache", "");
+  opts.cache_rate = cli.get_double("cache-rate", 0.7);
+  opts.cache_corrupt_rate = cli.get_double("cache-corrupt-rate", 0.2);
+  opts.cache_fault_rate = cli.get_double("cache-fault-rate", 0.1);
 
   fusedp::verify::ChaosStats stats = fusedp::verify::run_chaos(opts);
   std::printf("%s\n", stats.summary().c_str());

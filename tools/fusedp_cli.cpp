@@ -7,18 +7,25 @@
 //   fusedp dot <benchmark> [--scheduler=...] [--scale=N]      (graphviz)
 //   fusedp run <benchmark> [--scheduler=...] [--threads=T] [--runs=R]
 //              [--verify] [--pooled] [--load=FILE]
+//              [--cache=read|readwrite] [--cache-dir=DIR]
 //              [--trace=FILE.json] [--report]
+//   fusedp cache <stats|verify|evict|warm> --cache-dir=DIR
+//              [--repair] [--stem=S|--all] [--bench=KEY|all] [--measure]
 //
 // `run` executes through the fusedp::Session facade; --trace exports the
 // measured run as Chrome trace_event JSON and --report prints the cost
-// model's predicted per-group scores against measured wall times.
+// model's predicted per-group scores against measured wall times.  With
+// --cache, `run` opens through the persistent schedule cache (a hit skips
+// the search entirely); `cache` inspects and maintains a cache directory.
 #include <cstdio>
 #include <cstring>
 
 #include "fusedp.hpp"
 #include "fusion/serialize.hpp"
 #include "ir/dot.hpp"
+#include "storage/findb.hpp"
 #include "support/cli.hpp"
+#include "support/fingerprint.hpp"
 #include "support/timing.hpp"
 #include "verify/differ.hpp"
 
@@ -118,12 +125,60 @@ int cmd_dot(const Cli& cli, const std::string& bench) {
   return 0;
 }
 
+// Maps the CLI scheduler spelling onto the Session facade's enum (the
+// cached `run` path schedules inside Session::open, not via make_schedule).
+Scheduler session_scheduler_of(const std::string& which) {
+  if (which == "auto") return Scheduler::kAuto;
+  if (which == "dp") return Scheduler::kDp;
+  if (which == "greedy") return Scheduler::kGreedy;
+  if (which == "hauto") return Scheduler::kHalideAuto;
+  if (which == "unfused") return Scheduler::kUnfused;
+  FUSEDP_CHECK_CODE(false, ErrorCode::kInvalidArgument,
+                    "--cache runs schedule inside the session; --scheduler "
+                    "must be auto|dp|greedy|hauto|unfused (got " +
+                        which + ")");
+  return Scheduler::kAuto;
+}
+
+// Applies --cache/--cache-dir to session options (coded error on misuse).
+void apply_cache_flags(const Cli& cli, Options* opts) {
+  const std::string mode = cli.get("cache", "");
+  if (mode.empty()) return;
+  if (mode == "read") {
+    opts->cache_mode = findb::CacheMode::kRead;
+  } else if (mode == "readwrite") {
+    opts->cache_mode = findb::CacheMode::kReadWrite;
+  } else {
+    FUSEDP_CHECK_CODE(false, ErrorCode::kInvalidArgument,
+                      "--cache must be read or readwrite (got " + mode + ")");
+  }
+  opts->cache_dir = cli.get("cache-dir", "");
+  FUSEDP_CHECK_CODE(!opts->cache_dir.empty(), ErrorCode::kInvalidArgument,
+                    "--cache requires --cache-dir=DIR");
+}
+
+void print_cache_events(const Session& session) {
+  for (const observe::CacheEvent& ev : session.cache_events())
+    std::printf("cache %s: %s%s%s (%.3f ms)\n", ev.action.c_str(),
+                ev.outcome.c_str(), ev.from_memory ? " [memory]" : "",
+                ev.detail.empty() ? "" : (" — " + ev.detail).c_str(),
+                ev.seconds * 1e3);
+}
+
 int cmd_run(const Cli& cli, const std::string& bench) {
   const PipelineSpec spec = make_benchmark(bench, cli.get_int("scale", 8));
   const Pipeline& pl = *spec.pipeline;
+  const bool use_cache = cli.has("cache");
   const CostModel model(pl, machine_of(cli));
-  const Grouping g = make_schedule(cli, spec, model);
-  std::printf("%s\n", g.to_string(pl).c_str());
+  Grouping g;
+  if (!use_cache) {
+    g = make_schedule(cli, spec, model);
+    std::printf("%s\n", g.to_string(pl).c_str());
+  } else {
+    FUSEDP_CHECK_CODE(!cli.has("load"), ErrorCode::kInvalidArgument,
+                      "--cache and --load are mutually exclusive (a loaded "
+                      "schedule bypasses the cache by definition)");
+  }
 
   const std::vector<Buffer> inputs = spec.make_inputs();
   const std::string trace_path = cli.get("trace", "");
@@ -146,9 +201,24 @@ int cmd_run(const Cli& cli, const std::string& bench) {
   if (budget_mb > 0)
     ResourceGovernor::instance().set_budget(budget_mb * (1 << 20));
 
-  Result<Session> opened = Session::open(pl, g, opts);
+  Result<Session> opened = [&] {
+    if (!use_cache) return Session::open(pl, g, opts);
+    // Cache path: the session schedules (or warm-starts) itself.
+    apply_cache_flags(cli, &opts);
+    opts.scheduler = session_scheduler_of(cli.get("scheduler", "auto"));
+    opts.deadline_seconds = cli.get_double("deadline-ms", 0.0) / 1e3;
+    opts.max_states =
+        static_cast<std::uint64_t>(cli.get_int("max-states", 50'000'000));
+    return Session::open(pl, opts);
+  }();
   if (!opened.ok()) throw opened.error();
   Session session = std::move(opened).value();
+  if (use_cache) {
+    print_cache_events(session);
+    std::printf("%s%s\n", session.warm_start() ? "warm start\n" : "",
+                session.grouping().to_string(pl).c_str());
+    g = session.grouping();
+  }
 
   if (Result<double> warm = session.execute(inputs); !warm.ok())
     throw warm.error();
@@ -195,6 +265,125 @@ int cmd_run(const Cli& cli, const std::string& bench) {
   return 0;
 }
 
+// fusedp cache <stats|verify|evict|warm> --cache-dir=DIR
+//
+// Maintenance for a persistent schedule-cache directory.  `stats` is a
+// plain inventory (any build's records); `verify` validates against the
+// running build (checksums, format version, git SHA) and with --repair
+// deletes what fails; `evict` removes one record (--stem=S) or everything
+// (--all); `warm` pre-populates the cache by opening benchmark pipelines
+// with the cache in readwrite mode.
+int cmd_cache(const Cli& cli, const std::string& sub) {
+  const std::string dir = cli.get("cache-dir", "");
+  FUSEDP_CHECK_CODE(!dir.empty(), ErrorCode::kInvalidArgument,
+                    "fusedp cache requires --cache-dir=DIR");
+  findb::FindbOptions fo;
+  fo.dir = dir;
+  fo.mode = findb::CacheMode::kReadWrite;
+
+  if (sub == "stats" || sub == "verify") {
+    const bool repair = cli.has("repair");
+    FUSEDP_CHECK_CODE(!repair || sub == "verify", ErrorCode::kInvalidArgument,
+                      "--repair only applies to `cache verify`");
+    // stats inventories records from any build; verify holds them against
+    // the running one (a stale SHA is a validity failure there).
+    fo.git_sha = sub == "verify" ? build_git_sha() : "";
+    findb::FindDb db(fo);
+    Result<std::vector<findb::EntryInfo>> scanned = db.scan(repair);
+    if (!scanned.ok()) throw scanned.error();
+    std::int64_t total_bytes = 0;
+    int valid = 0, invalid = 0;
+    for (const findb::EntryInfo& e : scanned.value()) {
+      total_bytes += e.bytes;
+      e.valid ? ++valid : ++invalid;
+      if (e.valid)
+        std::printf("%-52s %8lld B  %-10s %s (%zu groups)\n", e.file.c_str(),
+                    static_cast<long long>(e.bytes), e.record.rung.c_str(),
+                    e.record.pipeline.c_str(),
+                    static_cast<std::size_t>(std::count(
+                        e.record.schedule_text.begin(),
+                        e.record.schedule_text.end(), '\n')) -
+                        1);
+      else
+        std::printf("%-52s %8lld B  INVALID: %s%s\n", e.file.c_str(),
+                    static_cast<long long>(e.bytes), e.problem.c_str(),
+                    repair ? " [removed]" : "");
+    }
+    std::printf("%d record(s), %d invalid, %lld bytes in %s\n", valid + invalid,
+                invalid, static_cast<long long>(total_bytes), dir.c_str());
+    // verify without --repair reports damage through the exit code so CI
+    // and scripts can gate on a clean cache.
+    if (sub == "verify" && invalid > 0 && !repair)
+      FUSEDP_CHECK_CODE(false, ErrorCode::kInvalidSchedule,
+                        std::to_string(invalid) +
+                            " invalid cache record(s); rerun with --repair "
+                            "to remove them");
+    return 0;
+  }
+
+  if (sub == "evict") {
+    findb::FindDb db(fo);
+    const std::string stem = cli.get("stem", "");
+    FUSEDP_CHECK_CODE(cli.has("all") != !stem.empty(),
+                      ErrorCode::kInvalidArgument,
+                      "cache evict needs exactly one of --all or --stem=S");
+    Result<int> removed = [&] {
+      if (cli.has("all")) return db.evict_all();
+      findb::CacheKey key;
+      FUSEDP_CHECK_CODE(findb::CacheKey::parse_stem(stem, &key),
+                        ErrorCode::kInvalidArgument,
+                        "--stem must be <16hex>-<16hex>-<16hex>");
+      return db.evict(key);
+    }();
+    if (!removed.ok()) throw removed.error();
+    findb::FindDb::clear_memory_tier();
+    std::printf("evicted %d record(s) from %s\n", removed.value(),
+                dir.c_str());
+    return 0;
+  }
+
+  if (sub == "warm") {
+    const std::string which = cli.get("bench", "all");
+    const bool measure = cli.has("measure");
+    std::vector<std::string> keys;
+    if (which == "all") {
+      for (const auto& b : benchmark_list()) keys.push_back(b.key);
+    } else {
+      keys.push_back(which);
+    }
+    for (const std::string& key : keys) {
+      const PipelineSpec spec = make_benchmark(key, cli.get_int("scale", 8));
+      Options opts;
+      opts.num_threads = static_cast<int>(cli.get_int("threads", 4));
+      opts.machine = machine_of(cli);
+      opts.scheduler = Scheduler::kAuto;
+      opts.deadline_seconds = cli.get_double("deadline-ms", 0.0) / 1e3;
+      opts.cache_mode = findb::CacheMode::kReadWrite;
+      opts.cache_dir = dir;
+      WallTimer t;
+      Result<Session> opened = Session::open(*spec.pipeline, opts);
+      if (!opened.ok()) throw opened.error();
+      Session session = std::move(opened).value();
+      std::printf("%-12s open %.1f ms, %s\n", key.c_str(), t.seconds() * 1e3,
+                  session.warm_start() ? "warm (cache hit)"
+                                       : "cold (searched + stored)");
+      print_cache_events(session);
+      if (measure) {
+        const std::vector<Buffer> inputs = spec.make_inputs();
+        Result<double> r = session.execute(inputs);
+        if (!r.ok()) throw r.error();
+        std::printf("%-12s run  %.2f ms\n", key.c_str(), r.value() * 1e3);
+      }
+    }
+    return 0;
+  }
+
+  FUSEDP_CHECK_CODE(false, ErrorCode::kInvalidArgument,
+                    "unknown cache subcommand: " + sub +
+                        " (want stats|verify|evict|warm)");
+  return 2;
+}
+
 void usage() {
   std::printf(
       "usage: fusedp <command> [flags]\n"
@@ -203,9 +392,14 @@ void usage() {
       "  schedule <bench>             run a scheduler, print/save the result\n"
       "  dot <bench>                  graphviz DAG (clustered if --scheduler)\n"
       "  run <bench>                  execute (and optionally --verify)\n"
+      "  cache <stats|verify|evict|warm>  persistent schedule-cache tools\n"
       "flags: --scale=N --machine=xeon|opteron|host "
       "--scheduler=dp|auto|greedy|hauto|manual\n"
       "       --threads=T --runs=R --verify --pooled --save=F --load=F\n"
+      "       --cache=read|readwrite --cache-dir=DIR  (run through the\n"
+      "         persistent schedule cache; a hit skips the search)\n"
+      "       cache flags: --repair (verify) --all|--stem=S (evict)\n"
+      "         --bench=KEY|all --measure (warm)\n"
       "       --deadline-ms=D --max-states=S   (--scheduler=auto budgets)\n"
       "       --run-deadline-ms=D  (per-request execution deadline)\n"
       "       --attempts=N         (degradation-ladder depth, default 1)\n"
@@ -260,6 +454,7 @@ int main(int argc, char** argv) {
     if (cmd == "schedule") return cmd_schedule(cli, bench);
     if (cmd == "dot") return cmd_dot(cli, bench);
     if (cmd == "run") return cmd_run(cli, bench);
+    if (cmd == "cache") return cmd_cache(cli, bench);
     usage();
     return 2;
   } catch (const Error& e) {
