@@ -10,6 +10,7 @@
 #include "fusion/halide_auto.hpp"
 #include "fusion/polymage_greedy.hpp"
 #include "fusion/serialize.hpp"
+#include "support/fault.hpp"
 #include "support/fingerprint.hpp"
 #include "support/timing.hpp"
 
@@ -373,19 +374,24 @@ Result<Session> Session::open(const Pipeline& pl, Options opts) {
       Diagnostics diag;
       diag.tier = tier_from_rung(cached_rung);
       diag.total_seconds = probe_seconds;  // no search ran
-      Session s(pl, std::move(opts), std::move(cached_grouping),
-                std::move(diag));
-      s.collector_ = std::move(collector);
-      s.tee_ = std::move(tee);
+      // opts is *copied* here (not moved): if Executor construction below
+      // throws, the catch and the fresh-search fallback still need intact
+      // opts/collector/tee/obs.  Only after the plan is built is it safe to
+      // consume the open-scoped state.
+      Session s(pl, opts, std::move(cached_grouping), std::move(diag));
+      FUSEDP_FAULT_POINT("session.warm_plan");
       s.exec_ = std::make_unique<Executor>(pl, s.grouping_, s.opts_.exec());
       s.build_rungs();
       s.warm_start_ = true;
+      s.collector_ = std::move(collector);
+      s.tee_ = std::move(tee);
       s.cache_events_ = std::move(cache_events);
       return Result<Session>(std::move(s));
-    } catch (const Error& e) {
+    } catch (const std::exception& e) {
       // The cached schedule parsed but failed plan construction (footprint
       // checks, lowering): coded event, evict, fall through to a fresh
-      // search as if it had been a miss.
+      // search as if it had been a miss.  Nothing was moved out of the
+      // open-scoped state above, so the fallback sees it untouched.
       observe::CacheEvent ev;
       ev.action = "probe";
       ev.outcome = "invalid-schedule";

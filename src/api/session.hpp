@@ -82,7 +82,11 @@ struct Options {
   Scheduler scheduler = Scheduler::kAuto;
   MachineModel machine = MachineModel::host();
   // kAuto ladder budgets (see AutoScheduleOptions).  deadline_seconds < 0
-  // is rejected; 0 means "no deadline".
+  // is rejected; 0 means "no deadline".  Only the kAuto ladder can bound
+  // its own search, so with a direct scheduler (kDp/kGreedy/...) a nonzero
+  // deadline is rejected unless the cache is on — and then it bounds only
+  // the cache probe and lock wait: on a cache miss the direct scheduler
+  // still runs unbounded, so the deadline is best-effort on that path.
   double deadline_seconds = 0.0;
   std::uint64_t max_states = 50'000'000;
   int bounded_initial_limit = 8;

@@ -42,6 +42,18 @@ std::string join(const std::string& dir, const std::string& name) {
 
 std::string errno_str() { return std::strerror(errno); }
 
+// Makes a just-committed rename durable: without syncing the directory the
+// new directory entry can be lost on power failure even though the file's
+// bytes were fsync'd.  Best effort — the record is already visible to every
+// live reader, so a failure here only narrows durability, never correctness
+// (a lost entry reads as a clean miss on the next boot).
+void fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;
+  (void)::fsync(fd);
+  ::close(fd);
+}
+
 bool is_record_file(const std::string& name) {
   // "<16 hex>-<16 hex>-<16 hex>.fdb" and nothing else.
   const std::string ext = kRecordExt;
@@ -192,6 +204,21 @@ struct MemoryTier {
     if (it == index.end()) return;
     lru.erase(it->second);
     index.erase(it);
+  }
+
+  // Drops every entry belonging to one cache directory (keys are
+  // dir + "/" + stem), leaving other directories' hot entries alone —
+  // the tier is process-wide, but eviction must stay per-FindDb.
+  void erase_prefix(const std::string& prefix) {
+    std::lock_guard<std::mutex> g(mu);
+    for (auto it = lru.begin(); it != lru.end();) {
+      if (it->first.compare(0, prefix.size(), prefix) == 0) {
+        index.erase(it->first);
+        it = lru.erase(it);
+      } else {
+        ++it;
+      }
+    }
   }
 
   void clear() {
@@ -360,6 +387,14 @@ ProbeOutcome decode_record(const std::string& bytes,
     return bad(ProbeOutcome::kTruncated,
                "payload " + std::to_string(have) + " of " +
                    std::to_string(want_bytes) + " bytes");
+  // Strict framing: the declared byte count must account for the whole
+  // file.  Trailing bytes past the CRC-covered body mean concatenated or
+  // doctored content, and accepting them would let junk ride in on a
+  // "clean" hit.
+  if (have > want_bytes)
+    return bad(ProbeOutcome::kCorrupt,
+               std::to_string(have - want_bytes) +
+                   " trailing bytes after the declared payload");
   const std::string body = bytes.substr(pos, static_cast<std::size_t>(want_bytes));
   if (crc32(body) != want_crc)
     return bad(ProbeOutcome::kCorrupt, "crc32 mismatch");
@@ -633,6 +668,7 @@ Result<bool> FindDb::store(const CacheKey& key, const CacheRecord& rec,
     ::unlink(tmp_path.c_str());
     return io_fail(why);
   }
+  fsync_dir(opts_.dir);
 
   ++counters_.stores;
   if (opts_.memory_entries > 0)
@@ -694,7 +730,10 @@ Result<int> FindDb::evict_all() {
     if (::unlink(join(opts_.dir, name).c_str()) == 0) ++removed;
   }
   ::closedir(d);
-  clear_memory_tier();
+  // Scope the memory-tier wipe to this cache directory: the tier is shared
+  // process-wide, and sessions on *other* cache_dirs must keep their
+  // still-valid hot entries.
+  memory_tier().erase_prefix(join(opts_.dir, ""));
   counters_.evictions += removed;
   return Result<int>(removed);
 }

@@ -172,6 +172,15 @@ TEST(RecordFormatTest, CorruptionMatrix) {
   EXPECT_EQ(findb::decode_record("", &key, &rec, &detail),
             ProbeOutcome::kTruncated);
 
+  // Strict framing: bytes past the declared payload (concatenated records,
+  // appended junk) must not ride in on a clean hit.
+  EXPECT_EQ(findb::decode_record(bytes + "\n", &key, &rec, &detail),
+            ProbeOutcome::kCorrupt)
+      << detail;
+  EXPECT_EQ(findb::decode_record(bytes + bytes, &key, &rec, &detail),
+            ProbeOutcome::kCorrupt)
+      << detail;
+
   // A record stored under a different key -> kKeyMismatch (detects renamed
   // / copied files).
   {
@@ -400,6 +409,32 @@ TEST(FindDbTest, EvictAndEvictAll) {
   ASSERT_TRUE(all.ok());
   EXPECT_GE(all.value(), 1);
   EXPECT_EQ(db.probe(test_key(1)).outcome, ProbeOutcome::kMiss);
+}
+
+// The memory tier is shared process-wide across cache directories, but
+// evict_all() must only drop the entries belonging to *its* directory —
+// a concurrent session on another cache_dir keeps its hot tier.
+TEST(FindDbTest, EvictAllScopesMemoryTierToOwnDir) {
+  TempDir dir_a, dir_b;
+  FindDb::clear_memory_tier();
+  FindbOptions fa = rw_options(dir_a.path);
+  FindbOptions fb = rw_options(dir_b.path);
+  fa.memory_entries = fb.memory_entries = 8;
+  FindDb db_a(fa), db_b(fb);
+  const CacheKey key = test_key();
+  ASSERT_TRUE(db_a.store(key, test_record()).ok());
+  ASSERT_TRUE(db_b.store(key, test_record()).ok());
+
+  auto all = db_a.evict_all();
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(db_a.probe(key).outcome, ProbeOutcome::kMiss);
+
+  // db_b still hits, and from *memory*: delete its file underneath first,
+  // so a hit can only come from a hot tier evict_all left alone.
+  ASSERT_EQ(std::remove(record_path(dir_b.path, key).c_str()), 0);
+  ProbeResult hit = db_b.probe(key);
+  ASSERT_EQ(hit.outcome, ProbeOutcome::kHit) << hit.detail;
+  EXPECT_TRUE(hit.from_memory);
 }
 
 TEST(FindDbTest, ScanReportsAndRepairs) {

@@ -14,6 +14,7 @@
 #include "api/session.hpp"
 #include "pipelines/pipelines.hpp"
 #include "storage/lock.hpp"
+#include "support/fault.hpp"
 #include "support/fingerprint.hpp"
 #include "support/timing.hpp"
 #include "test_util.hpp"
@@ -341,6 +342,46 @@ TEST(SessionCacheTest, HostileScheduleTextIsRejected) {
   // The hostile record was evicted and replaced by a valid fresh one.
   auto again = Session::open(*spec.pipeline, opts);
   ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again.value().warm_start());
+}
+
+// Regression: a cached schedule that parses cleanly but whose *plan
+// construction* throws (footprint checks, lowering) must fall back to a
+// fresh search with the open-scoped state intact.  The old fallback read
+// moved-from Options and a dangling observer pointer — with collect_trace
+// on, ASan flags the use-after-free and the trace was silently lost.
+TEST(SessionCacheTest, WarmPlanFailureFallsBackWithTraceIntact) {
+  TempDir dir;
+  findb::FindDb::clear_memory_tier();
+  PipelineSpec spec = make_benchmark("unsharp", 16);
+  const std::vector<Buffer> inputs = spec.make_inputs();
+  Options opts = cache_options(dir.path);
+  opts.collect_trace = true;  // the dangling-observer half of the old bug
+
+  auto cold = Session::open(*spec.pipeline, opts);
+  ASSERT_TRUE(cold.ok()) << cold.error().what();
+  ASSERT_TRUE(has_event(cold.value(), "store", "stored"));
+
+  // The next open hits the cache and parses the schedule, then the armed
+  // fault makes plan construction throw at the warm-start site.
+  FaultInjector::arm("session.warm_plan", ErrorCode::kInternal, /*skip=*/0);
+  auto s = Session::open(*spec.pipeline, opts);
+  FaultInjector::disarm();
+  ASSERT_TRUE(s.ok()) << s.error().what();
+  Session sess = std::move(s).value();
+  EXPECT_FALSE(sess.warm_start());
+  EXPECT_TRUE(has_event(sess, "probe", "invalid-schedule"));
+  // The fallback re-stored a fresh record (proof the fresh-search path saw
+  // intact, not moved-from, Options).
+  EXPECT_TRUE(has_event(sess, "store", "stored"));
+  // The trace collector survived the fallback: a run still produces a trace.
+  auto out = sess.run(inputs);
+  ASSERT_TRUE(out.ok()) << out.error().what();
+  EXPECT_NE(sess.trace(), nullptr);
+
+  // And the re-stored record warm-starts the next open as usual.
+  auto again = Session::open(*spec.pipeline, opts);
+  ASSERT_TRUE(again.ok()) << again.error().what();
   EXPECT_TRUE(again.value().warm_start());
 }
 
